@@ -1,0 +1,442 @@
+package dnscontext
+
+// The benchmark harness regenerates every table and figure in the paper's
+// evaluation (see DESIGN.md §4 for the experiment index). Each benchmark
+// measures the cost of computing one artifact over a fixed synthetic
+// window and reports the reproduced headline numbers as custom metrics so
+// `go test -bench` output doubles as the paper-vs-measured record:
+//
+//	go test -bench=. -benchmem
+//
+// Percentages are reported as <name>_pct metrics; the paper's values are
+// noted in comments and tabulated in EXPERIMENTS.md.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dnscontext/internal/core"
+)
+
+// benchScale is the generation scale every benchmark shares: large enough
+// for stable statistics, small enough to keep -bench runs quick. The
+// full paper-scale run (100 houses, 24 h + warmup) is available through
+// cmd/tracegen.
+var benchState struct {
+	once     sync.Once
+	ds       *Dataset
+	eco      *Ecosystem
+	analysis *Analysis
+}
+
+func benchAnalysis(b *testing.B) (*Analysis, *Dataset, *Ecosystem) {
+	b.Helper()
+	benchState.once.Do(func() {
+		cfg := DefaultGeneratorConfig()
+		cfg.Houses = 50
+		cfg.Duration = 24 * time.Hour
+		// Cloudflare houses are rare (3.8%); force a handful so the §7
+		// benchmarks have data for all four platforms at this scale.
+		cfg.CloudflareHouseProb = 0.10
+		ds, eco, err := Generate(cfg)
+		if err != nil {
+			panic(err)
+		}
+		benchState.ds = ds
+		benchState.eco = eco
+		benchState.analysis = Analyze(ds, DefaultOptions())
+	})
+	return benchState.analysis, benchState.ds, benchState.eco
+}
+
+func pct(x float64) float64 { return 100 * x }
+
+// BenchmarkTable2Classification regenerates Table 2: the origin of DNS
+// information per connection. Paper: N 7.2 / LC 42.9 / P 7.8 / SC 26.3 /
+// R 15.7 (%).
+func BenchmarkTable2Classification(b *testing.B) {
+	_, ds, _ := benchAnalysis(b)
+	var a *Analysis
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a = Analyze(ds, DefaultOptions())
+	}
+	b.StopTimer()
+	b.ReportMetric(pct(a.Fraction(ClassN)), "N_pct")
+	b.ReportMetric(pct(a.Fraction(ClassLC)), "LC_pct")
+	b.ReportMetric(pct(a.Fraction(ClassP)), "P_pct")
+	b.ReportMetric(pct(a.Fraction(ClassSC)), "SC_pct")
+	b.ReportMetric(pct(a.Fraction(ClassR)), "R_pct")
+}
+
+// BenchmarkTable1ResolverPlatforms regenerates Table 1: per-platform
+// houses/lookups/conns/bytes shares. Paper lookups: Local 72.8 / Google
+// 12.9 / OpenDNS 9.4 / Cloudflare 3.9 (%).
+func BenchmarkTable1ResolverPlatforms(b *testing.B) {
+	a, _, eco := benchAnalysis(b)
+	var rows []core.Table1Row
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = a.Table1(eco.Profiles)
+	}
+	b.StopTimer()
+	for _, row := range rows {
+		b.ReportMetric(pct(row.LookupsFraction), row.Platform.String()+"_lookups_pct")
+	}
+}
+
+// BenchmarkTable3RefreshSimulation regenerates Table 3: the standard
+// whole-house cache vs refresh-all. Paper: 61.0% vs 96.6% hits, ~144x
+// lookups.
+func BenchmarkTable3RefreshSimulation(b *testing.B) {
+	a, _, _ := benchAnalysis(b)
+	var rf core.RefreshResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rf = a.RefreshSimulation(10 * time.Second)
+	}
+	b.StopTimer()
+	b.ReportMetric(pct(rf.Standard.HitRate), "standard_hits_pct")
+	b.ReportMetric(pct(rf.RefreshAll.HitRate), "refresh_hits_pct")
+	b.ReportMetric(rf.LookupMultiplier, "lookup_multiplier")
+}
+
+// BenchmarkFigure1GapDistribution regenerates Figure 1: the distribution
+// of (connection start − DNS completion) and the first-use split at the
+// 20 ms knee. Paper: 91% within / 21% beyond.
+func BenchmarkFigure1GapDistribution(b *testing.B) {
+	a, _, _ := benchAnalysis(b)
+	var f1 core.Figure1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f1 = a.Figure1()
+	}
+	b.StopTimer()
+	b.ReportMetric(pct(f1.FirstUseWithinKnee), "firstuse_within_pct")
+	b.ReportMetric(pct(f1.FirstUseBeyondKnee), "firstuse_beyond_pct")
+}
+
+// BenchmarkFigure2TopLookupDelay regenerates Figure 2 (top): SC∪R lookup
+// delays. Paper: median 8.5 ms, p75 20 ms, 3.3% over 100 ms.
+func BenchmarkFigure2TopLookupDelay(b *testing.B) {
+	a, _, _ := benchAnalysis(b)
+	var f2 core.Figure2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f2 = a.Figure2()
+	}
+	b.StopTimer()
+	b.ReportMetric(f2.LookupDelays.Median(), "median_ms")
+	b.ReportMetric(f2.LookupDelays.Quantile(0.75), "p75_ms")
+	b.ReportMetric(pct(f2.LookupDelays.FractionAbove(100)), "over100ms_pct")
+}
+
+// BenchmarkFigure2BottomContribution regenerates Figure 2 (bottom): DNS'
+// percentage contribution to transaction time. Paper: >1% for 20% of
+// transactions, >=10% for 8%.
+func BenchmarkFigure2BottomContribution(b *testing.B) {
+	a, _, _ := benchAnalysis(b)
+	var f2 core.Figure2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f2 = a.Figure2()
+	}
+	b.StopTimer()
+	b.ReportMetric(pct(f2.ContributionAll.FractionAbove(1)), "over1pct_pct")
+	b.ReportMetric(pct(f2.ContributionAll.FractionAbove(10)), "over10pct_pct")
+	b.ReportMetric(pct(f2.ContributionR.FractionAbove(1)), "R_over1pct_pct")
+}
+
+// BenchmarkFigure3TopResolverDelay regenerates Figure 3 (top): R-lookup
+// delay distributions per platform. Paper ordering at the median: Local <
+// Cloudflare < OpenDNS < Google, with Google's tail shortest.
+func BenchmarkFigure3TopResolverDelay(b *testing.B) {
+	a, _, eco := benchAnalysis(b)
+	var rp core.ResolverPerformance
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rp = a.ResolverPerformance(eco.Profiles)
+	}
+	b.StopTimer()
+	for id, e := range rp.RDelays {
+		if e.N() > 0 {
+			b.ReportMetric(e.Median(), id.String()+"_Rdelay_median_ms")
+		}
+	}
+}
+
+// BenchmarkFigure3BottomThroughput regenerates Figure 3 (bottom):
+// throughput per platform for blocked connections, with and without
+// Google's connectivity-check artifact (paper: 23.5% of Google's blocked
+// connections).
+func BenchmarkFigure3BottomThroughput(b *testing.B) {
+	a, _, eco := benchAnalysis(b)
+	var rp core.ResolverPerformance
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rp = a.ResolverPerformance(eco.Profiles)
+	}
+	b.StopTimer()
+	b.ReportMetric(pct(rp.GoogleCCFraction), "google_cc_pct")
+	if e := rp.Throughput[PlatformGoogle]; e != nil && e.N() > 0 {
+		b.ReportMetric(e.Median()/1000, "google_tput_median_kbps")
+	}
+	if rp.GoogleNoCC.N() > 0 {
+		b.ReportMetric(rp.GoogleNoCC.Median()/1000, "google_nocc_tput_median_kbps")
+	}
+}
+
+// BenchmarkSection51NoDNS regenerates §5.1: the composition of the N
+// connections. Paper: 81.6% high-port, zero DoT, 1.3% unpaired non-p2p.
+func BenchmarkSection51NoDNS(b *testing.B) {
+	a, _, _ := benchAnalysis(b)
+	var nd core.NoDNS
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nd = a.NoDNS()
+	}
+	b.StopTimer()
+	b.ReportMetric(pct(nd.HighPortFraction), "highport_pct")
+	b.ReportMetric(float64(nd.DoTConns), "dot_conns")
+	b.ReportMetric(pct(nd.UnpairedNonP2PFraction), "unpaired_nonp2p_pct")
+}
+
+// BenchmarkSection52TTLViolations regenerates §5.2: expired-record use
+// and prefetch economics. Paper: LC 22.2% / P 12.4% expired, 37.8%
+// lookups unused.
+func BenchmarkSection52TTLViolations(b *testing.B) {
+	a, _, _ := benchAnalysis(b)
+	var v core.TTLViolations
+	var pf core.Prefetch
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v = a.TTLViolations()
+		pf = a.Prefetch()
+	}
+	b.StopTimer()
+	b.ReportMetric(pct(v.LCExpiredFraction), "LC_expired_pct")
+	b.ReportMetric(pct(v.PExpiredFraction), "P_expired_pct")
+	b.ReportMetric(pct(pf.UnusedFraction), "unused_lookups_pct")
+}
+
+// BenchmarkSection6Significance regenerates §6's quadrant analysis.
+// Paper: 64.0% insignificant by both criteria; 8.6% of SC∪R (3.6% of all
+// connections) significantly delayed.
+func BenchmarkSection6Significance(b *testing.B) {
+	a, _, _ := benchAnalysis(b)
+	var sig core.Significance
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sig = a.Significance()
+	}
+	b.StopTimer()
+	b.ReportMetric(pct(sig.BothInsignificant), "both_insig_pct")
+	b.ReportMetric(pct(sig.BothSignificant), "both_sig_pct")
+	b.ReportMetric(pct(sig.OverallSignificant), "overall_sig_pct")
+}
+
+// BenchmarkSection7HitRates regenerates §7's per-platform shared-cache
+// hit rates. Paper: Cloudflare 83.6 / Local 71.2 / OpenDNS 58.8 / Google
+// 23.0 (%).
+func BenchmarkSection7HitRates(b *testing.B) {
+	a, _, eco := benchAnalysis(b)
+	var rp core.ResolverPerformance
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rp = a.ResolverPerformance(eco.Profiles)
+	}
+	b.StopTimer()
+	for id, hr := range rp.HitRate {
+		b.ReportMetric(pct(hr), id.String()+"_hitrate_pct")
+	}
+}
+
+// BenchmarkSection8WholeHouse regenerates §8's whole-house cache what-if.
+// Paper: 9.8% of connections move from SC/R to LC.
+func BenchmarkSection8WholeHouse(b *testing.B) {
+	a, _, _ := benchAnalysis(b)
+	var wh core.WholeHouse
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wh = a.WholeHouse()
+	}
+	b.StopTimer()
+	b.ReportMetric(pct(wh.MovedFraction), "moved_pct")
+	b.ReportMetric(pct(wh.SCBenefit), "sc_benefit_pct")
+	b.ReportMetric(pct(wh.RBenefit), "r_benefit_pct")
+}
+
+// --- Ablations (DESIGN.md §5) ---
+
+// BenchmarkAblationBlockingThreshold sweeps the blocking threshold
+// (paper footnote 5: insights are robust to the choice).
+func BenchmarkAblationBlockingThreshold(b *testing.B) {
+	_, ds, _ := benchAnalysis(b)
+	for _, th := range []time.Duration{20 * time.Millisecond, 50 * time.Millisecond,
+		100 * time.Millisecond, 200 * time.Millisecond} {
+		b.Run(th.String(), func(b *testing.B) {
+			opts := DefaultOptions()
+			opts.BlockThreshold = th
+			var a *Analysis
+			for i := 0; i < b.N; i++ {
+				a = Analyze(ds, opts)
+			}
+			b.ReportMetric(pct(a.BlockedFraction()), "blocked_pct")
+		})
+	}
+}
+
+// BenchmarkAblationSCRThreshold sweeps the default SC/R duration
+// threshold (paper footnote 7).
+func BenchmarkAblationSCRThreshold(b *testing.B) {
+	_, ds, _ := benchAnalysis(b)
+	for _, th := range []time.Duration{3 * time.Millisecond, 5 * time.Millisecond,
+		10 * time.Millisecond, 20 * time.Millisecond} {
+		b.Run(th.String(), func(b *testing.B) {
+			opts := DefaultOptions()
+			opts.DefaultSCThreshold = th
+			// Disable per-resolver thresholds so the sweep value governs.
+			opts.SCRMinSamples = 1 << 30
+			var a *Analysis
+			for i := 0; i < b.N; i++ {
+				a = Analyze(ds, opts)
+			}
+			b.ReportMetric(pct(a.SharedCacheHitRate()), "sc_of_blocked_pct")
+		})
+	}
+}
+
+// BenchmarkAblationPairingPolicy compares DN-Hunter's most-recent pairing
+// with the random-candidate robustness variant (§4).
+func BenchmarkAblationPairingPolicy(b *testing.B) {
+	_, ds, _ := benchAnalysis(b)
+	for _, policy := range []struct {
+		name string
+		p    core.PairingPolicy
+	}{{"most-recent", PairMostRecent}, {"random", PairRandom}} {
+		b.Run(policy.name, func(b *testing.B) {
+			opts := DefaultOptions()
+			opts.Pairing = policy.p
+			var a *Analysis
+			for i := 0; i < b.N; i++ {
+				a = Analyze(ds, opts)
+			}
+			b.ReportMetric(pct(a.Fraction(ClassLC)), "LC_pct")
+		})
+	}
+}
+
+// BenchmarkAblationRefreshTTLFloor sweeps the refresh simulator's minimum
+// refreshable TTL (the paper refuses to refresh records under 10 s).
+func BenchmarkAblationRefreshTTLFloor(b *testing.B) {
+	a, _, _ := benchAnalysis(b)
+	for _, floor := range []time.Duration{5 * time.Second, 10 * time.Second,
+		30 * time.Second, 60 * time.Second} {
+		b.Run(floor.String(), func(b *testing.B) {
+			var rf core.RefreshResult
+			for i := 0; i < b.N; i++ {
+				rf = a.RefreshSimulation(floor)
+			}
+			b.ReportMetric(pct(rf.RefreshAll.HitRate), "refresh_hits_pct")
+			b.ReportMetric(rf.LookupMultiplier, "lookup_multiplier")
+		})
+	}
+}
+
+// BenchmarkExtensionRefreshPolicies sweeps the middle ground of the
+// paper's §8 open question: hit rate vs query cost for idle-bounded and
+// popularity-gated refresh policies, bracketed by the paper's two
+// extremes.
+func BenchmarkExtensionRefreshPolicies(b *testing.B) {
+	a, _, _ := benchAnalysis(b)
+	policies := []RefreshPolicy{
+		PolicyPopular(3, 30*time.Minute),
+		PolicyIdleBounded(time.Hour),
+	}
+	var rows []core.PolicyComparison
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = a.CompareRefreshPolicies(10*time.Second, policies...)
+	}
+	b.StopTimer()
+	base := float64(rows[0].Result.Lookups)
+	for _, row := range rows {
+		b.ReportMetric(pct(row.Result.HitRate), row.Policy.Label+"_hits_pct")
+		b.ReportMetric(float64(row.Result.Lookups)/base, row.Policy.Label+"_cost_x")
+	}
+}
+
+// BenchmarkExtensionSlack quantifies the "slack in DNS" phenomenon the
+// paper's §2 positions this work behind: how much longer lookups could
+// take before their first use notices.
+func BenchmarkExtensionSlack(b *testing.B) {
+	a, _, _ := benchAnalysis(b)
+	var s core.Slack
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s = a.Slack()
+	}
+	b.StopTimer()
+	b.ReportMetric(pct(s.SlackOver1s), "slack_over_1s_pct")
+	b.ReportMetric(pct(a.TolerableExtraDelay(100*time.Millisecond)), "newly_blocked_at_100ms_pct")
+}
+
+// BenchmarkExtensionEncryptedDNS sweeps DoT adoption, measuring how fast
+// the paper's passive methodology degrades (§3's impossibility claim).
+func BenchmarkExtensionEncryptedDNS(b *testing.B) {
+	for _, adoption := range []float64{0, 0.25, 0.5} {
+		b.Run(fmt.Sprintf("adoption=%.0f%%", 100*adoption), func(b *testing.B) {
+			var a *Analysis
+			for i := 0; i < b.N; i++ {
+				cfg := SmallGeneratorConfig(33)
+				cfg.EncryptedDNSProb = adoption
+				ds, _, err := Generate(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				a = Analyze(ds, DefaultOptions())
+			}
+			b.ReportMetric(pct(a.Fraction(ClassN)), "N_pct")
+		})
+	}
+}
+
+// --- Substrate benchmarks ---
+
+// BenchmarkGenerate measures end-to-end trace synthesis.
+func BenchmarkGenerate(b *testing.B) {
+	cfg := SmallGeneratorConfig(1)
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		if _, _, err := Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMonitorPipeline measures wire synthesis plus zeeklite
+// reconstruction for one small window.
+func BenchmarkMonitorPipeline(b *testing.B) {
+	cfg := SmallGeneratorConfig(2)
+	cfg.Houses = 4
+	cfg.Duration = 30 * time.Minute
+	ds, _, err := Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewMonitor(DefaultMonitorOptions())
+		err := Synthesize(ds, SynthOptions{MaxBytesPerConn: 16 << 10},
+			func(ts time.Duration, frame []byte) error {
+				m.FeedFrame(ts, frame)
+				return nil
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Flush()
+	}
+}

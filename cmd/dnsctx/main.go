@@ -1,0 +1,120 @@
+// Command dnsctx runs the paper's full analysis — DN-Hunter pairing, the
+// blocking heuristic, the N/LC/P/SC/R classification, and every table and
+// figure — over a pair of TSV logs (from tracegen or zeeklite) or over a
+// freshly generated synthetic window.
+//
+// Usage:
+//
+//	dnsctx -dns dns.log -conns conn.log
+//	dnsctx -generate -houses 50 -duration 12h
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"dnscontext"
+	"dnscontext/internal/core"
+	"dnscontext/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dnsctx: ")
+
+	var (
+		dnsIn    = flag.String("dns", "", "DNS transactions TSV input")
+		connIn   = flag.String("conns", "", "connection summaries TSV input")
+		generate = flag.Bool("generate", false, "synthesize a window instead of reading logs")
+		houses   = flag.Int("houses", 20, "houses (with -generate)")
+		duration = flag.Duration("duration", 6*time.Hour, "window (with -generate)")
+		seed     = flag.Uint64("seed", 1, "seed (with -generate)")
+
+		block    = flag.Duration("block-threshold", 100*time.Millisecond, "blocked-connection gap threshold")
+		scrMin   = flag.Int("scr-min-samples", 1000, "min lookups for a per-resolver SC/R threshold")
+		scrDef   = flag.Duration("scr-default", 5*time.Millisecond, "default SC/R duration threshold")
+		randPair = flag.Bool("random-pairing", false, "pair with a random fresh candidate (robustness check)")
+		format   = flag.String("format", "tsv", "log input format: tsv or json")
+		figures  = flag.String("figures", "", "also export per-figure CSV data into this directory")
+		perHouse = flag.Bool("per-house", false, "append a per-house breakdown to the report")
+	)
+	flag.Parse()
+
+	var ds *dnscontext.Dataset
+	profiles := dnscontext.DefaultProfiles()
+	switch {
+	case *generate:
+		cfg := dnscontext.DefaultGeneratorConfig()
+		cfg.Houses = *houses
+		cfg.Duration = *duration
+		cfg.Seed = *seed
+		var err error
+		var eco *dnscontext.Ecosystem
+		ds, eco, err = dnscontext.Generate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		profiles = eco.Profiles
+	case *dnsIn != "" && *connIn != "":
+		readD, readC := dnscontext.ReadDNS, dnscontext.ReadConns
+		switch *format {
+		case "tsv":
+		case "json":
+			readD, readC = trace.ReadDNSJSON, trace.ReadConnsJSON
+		default:
+			log.Fatalf("unknown -format %q (want tsv or json)", *format)
+		}
+		ds = &dnscontext.Dataset{}
+		var err error
+		if ds.DNS, err = readFile(*dnsIn, readD); err != nil {
+			log.Fatal(err)
+		}
+		if ds.Conns, err = readFile(*connIn, readC); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatal("pass -dns AND -conns, or -generate")
+	}
+
+	opts := dnscontext.DefaultOptions()
+	opts.BlockThreshold = *block
+	opts.SCRMinSamples = *scrMin
+	opts.DefaultSCThreshold = *scrDef
+	if *randPair {
+		opts.Pairing = dnscontext.PairRandom
+	}
+
+	a := dnscontext.Analyze(ds, opts)
+	if err := a.Report(os.Stdout, profiles); err != nil {
+		log.Fatal(err)
+	}
+	if *perHouse {
+		houses := a.PerHouse(profiles)
+		fmt.Printf("\n--- Per-house breakdown (%d houses, %.1f%% only-local; paper: ~16%%) ---\n",
+			len(houses), 100*core.OnlyLocalFraction(houses))
+		fmt.Printf("%-6s %8s %8s %9s %9s\n", "house", "conns", "dns", "blocked%", "onlyLocal")
+		for _, h := range houses {
+			fmt.Printf("%-6d %8d %8d %8.1f%% %9v\n",
+				h.House, h.Conns, h.DNS, 100*h.BlockedFraction(), h.UsesOnlyLocal())
+		}
+	}
+	if *figures != "" {
+		if err := a.ExportFigureData(*figures, 200, profiles); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("figure data written to %s", *figures)
+	}
+}
+
+func readFile[T any](path string, read func(io.Reader) ([]T, error)) ([]T, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return read(f)
+}

@@ -1,0 +1,73 @@
+// Command dnsserve runs the dnswire codec against a real network stack:
+// it serves the synthetic zonedb namespace as an authoritative DNS server
+// on a UDP socket, and doubles as a stub client for querying it (or any
+// plain-UDP DNS server).
+//
+// Usage:
+//
+//	dnsserve -addr 127.0.0.1:5355                 # serve the namespace
+//	dnsserve -query www.site00000.com -server 127.0.0.1:5355
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"dnscontext/internal/dnsserver"
+	"dnscontext/internal/dnswire"
+	"dnscontext/internal/stats"
+	"dnscontext/internal/zonedb"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dnsserve: ")
+
+	var (
+		addr   = flag.String("addr", "127.0.0.1:5355", "address to serve on")
+		names  = flag.Int("names", 20000, "hostname universe size")
+		seed   = flag.Uint64("seed", 1, "namespace seed")
+		query  = flag.String("query", "", "query this name instead of serving")
+		qtype  = flag.String("qtype", "A", "query type: A or AAAA")
+		server = flag.String("server", "127.0.0.1:5355", "server to query (with -query)")
+	)
+	flag.Parse()
+
+	if *query != "" {
+		t := dnswire.TypeA
+		if *qtype == "AAAA" {
+			t = dnswire.TypeAAAA
+		}
+		c := &dnsserver.Client{Server: *server}
+		resp, err := c.Query(*query, t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(resp)
+		return
+	}
+
+	cfg := zonedb.DefaultConfig()
+	cfg.NumNames = *names
+	zones, err := zonedb.New(cfg, stats.NewRNG(*seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := dnsserver.NewServer(dnsserver.ZoneHandler(zones))
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "serving %d names (+%s) on %s; e.g. -query %s\n",
+		zones.Size(), zones.ConnectivityCheck.Host, bound, zones.ByRank(0).Host)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

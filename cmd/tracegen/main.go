@@ -1,0 +1,118 @@
+// Command tracegen synthesizes a residential-ISP observation window —
+// the substitution for the paper's CCZ capture — and writes the two
+// datasets as Bro-style TSV logs and, optionally, as a pcap file carrying
+// the equivalent packets.
+//
+// Usage:
+//
+//	tracegen -houses 100 -duration 24h -dns dns.log -conns conn.log
+//	tracegen -houses 4 -duration 30m -pcap trace.pcap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"dnscontext"
+	"dnscontext/internal/pcap"
+	"dnscontext/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+
+	var (
+		houses   = flag.Int("houses", 20, "number of residences")
+		duration = flag.Duration("duration", 6*time.Hour, "observation window length")
+		warmup   = flag.Duration("warmup", 3*time.Hour, "cache warmup simulated before the window")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		names    = flag.Int("names", 20000, "hostname universe size")
+		dnsOut   = flag.String("dns", "", "write DNS transactions TSV to this file")
+		connOut  = flag.String("conns", "", "write connection summaries TSV to this file")
+		pcapOut  = flag.String("pcap", "", "also render the window as packets into this pcap file")
+		byteCap  = flag.Int64("pcap-bytes-per-conn", 64<<10, "per-direction payload cap when rendering packets")
+		format   = flag.String("format", "tsv", "log format: tsv or json")
+		quiet    = flag.Bool("q", false, "suppress the summary line")
+	)
+	flag.Parse()
+
+	cfg := dnscontext.DefaultGeneratorConfig()
+	cfg.Houses = *houses
+	cfg.Duration = *duration
+	cfg.Warmup = *warmup
+	cfg.Seed = *seed
+	cfg.Zone.NumNames = *names
+
+	ds, _, err := dnscontext.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "generated %d DNS transactions, %d connections over %v (%d houses, seed %d)\n",
+			len(ds.DNS), len(ds.Conns), *duration, *houses, *seed)
+	}
+
+	writeDNS, writeConns := dnscontext.WriteDNS, dnscontext.WriteConns
+	switch *format {
+	case "tsv":
+	case "json":
+		writeDNS, writeConns = trace.WriteDNSJSON, trace.WriteConnsJSON
+	default:
+		log.Fatalf("unknown -format %q (want tsv or json)", *format)
+	}
+	if *dnsOut != "" {
+		if err := writeFile(*dnsOut, func(f *os.File) error {
+			return writeDNS(f, ds.DNS)
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *connOut != "" {
+		if err := writeFile(*connOut, func(f *os.File) error {
+			return writeConns(f, ds.Conns)
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *pcapOut != "" {
+		if err := writePcap(*pcapOut, ds, *byteCap); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *dnsOut == "" && *connOut == "" && *pcapOut == "" {
+		log.Fatal("nothing to do: pass -dns, -conns and/or -pcap")
+	}
+}
+
+func writeFile(path string, fill func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fill(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writePcap(path string, ds *dnscontext.Dataset, byteCap int64) error {
+	return writeFile(path, func(f *os.File) error {
+		w, err := pcap.NewWriter(f)
+		if err != nil {
+			return err
+		}
+		opts := dnscontext.SynthOptions{MaxBytesPerConn: byteCap}
+		err = dnscontext.Synthesize(ds, opts, func(ts time.Duration, frame []byte) error {
+			return w.WriteRecord(trace.Epoch.Add(ts), frame)
+		})
+		if err != nil {
+			return err
+		}
+		return w.Flush()
+	})
+}

@@ -1,0 +1,104 @@
+// Command zeeklite is a Bro/Zeek-style passive monitor: it reads a pcap
+// capture and reconstructs the paper's two datasets — DNS transaction
+// records and connection summaries — as Bro-style TSV logs. Together with
+// tracegen -pcap it forms the packet-level path of the pipeline; dnsctx
+// then analyzes the logs.
+//
+// Usage:
+//
+//	zeeklite -pcap trace.pcap -dns dns.log -conns conn.log
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"dnscontext"
+	"dnscontext/internal/pcap"
+	"dnscontext/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("zeeklite: ")
+
+	var (
+		pcapIn  = flag.String("pcap", "", "pcap capture to read; '-' for stdin (required)")
+		dnsOut  = flag.String("dns", "dns.log", "DNS transactions TSV output")
+		connOut = flag.String("conns", "conn.log", "connection summaries TSV output")
+		timeout = flag.Duration("udp-timeout", time.Minute, "UDP flow idle timeout")
+		format  = flag.String("format", "tsv", "log output format: tsv or json")
+		quiet   = flag.Bool("q", false, "suppress the summary line")
+	)
+	flag.Parse()
+	if *pcapIn == "" {
+		log.Fatal("-pcap is required")
+	}
+
+	var in io.Reader = os.Stdin
+	if *pcapIn != "-" {
+		f, err := os.Open(*pcapIn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	r, err := pcap.NewReader(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := dnscontext.DefaultMonitorOptions()
+	opts.UDPTimeout = *timeout
+	m := dnscontext.NewMonitor(opts)
+	frames := 0
+	for {
+		rec, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			log.Fatalf("reading %s: %v", *pcapIn, err)
+		}
+		m.FeedFrame(rec.Timestamp.Sub(trace.Epoch), rec.Data)
+		frames++
+	}
+	ds := m.Flush()
+
+	writeDNS, writeConns := dnscontext.WriteDNS, dnscontext.WriteConns
+	switch *format {
+	case "tsv":
+	case "json":
+		writeDNS, writeConns = trace.WriteDNSJSON, trace.WriteConnsJSON
+	default:
+		log.Fatalf("unknown -format %q (want tsv or json)", *format)
+	}
+	if err := writeTSV(*dnsOut, func(w io.Writer) error { return writeDNS(w, ds.DNS) }); err != nil {
+		log.Fatal(err)
+	}
+	if err := writeTSV(*connOut, func(w io.Writer) error { return writeConns(w, ds.Conns) }); err != nil {
+		log.Fatal(err)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "read %d frames: %d DNS transactions, %d connections (decode errors: %d, dns parse errors: %d)\n",
+			frames, len(ds.DNS), len(ds.Conns), m.DecodeErrors, m.DNSParseErrs)
+	}
+}
+
+func writeTSV(path string, fill func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fill(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,187 @@
+// Package dnscontext is a library-scale reproduction of "Putting DNS in
+// Context" (Mark Allman, IMC 2020). It studies DNS lookups in the context
+// of the application transactions that use them: which connections block
+// on DNS, where their DNS information comes from (local cache, browser
+// prefetch, shared resolver cache, or full resolution), how much the
+// lookups contribute to transaction time, how the big public resolver
+// platforms compare, and what local caching improvements would buy.
+//
+// The paper's residential ISP trace is private, so the library ships a
+// calibrated synthetic substrate (see DESIGN.md): a discrete-event
+// simulation of a neighborhood of houses whose devices browse, prefetch,
+// run background apps, probe connectivity, and share TTL-violating stub
+// caches, resolved through four resolver platforms with shared caches
+// over a synthetic namespace. The analysis pipeline consumes only the two
+// passive datasets the paper's monitor produced — DNS transaction records
+// and connection summaries — so it runs equally on synthetic traces, on
+// pcap files decoded by the zeeklite monitor, or on your own logs parsed
+// into the trace types.
+//
+// # Quick start
+//
+//	cfg := dnscontext.DefaultGeneratorConfig()
+//	cfg.Houses, cfg.Duration = 20, 6*time.Hour
+//	ds, eco, err := dnscontext.Generate(cfg)
+//	if err != nil { ... }
+//	analysis := dnscontext.Analyze(ds, dnscontext.DefaultOptions())
+//	analysis.Report(os.Stdout, eco.Profiles)
+//
+// The subsystems are available for separate use: the RFC 1035 codec
+// (internal/dnswire re-exported here as the Wire* identifiers), the
+// packet layer and pcap file I/O, the zeeklite monitor, and the
+// statistics toolkit.
+package dnscontext
+
+import (
+	"io"
+	"time"
+
+	"dnscontext/internal/core"
+	"dnscontext/internal/households"
+	"dnscontext/internal/monitor"
+	"dnscontext/internal/resolver"
+	"dnscontext/internal/trace"
+)
+
+// Dataset types: the two passive datasets of the paper.
+type (
+	// Dataset bundles DNS transaction records and connection summaries.
+	Dataset = trace.Dataset
+	// DNSRecord is one DNS transaction (dns.log line).
+	DNSRecord = trace.DNSRecord
+	// ConnRecord is one connection summary (conn.log line).
+	ConnRecord = trace.ConnRecord
+	// Answer is one (address, TTL) pair in a DNS response.
+	Answer = trace.Answer
+	// Proto is the transport protocol of a connection.
+	Proto = trace.Proto
+)
+
+// Transport protocols.
+const (
+	TCP = trace.TCP
+	UDP = trace.UDP
+)
+
+// Generator types: the synthetic residential workload.
+type (
+	// GeneratorConfig parameterizes trace synthesis.
+	GeneratorConfig = households.Config
+	// Ecosystem exposes the simulated resolver infrastructure behind a
+	// generated trace.
+	Ecosystem = households.Ecosystem
+	// PlatformProfile describes one resolver platform.
+	PlatformProfile = resolver.PlatformProfile
+	// PlatformID identifies a resolver platform (Local, Google, OpenDNS,
+	// Cloudflare).
+	PlatformID = resolver.PlatformID
+)
+
+// Resolver platform identifiers.
+const (
+	PlatformLocal      = resolver.PlatformLocal
+	PlatformGoogle     = resolver.PlatformGoogle
+	PlatformOpenDNS    = resolver.PlatformOpenDNS
+	PlatformCloudflare = resolver.PlatformCloudflare
+)
+
+// Analysis types: the paper's pipeline.
+type (
+	// Analysis is a fully classified trace with table/figure accessors.
+	Analysis = core.Analysis
+	// Options parameterizes the analysis (thresholds, pairing policy).
+	Options = core.Options
+	// Class is the DNS-information origin of a connection (Table 2).
+	Class = core.Class
+	// PairedConn is one connection with its DN-Hunter pairing.
+	PairedConn = core.PairedConn
+	// RefreshPolicy is a whole-house-cache refresh rule for exploring §8's
+	// open question (see CompareRefreshPolicies on Analysis).
+	RefreshPolicy = core.RefreshPolicy
+)
+
+// The paper's two Table 3 cache policies; PolicyIdleBounded and
+// PolicyPopular (in internal/core, re-exported here) populate the space
+// between them.
+var (
+	PolicyNever      = core.PolicyNever
+	PolicyRefreshAll = core.PolicyRefreshAll
+)
+
+// PolicyIdleBounded refreshes entries only while they were used within
+// maxIdle.
+func PolicyIdleBounded(maxIdle time.Duration) RefreshPolicy {
+	return core.PolicyIdleBounded(maxIdle)
+}
+
+// PolicyPopular refreshes entries used at least minUses times and not
+// longer than maxIdle ago.
+func PolicyPopular(minUses int, maxIdle time.Duration) RefreshPolicy {
+	return core.PolicyPopular(minUses, maxIdle)
+}
+
+// Table 2 classes.
+const (
+	ClassN  = core.ClassN
+	ClassLC = core.ClassLC
+	ClassP  = core.ClassP
+	ClassSC = core.ClassSC
+	ClassR  = core.ClassR
+)
+
+// Pairing policies (§4 robustness check).
+const (
+	PairMostRecent = core.PairMostRecent
+	PairRandom     = core.PairRandom
+)
+
+// Monitor types: the zeeklite packet pipeline.
+type (
+	// Monitor reconstructs the datasets from packets.
+	Monitor = monitor.Monitor
+	// MonitorOptions configures flow delineation.
+	MonitorOptions = monitor.Options
+	// SynthOptions configures dataset-to-packets synthesis.
+	SynthOptions = monitor.SynthOptions
+)
+
+// DefaultGeneratorConfig returns the calibrated paper-scale generation
+// parameters (100 houses, 24 h window).
+func DefaultGeneratorConfig() GeneratorConfig { return households.DefaultConfig() }
+
+// SmallGeneratorConfig returns a fast configuration for experiments and
+// tests.
+func SmallGeneratorConfig(seed uint64) GeneratorConfig { return households.SmallConfig(seed) }
+
+// Generate synthesizes the two datasets for cfg.
+func Generate(cfg GeneratorConfig) (*Dataset, *Ecosystem, error) { return households.Generate(cfg) }
+
+// DefaultOptions returns the paper's analysis parameters (100 ms blocking
+// threshold, per-resolver SC/R thresholds, most-recent pairing).
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Analyze runs DN-Hunter pairing, the blocking heuristic, and the
+// N/LC/P/SC/R classification over ds.
+func Analyze(ds *Dataset, opts Options) *Analysis { return core.Analyze(ds, opts) }
+
+// DefaultProfiles returns the four calibrated resolver platform profiles.
+func DefaultProfiles() []PlatformProfile { return resolver.DefaultProfiles() }
+
+// NewMonitor returns a zeeklite passive monitor.
+func NewMonitor(opts MonitorOptions) *Monitor { return monitor.New(opts) }
+
+// DefaultMonitorOptions mirrors the paper's Bro configuration (60 s UDP
+// flow timeout).
+func DefaultMonitorOptions() MonitorOptions { return monitor.DefaultOptions() }
+
+// Synthesize renders a dataset as Ethernet frames in chronological order.
+func Synthesize(ds *Dataset, opts SynthOptions, sink monitor.FrameSink) error {
+	return monitor.Synthesize(ds, opts, sink)
+}
+
+// WriteDNS / ReadDNS / WriteConns / ReadConns serialize the datasets in
+// Bro-style TSV.
+func WriteDNS(w io.Writer, recs []DNSRecord) error    { return trace.WriteDNS(w, recs) }
+func ReadDNS(r io.Reader) ([]DNSRecord, error)        { return trace.ReadDNS(r) }
+func WriteConns(w io.Writer, recs []ConnRecord) error { return trace.WriteConns(w, recs) }
+func ReadConns(r io.Reader) ([]ConnRecord, error)     { return trace.ReadConns(r) }

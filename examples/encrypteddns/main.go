@@ -1,0 +1,58 @@
+// Encrypteddns quantifies the paper's §3 warning: "Widespread use of
+// encrypted DNS would render the study we conduct in this paper
+// impossible." We sweep DoT adoption from 0% to 75% of browsing devices
+// and watch the passive methodology degrade — lookups vanish from the
+// wire, DN-Hunter pairing fails, and the N ("no DNS") class swallows the
+// classification.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dnscontext"
+)
+
+func main() {
+	fmt.Println("What happens to the paper's methodology as encrypted DNS spreads?")
+	fmt.Println()
+	fmt.Printf("%-10s %10s %10s %8s %8s %8s %10s\n",
+		"DoT share", "DNS seen", "DoT conns", "N%", "LC%", "SC+R%", "paired%")
+
+	for _, adoption := range []float64{0, 0.10, 0.25, 0.50, 0.75} {
+		cfg := dnscontext.SmallGeneratorConfig(33)
+		cfg.Houses = 12
+		cfg.Duration = 3 * time.Hour
+		cfg.Warmup = 2 * time.Hour
+		cfg.EncryptedDNSProb = adoption
+
+		ds, _, err := dnscontext.Generate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts := dnscontext.DefaultOptions()
+		opts.SCRMinSamples = 100
+		a := dnscontext.Analyze(ds, opts)
+
+		nd := a.NoDNS()
+		paired := 0
+		for i := range a.Paired {
+			if a.Paired[i].DNS >= 0 {
+				paired++
+			}
+		}
+		fmt.Printf("%9.0f%% %10d %10d %7.1f%% %7.1f%% %7.1f%% %9.1f%%\n",
+			100*adoption, len(ds.DNS), nd.DoTConns,
+			100*a.Fraction(dnscontext.ClassN),
+			100*a.Fraction(dnscontext.ClassLC),
+			100*(a.Fraction(dnscontext.ClassSC)+a.Fraction(dnscontext.ClassR)),
+			100*float64(paired)/float64(len(a.Paired)))
+	}
+
+	fmt.Println()
+	fmt.Println("As adoption grows the visible DNS dataset shrinks, TCP/853 connections")
+	fmt.Println("appear (the paper found zero in 2019), and connections that actually")
+	fmt.Println("depend on DNS are misclassified as N — exactly why the paper concludes")
+	fmt.Println("future studies of DNS-in-context must move to the end systems.")
+}

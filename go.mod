@@ -1,0 +1,3 @@
+module dnscontext
+
+go 1.22

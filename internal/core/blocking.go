@@ -1,0 +1,61 @@
+package core
+
+import (
+	"time"
+
+	"dnscontext/internal/stats"
+)
+
+// Figure1 is the gap analysis of §4: the distribution of time between a
+// DNS lookup's completion and the start of the connection using it, plus
+// the first-use fractions on each side of the knee that justify the
+// blocking heuristic.
+type Figure1 struct {
+	// Gaps is the distribution of (conn start − DNS completion), in
+	// milliseconds, over all paired connections.
+	Gaps *stats.ECDF
+	// FirstUseWithinKnee is the fraction of connections starting within
+	// the knee threshold that are the first to use their lookup (paper:
+	// 91%).
+	FirstUseWithinKnee float64
+	// FirstUseBeyondKnee is the same fraction for later connections
+	// (paper: 21%).
+	FirstUseBeyondKnee float64
+	// Knee and Block echo the thresholds used.
+	Knee, Block time.Duration
+}
+
+// Figure1 computes the gap distribution and first-use split.
+func (a *Analysis) Figure1() Figure1 {
+	f := Figure1{
+		Gaps:  stats.NewECDF(len(a.Paired)),
+		Knee:  a.Opts.KneeThreshold,
+		Block: a.Opts.BlockThreshold,
+	}
+	var withinFirst, within, beyondFirst, beyond int
+	for i := range a.Paired {
+		pc := &a.Paired[i]
+		if pc.DNS < 0 {
+			continue
+		}
+		f.Gaps.Add(float64(pc.Gap) / float64(time.Millisecond))
+		if pc.Gap <= a.Opts.KneeThreshold {
+			within++
+			if pc.FirstUse {
+				withinFirst++
+			}
+		} else {
+			beyond++
+			if pc.FirstUse {
+				beyondFirst++
+			}
+		}
+	}
+	if within > 0 {
+		f.FirstUseWithinKnee = float64(withinFirst) / float64(within)
+	}
+	if beyond > 0 {
+		f.FirstUseBeyondKnee = float64(beyondFirst) / float64(beyond)
+	}
+	return f
+}

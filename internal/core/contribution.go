@@ -1,0 +1,107 @@
+package core
+
+import (
+	"time"
+
+	"dnscontext/internal/stats"
+)
+
+// Figure2 is §6's performance view of the blocked (SC and R) connections.
+type Figure2 struct {
+	// LookupDelays is the distribution of DNS lookup durations (ms) for
+	// SC∪R (Figure 2 top).
+	LookupDelays *stats.ECDF
+	// Contribution* are the distributions of DNS' percentage contribution
+	// to total transaction time 100·D/(D+A) (Figure 2 bottom).
+	ContributionAll *stats.ECDF
+	ContributionSC  *stats.ECDF
+	ContributionR   *stats.ECDF
+}
+
+// Figure2 computes the delay and contribution distributions.
+func (a *Analysis) Figure2() Figure2 {
+	f := Figure2{
+		LookupDelays:    stats.NewECDF(0),
+		ContributionAll: stats.NewECDF(0),
+		ContributionSC:  stats.NewECDF(0),
+		ContributionR:   stats.NewECDF(0),
+	}
+	for i := range a.Paired {
+		pc := &a.Paired[i]
+		if pc.Class != ClassSC && pc.Class != ClassR {
+			continue
+		}
+		d := a.DS.DNS[pc.DNS].Duration()
+		appTime := a.DS.Conns[pc.Conn].Duration
+		total := d + appTime
+		f.LookupDelays.Add(float64(d) / float64(time.Millisecond))
+		contrib := 0.0
+		if total > 0 {
+			contrib = 100 * float64(d) / float64(total)
+		}
+		f.ContributionAll.Add(contrib)
+		if pc.Class == ClassSC {
+			f.ContributionSC.Add(contrib)
+		} else {
+			f.ContributionR.Add(contrib)
+		}
+	}
+	return f
+}
+
+// Significance is §6's quadrant analysis over SC∪R transactions, using
+// two independent "insignificant cost" criteria: absolute lookup time at
+// most Opts.InsignificantAbs and relative contribution at most
+// Opts.InsignificantRel.
+type Significance struct {
+	// Quadrant fractions over SC∪R transactions (sum to 1).
+	BothInsignificant float64 // paper: 64.0%
+	OnlyRelHigh       float64 // >rel but <=abs; paper: 11.5%
+	OnlyAbsHigh       float64 // >abs but <=rel; paper: 15.9%
+	BothSignificant   float64 // paper: 8.6%
+	// OverallSignificant is BothSignificant expressed over ALL
+	// connections (paper: 3.6%).
+	OverallSignificant float64
+	N                  int
+}
+
+// Significance computes the quadrant fractions.
+func (a *Analysis) Significance() Significance {
+	var s Significance
+	for i := range a.Paired {
+		pc := &a.Paired[i]
+		if pc.Class != ClassSC && pc.Class != ClassR {
+			continue
+		}
+		s.N++
+		d := a.DS.DNS[pc.DNS].Duration()
+		total := d + a.DS.Conns[pc.Conn].Duration
+		rel := 0.0
+		if total > 0 {
+			rel = float64(d) / float64(total)
+		}
+		absHigh := d > a.Opts.InsignificantAbs
+		relHigh := rel > a.Opts.InsignificantRel
+		switch {
+		case !absHigh && !relHigh:
+			s.BothInsignificant++
+		case !absHigh && relHigh:
+			s.OnlyRelHigh++
+		case absHigh && !relHigh:
+			s.OnlyAbsHigh++
+		default:
+			s.BothSignificant++
+		}
+	}
+	if s.N > 0 {
+		n := float64(s.N)
+		s.BothInsignificant /= n
+		s.OnlyRelHigh /= n
+		s.OnlyAbsHigh /= n
+		s.BothSignificant /= n
+	}
+	if len(a.Paired) > 0 {
+		s.OverallSignificant = s.BothSignificant * float64(s.N) / float64(len(a.Paired))
+	}
+	return s
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"net/netip"
+	"sort"
+
+	"dnscontext/internal/stats"
+	"dnscontext/internal/trace"
+)
+
+// pairKey indexes DNS records by (client, answered address).
+type pairKey struct {
+	client netip.Addr
+	addr   netip.Addr
+}
+
+// pairIndex maps each (client, address) to the DNS records (dataset
+// indices, ascending by completion time) whose answers contain that
+// address.
+type pairIndex map[pairKey][]int32
+
+// buildPairIndex constructs the DN-Hunter lookup structure. The dataset
+// must be time-sorted.
+func buildPairIndex(ds *trace.Dataset) pairIndex {
+	idx := make(pairIndex)
+	for i := range ds.DNS {
+		d := &ds.DNS[i]
+		for _, a := range d.Answers {
+			k := pairKey{client: d.Client, addr: a.Addr}
+			idx[k] = append(idx[k], int32(i))
+		}
+	}
+	return idx
+}
+
+// pair finds the DN-Hunter pairing for one connection: the most recent
+// non-expired DNS lookup by the connection's originator whose answers
+// contain the destination address; if every candidate is expired, the most
+// recent one. It also reports the number of non-expired candidates (the
+// §4 ambiguity measure).
+//
+// rng is only consulted under PairRandom, which picks uniformly among the
+// non-expired candidates.
+func (a *Analysis) pair(idx pairIndex, conn *trace.ConnRecord, rng *stats.RNG) (dnsIdx int, candidates int) {
+	recs := idx[pairKey{client: conn.Orig, addr: conn.Resp}]
+	if len(recs) == 0 {
+		return -1, 0
+	}
+	// Binary search for the last record completing at or before the
+	// connection start.
+	hi := sort.Search(len(recs), func(i int) bool {
+		return a.DS.DNS[recs[i]].TS > conn.TS
+	})
+	if hi == 0 {
+		return -1, 0
+	}
+	cand := recs[:hi]
+
+	// Count and locate non-expired candidates, scanning backwards.
+	var fresh []int32
+	for i := len(cand) - 1; i >= 0; i-- {
+		d := &a.DS.DNS[cand[i]]
+		if conn.TS < d.ExpiresAt() {
+			fresh = append(fresh, cand[i])
+			continue
+		}
+		// Everything earlier with the same TTL profile is likelier
+		// expired too, but mixed TTLs make that unsound; keep scanning.
+	}
+	if len(fresh) == 0 {
+		// All expired: most recent.
+		return int(cand[len(cand)-1]), 0
+	}
+	if a.Opts.Pairing == PairRandom && len(fresh) > 1 {
+		return int(fresh[rng.Intn(len(fresh))]), len(fresh)
+	}
+	// fresh[0] is the most recent (we appended backwards).
+	return int(fresh[0]), len(fresh)
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"net/netip"
+	"sort"
+
+	"dnscontext/internal/resolver"
+	"dnscontext/internal/trace"
+)
+
+// HouseSummary aggregates one residence's traffic: its connection class
+// mix and its resolver-platform usage. The paper's monitor saw exactly
+// this granularity (NAT hides devices), and §3's observations — e.g.
+// "roughly 16% of the houses only use the ISP's resolvers" — are
+// per-house statements.
+type HouseSummary struct {
+	House int
+	Addr  netip.Addr
+	// Conns / DNS are the house's record counts.
+	Conns int
+	DNS   int
+	// ClassCounts indexes by Class.
+	ClassCounts [numClasses]int
+	// PlatformLookups counts wire lookups per resolver platform.
+	PlatformLookups map[resolver.PlatformID]int
+}
+
+// BlockedFraction is the house's share of connections awaiting DNS.
+func (h *HouseSummary) BlockedFraction() float64 {
+	if h.Conns == 0 {
+		return 0
+	}
+	return float64(h.ClassCounts[ClassSC]+h.ClassCounts[ClassR]) / float64(h.Conns)
+}
+
+// UsesOnlyLocal reports whether every lookup from the house went to the
+// local ISP resolvers.
+func (h *HouseSummary) UsesOnlyLocal() bool {
+	for id, n := range h.PlatformLookups {
+		if id != resolver.PlatformLocal && n > 0 {
+			return false
+		}
+	}
+	return h.PlatformLookups[resolver.PlatformLocal] > 0
+}
+
+// PerHouse computes per-house summaries, ordered by house index.
+func (a *Analysis) PerHouse(profiles []resolver.PlatformProfile) []HouseSummary {
+	byAddr := make(map[netip.Addr]*HouseSummary)
+	get := func(addr netip.Addr) *HouseSummary {
+		h, ok := byAddr[addr]
+		if !ok {
+			h = &HouseSummary{
+				House:           trace.HouseOf(addr),
+				Addr:            addr,
+				PlatformLookups: make(map[resolver.PlatformID]int),
+			}
+			byAddr[addr] = h
+		}
+		return h
+	}
+
+	for i := range a.DS.DNS {
+		d := &a.DS.DNS[i]
+		h := get(d.Client)
+		h.DNS++
+		if id, ok := resolver.PlatformOf(d.Resolver, profiles); ok {
+			h.PlatformLookups[id]++
+		}
+	}
+	for i := range a.Paired {
+		pc := &a.Paired[i]
+		h := get(a.DS.Conns[pc.Conn].Orig)
+		h.Conns++
+		h.ClassCounts[pc.Class]++
+	}
+
+	out := make([]HouseSummary, 0, len(byAddr))
+	for _, h := range byAddr {
+		out = append(out, *h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].House < out[j].House })
+	return out
+}
+
+// OnlyLocalFraction is §3's statistic: the share of houses whose every
+// lookup targets the local ISP resolvers (paper: ~16%).
+func OnlyLocalFraction(houses []HouseSummary) float64 {
+	if len(houses) == 0 {
+		return 0
+	}
+	only := 0
+	for i := range houses {
+		if houses[i].UsesOnlyLocal() {
+			only++
+		}
+	}
+	return float64(only) / float64(len(houses))
+}

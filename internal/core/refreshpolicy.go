@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+)
+
+// RefreshPolicy is a declarative rule for when a whole-house cache
+// refreshes an expiring entry. The paper (§8) evaluates only the two
+// extremes — never refresh, and refresh everything — and leaves the
+// middle ground as an open question: "whether we can design ways to
+// achieve close to the 96.6% cache hit rate ... while incurring costs
+// that are commiserate with the standard cache". This type and
+// SimulateCachePolicy explore that middle ground.
+type RefreshPolicy struct {
+	// Label names the policy in reports.
+	Label string
+	// Never disables refreshing entirely (the paper's standard cache).
+	Never bool
+	// MaxIdle stops refreshing an entry once it has gone unused for this
+	// long. Zero means refresh forever (the paper's refresh-all).
+	MaxIdle time.Duration
+	// MinUses gates refreshing on demonstrated demand: an entry is only
+	// refreshed once it has been used at least this many times in total.
+	MinUses int
+}
+
+// The paper's two Table 3 policies, plus the middle-ground family.
+var (
+	// PolicyNever is the standard cache: fetch on demand only.
+	PolicyNever = RefreshPolicy{Label: "standard", Never: true}
+	// PolicyRefreshAll refreshes every expiring entry forever.
+	PolicyRefreshAll = RefreshPolicy{Label: "refresh-all"}
+)
+
+// PolicyIdleBounded refreshes entries only while they have been used
+// within maxIdle.
+func PolicyIdleBounded(maxIdle time.Duration) RefreshPolicy {
+	return RefreshPolicy{Label: fmt.Sprintf("idle<=%v", maxIdle), MaxIdle: maxIdle}
+}
+
+// PolicyPopular refreshes entries that have been used at least minUses
+// times and not longer than maxIdle ago.
+func PolicyPopular(minUses int, maxIdle time.Duration) RefreshPolicy {
+	return RefreshPolicy{
+		Label:   fmt.Sprintf("uses>=%d,idle<=%v", minUses, maxIdle),
+		MinUses: minUses,
+		MaxIdle: maxIdle,
+	}
+}
+
+// SimulateCachePolicy replays the DNS-using connections through a
+// per-house cache governed by pol, charging one lookup per demand miss
+// and one per speculative refresh. Names with authoritative TTL at or
+// below floor are never refreshed (the paper's logistical bound).
+func (a *Analysis) SimulateCachePolicy(floor time.Duration, pol RefreshPolicy) CachePolicy {
+	authTTL, window := a.refreshInputs()
+
+	type state struct {
+		alive     bool
+		expiresAt time.Duration
+		lastUse   time.Duration
+		uses      int
+	}
+	type key struct {
+		house netip.Addr
+		name  string
+	}
+	states := make(map[key]*state)
+	var out CachePolicy
+	houses := make(map[netip.Addr]bool)
+
+	// refreshesUntil counts the refresh lookups for an entry expiring at
+	// expiry, last used at lastUse with uses total uses, up to (not
+	// including) the first expiry the policy abandons, capped at limit.
+	// It returns the count and the entry's expiry after those refreshes.
+	refreshesUntil := func(st *state, ttl, limit time.Duration) (count uint64) {
+		if pol.Never || ttl <= floor || ttl <= 0 {
+			return 0
+		}
+		if pol.MinUses > 0 && st.uses < pol.MinUses {
+			return 0
+		}
+		for st.expiresAt <= limit {
+			if pol.MaxIdle > 0 && st.expiresAt-st.lastUse > pol.MaxIdle {
+				return count
+			}
+			count++
+			st.expiresAt += ttl
+		}
+		return count
+	}
+
+	for i := range a.Paired {
+		pc := &a.Paired[i]
+		if pc.Class == ClassN {
+			continue
+		}
+		conn := &a.DS.Conns[pc.Conn]
+		houses[conn.Orig] = true
+		name := a.DS.DNS[pc.DNS].Query
+		ttl := authTTL[name]
+		now := conn.TS
+		k := key{house: conn.Orig, name: name}
+
+		st := states[k]
+		if st == nil {
+			st = &state{}
+			states[k] = st
+		}
+
+		if st.alive && now >= st.expiresAt {
+			// The entry expired before this use; see how long the policy
+			// kept it alive.
+			out.Lookups += refreshesUntil(st, ttl, now)
+			if now >= st.expiresAt {
+				st.alive = false
+			}
+		}
+
+		if st.alive && now < st.expiresAt {
+			out.Hits++
+		} else {
+			out.Misses++
+			out.Lookups++
+			st.alive = ttl > 0
+			st.expiresAt = now + ttl
+		}
+		st.lastUse = now
+		st.uses++
+	}
+
+	// Tail: entries still alive at the end of the window keep consuming
+	// refresh lookups until the policy abandons them or the capture ends.
+	for k, st := range states {
+		if !st.alive {
+			continue
+		}
+		out.Lookups += refreshesUntil(st, authTTL[k.name], window)
+	}
+
+	total := out.Hits + out.Misses
+	if total > 0 {
+		out.HitRate = float64(out.Hits) / float64(total)
+	}
+	if len(houses) > 0 && window > 0 {
+		out.LookupsPerSecPerHouse = float64(out.Lookups) / window.Seconds() / float64(len(houses))
+	}
+	return out
+}
+
+// refreshInputs derives the per-name authoritative TTL approximation and
+// the window length (shared by both refresh simulators).
+func (a *Analysis) refreshInputs() (map[string]time.Duration, time.Duration) {
+	authTTL := make(map[string]time.Duration)
+	var window time.Duration
+	for i := range a.DS.DNS {
+		d := &a.DS.DNS[i]
+		if t := d.MinTTL(); t > authTTL[d.Query] {
+			authTTL[d.Query] = t
+		}
+		if d.TS > window {
+			window = d.TS
+		}
+	}
+	for i := range a.DS.Conns {
+		if end := a.DS.Conns[i].TS; end > window {
+			window = end
+		}
+	}
+	return authTTL, window
+}
+
+// PolicyComparison is one row of the future-work exploration: a policy
+// with its outcome.
+type PolicyComparison struct {
+	Policy RefreshPolicy
+	Result CachePolicy
+}
+
+// CompareRefreshPolicies evaluates a set of refresh policies over the
+// trace, bracketing them with the paper's two extremes.
+func (a *Analysis) CompareRefreshPolicies(floor time.Duration, policies ...RefreshPolicy) []PolicyComparison {
+	all := append([]RefreshPolicy{PolicyNever}, policies...)
+	all = append(all, PolicyRefreshAll)
+	out := make([]PolicyComparison, 0, len(all))
+	for _, pol := range all {
+		out = append(out, PolicyComparison{Policy: pol, Result: a.SimulateCachePolicy(floor, pol)})
+	}
+	return out
+}

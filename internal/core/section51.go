@@ -1,0 +1,71 @@
+package core
+
+// NoDNS is §5.1's dissection of the N connections (no DNS information).
+type NoDNS struct {
+	// Total is the number of N connections.
+	Total int
+	// HighPortFraction is the share where both ports are non-reserved
+	// (>=1024), the hallmark of peer-to-peer traffic (paper: 81.6%).
+	HighPortFraction float64
+	// ReservedPortCounts tallies N connections per well-known destination
+	// port (443, 123, 80 dominate in the paper).
+	ReservedPortCounts map[uint16]int
+	// DoTConns counts connections on TCP/853 — the encrypted-DNS check
+	// (paper: zero).
+	DoTConns int
+	// UnpairedNonP2PFraction is the share of ALL connections that are
+	// both unpaired and not high-port traffic — the paper's bound on
+	// possible encrypted-DNS impact (paper: 1.3%).
+	UnpairedNonP2PFraction float64
+}
+
+// NoDNS computes the §5.1 breakdown.
+func (a *Analysis) NoDNS() NoDNS {
+	out := NoDNS{ReservedPortCounts: make(map[uint16]int)}
+	unpairedNonP2P := 0
+	for i := range a.Paired {
+		pc := &a.Paired[i]
+		c := &a.DS.Conns[pc.Conn]
+		if c.RespPort == 853 {
+			out.DoTConns++
+		}
+		if pc.Class != ClassN {
+			continue
+		}
+		out.Total++
+		if c.OrigPort >= 1024 && c.RespPort >= 1024 {
+			out.HighPortFraction++
+		} else {
+			out.ReservedPortCounts[c.RespPort]++
+			unpairedNonP2P++
+		}
+	}
+	if out.Total > 0 {
+		out.HighPortFraction /= float64(out.Total)
+	}
+	if len(a.Paired) > 0 {
+		out.UnpairedNonP2PFraction = float64(unpairedNonP2P) / float64(len(a.Paired))
+	}
+	return out
+}
+
+// PairingAmbiguity reports §4's centralized-hosting measure: the fraction
+// of paired connections with exactly one non-expired candidate record
+// (paper: >82%).
+func (a *Analysis) PairingAmbiguity() (unambiguous float64, paired int) {
+	single := 0
+	for i := range a.Paired {
+		pc := &a.Paired[i]
+		if pc.DNS < 0 {
+			continue
+		}
+		paired++
+		if pc.Candidates <= 1 {
+			single++
+		}
+	}
+	if paired == 0 {
+		return 0, 0
+	}
+	return float64(single) / float64(paired), paired
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"time"
+
+	"dnscontext/internal/stats"
+)
+
+// TTLViolations is §5.2's analysis of connections using DNS records past
+// their TTL, split by class.
+type TTLViolations struct {
+	// LCExpiredFraction is the share of LC connections using outdated
+	// records (paper: 22.2%).
+	LCExpiredFraction float64
+	// PExpiredFraction is the same for P connections (paper: 12.4%).
+	PExpiredFraction float64
+	// Lateness is the distribution (seconds) of how long past expiry the
+	// violating LC/P connections start (paper: 82% beyond 30 s, median
+	// 890 s, p90 ≈ 19k s).
+	Lateness *stats.ECDF
+	// LatenessBeyond30s is the fraction of violations more than 30 s past
+	// expiry.
+	LatenessBeyond30s float64
+	// GapMedianP / GapMedianLC are the median lookup-to-use gaps
+	// (paper: 310 s for P, 1033 s for LC).
+	GapMedianP  time.Duration
+	GapMedianLC time.Duration
+}
+
+// TTLViolations computes the expired-record-use analysis.
+func (a *Analysis) TTLViolations() TTLViolations {
+	var out TTLViolations
+	out.Lateness = stats.NewECDF(0)
+	var lc, lcExp, p, pExp int
+	gapsP := stats.NewECDF(0)
+	gapsLC := stats.NewECDF(0)
+	for i := range a.Paired {
+		pc := &a.Paired[i]
+		switch pc.Class {
+		case ClassLC:
+			lc++
+			gapsLC.Add(pc.Gap.Seconds())
+			if pc.UsedExpired {
+				lcExp++
+			}
+		case ClassP:
+			p++
+			gapsP.Add(pc.Gap.Seconds())
+			if pc.UsedExpired {
+				pExp++
+			}
+		default:
+			continue
+		}
+		if pc.UsedExpired {
+			d := &a.DS.DNS[pc.DNS]
+			late := a.DS.Conns[pc.Conn].TS - d.ExpiresAt()
+			out.Lateness.Add(late.Seconds())
+		}
+	}
+	if lc > 0 {
+		out.LCExpiredFraction = float64(lcExp) / float64(lc)
+	}
+	if p > 0 {
+		out.PExpiredFraction = float64(pExp) / float64(p)
+	}
+	if out.Lateness.N() > 0 {
+		out.LatenessBeyond30s = out.Lateness.FractionAbove(30)
+	}
+	if gapsP.N() > 0 {
+		out.GapMedianP = time.Duration(gapsP.Median() * float64(time.Second))
+	}
+	if gapsLC.N() > 0 {
+		out.GapMedianLC = time.Duration(gapsLC.Median() * float64(time.Second))
+	}
+	return out
+}
+
+// Prefetch is §5.2's speculative-lookup accounting.
+type Prefetch struct {
+	// TotalLookups is the number of DNS transactions in the trace.
+	TotalLookups int
+	// UnusedLookups is how many facilitated no connection (paper: 37.8%).
+	UnusedLookups  int
+	UnusedFraction float64
+	// SpeculativeUsedFraction assumes every unused lookup was a prefetch
+	// and asks what fraction of speculative lookups were eventually used:
+	// P-connections' lookups / (P lookups + unused) (paper: 22.3%).
+	SpeculativeUsedFraction float64
+}
+
+// Prefetch computes the unused-lookup analysis.
+func (a *Analysis) Prefetch() Prefetch {
+	var out Prefetch
+	out.TotalLookups = len(a.DS.DNS)
+	for _, used := range a.DNSUsed {
+		if !used {
+			out.UnusedLookups++
+		}
+	}
+	if out.TotalLookups > 0 {
+		out.UnusedFraction = float64(out.UnusedLookups) / float64(out.TotalLookups)
+	}
+	// Count distinct lookups whose first use was a P connection.
+	pLookups := make(map[int]bool)
+	for i := range a.Paired {
+		pc := &a.Paired[i]
+		if pc.Class == ClassP && pc.FirstUse {
+			pLookups[pc.DNS] = true
+		}
+	}
+	speculative := len(pLookups) + out.UnusedLookups
+	if speculative > 0 {
+		out.SpeculativeUsedFraction = float64(len(pLookups)) / float64(speculative)
+	}
+	return out
+}

@@ -1,0 +1,237 @@
+// Package dnsserver runs the dnswire codec over real UDP sockets: a
+// minimal authoritative server that can serve a zonedb namespace on
+// localhost, and a stub client with retry/timeout handling. It exists to
+// prove the wire codec end to end over an actual network stack (not just
+// in-memory buffers) and to let examples and tools resolve against the
+// synthetic namespace with standard DNS tooling semantics.
+package dnsserver
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dnscontext/internal/dnswire"
+	"dnscontext/internal/zonedb"
+)
+
+// Handler produces a response message for one query. Implementations
+// must not retain msg.
+type Handler interface {
+	Handle(msg *dnswire.Message) *dnswire.Message
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(*dnswire.Message) *dnswire.Message
+
+// Handle calls f.
+func (f HandlerFunc) Handle(m *dnswire.Message) *dnswire.Message { return f(m) }
+
+// Server is a UDP DNS server.
+type Server struct {
+	handler Handler
+
+	mu     sync.Mutex
+	conn   *net.UDPConn
+	closed bool
+	wg     sync.WaitGroup
+
+	// Queries counts requests served (including malformed ones dropped).
+	queries uint64
+}
+
+// NewServer returns a server that answers with h.
+func NewServer(h Handler) *Server {
+	return &Server{handler: h}
+}
+
+// Start binds addr (e.g. "127.0.0.1:0") and serves until Close. It
+// returns the bound address, useful with port 0.
+func (s *Server) Start(addr string) (*net.UDPAddr, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dnsserver: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("dnsserver: %w", err)
+	}
+	s.mu.Lock()
+	s.conn = conn
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.serve(conn)
+	return conn.LocalAddr().(*net.UDPAddr), nil
+}
+
+func (s *Server) serve(conn *net.UDPConn) {
+	defer s.wg.Done()
+	buf := make([]byte, 4096)
+	for {
+		n, peer, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return
+			}
+			continue
+		}
+		s.mu.Lock()
+		s.queries++
+		s.mu.Unlock()
+
+		msg, err := dnswire.Decode(buf[:n])
+		if err != nil || msg.Header.Response || len(msg.Questions) == 0 {
+			continue // drop garbage, as real servers do
+		}
+		resp := s.handler.Handle(msg)
+		if resp == nil {
+			resp = dnswire.NewResponse(msg, dnswire.RCodeServFail)
+		}
+		out, err := resp.Encode()
+		if err != nil {
+			continue
+		}
+		_, _ = conn.WriteToUDP(out, peer)
+	}
+}
+
+// Queries returns the number of datagrams received so far.
+func (s *Server) Queries() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queries
+}
+
+// Close stops the server and waits for the serve loop to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	conn := s.conn
+	s.mu.Unlock()
+	var err error
+	if conn != nil {
+		err = conn.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// ZoneHandler serves A queries from a zonedb namespace, answering
+// NXDOMAIN for unknown names and NOTIMP for unsupported opcodes. AAAA
+// queries for known names return empty NOERROR (the namespace is
+// v4-only), matching the generator's dual-stack behavior.
+func ZoneHandler(zones *zonedb.DB) Handler {
+	return HandlerFunc(func(q *dnswire.Message) *dnswire.Message {
+		if q.Header.Opcode != dnswire.OpcodeQuery {
+			return dnswire.NewResponse(q, dnswire.RCodeNotImp)
+		}
+		question := q.Questions[0]
+		name := zones.Lookup(dnswire.CanonicalName(question.Name))
+		if name == nil {
+			return dnswire.NewResponse(q, dnswire.RCodeNXDomain)
+		}
+		resp := dnswire.NewResponse(q, dnswire.RCodeNoError)
+		resp.Header.Authoritative = true
+		if question.Type == dnswire.TypeA || question.Type == dnswire.TypeANY {
+			ttl := uint32(name.TTL / time.Second)
+			for _, addr := range name.Addrs {
+				resp.AddAnswerA(question.Name, addr, ttl)
+			}
+		}
+		return resp
+	})
+}
+
+// Client is a stub resolver speaking plain UDP DNS.
+type Client struct {
+	// Server is the resolver address ("127.0.0.1:5353").
+	Server string
+	// Timeout bounds each attempt (default 2 s).
+	Timeout time.Duration
+	// Retries is the number of additional attempts (default 2).
+	Retries int
+
+	mu     sync.Mutex
+	nextID uint16
+}
+
+// Errors returned by Query.
+var (
+	ErrTimeout  = errors.New("dnsserver: query timed out")
+	ErrMismatch = errors.New("dnsserver: response does not match query")
+)
+
+// Query sends one question and returns the decoded response. Responses
+// with mismatched IDs are ignored (off-path spoofing hygiene); timeouts
+// are retried.
+func (c *Client) Query(name string, qtype dnswire.Type) (*dnswire.Message, error) {
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	attempts := c.Retries + 1
+	if attempts < 1 {
+		attempts = 1
+	}
+
+	c.mu.Lock()
+	c.nextID++
+	id := c.nextID
+	c.mu.Unlock()
+
+	q := dnswire.NewQuery(id, name, qtype)
+	wire, err := q.Encode()
+	if err != nil {
+		return nil, err
+	}
+
+	var lastErr error = ErrTimeout
+	for i := 0; i < attempts; i++ {
+		resp, err := c.attempt(wire, id, name, timeout)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+func (c *Client) attempt(wire []byte, id uint16, name string, timeout time.Duration) (*dnswire.Message, error) {
+	conn, err := net.Dial("udp", c.Server)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(timeout)
+	if err := conn.SetDeadline(deadline); err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write(wire); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 4096)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			return nil, err
+		}
+		msg, err := dnswire.Decode(buf[:n])
+		if err != nil {
+			continue // garbage datagram; keep waiting
+		}
+		if msg.Header.ID != id || !msg.Header.Response {
+			continue // not ours
+		}
+		if len(msg.Questions) == 0 ||
+			dnswire.CanonicalName(msg.Questions[0].Name) != dnswire.CanonicalName(name) {
+			return nil, ErrMismatch
+		}
+		return msg, nil
+	}
+}

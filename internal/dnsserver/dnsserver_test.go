@@ -1,0 +1,167 @@
+package dnsserver
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"dnscontext/internal/dnswire"
+	"dnscontext/internal/stats"
+	"dnscontext/internal/zonedb"
+)
+
+func startZoneServer(t *testing.T) (*Server, *zonedb.DB, string) {
+	t.Helper()
+	zones, err := zonedb.New(zonedb.Config{
+		NumNames: 50, ZipfExponent: 1, CDNFraction: 0.3, CDNPoolSize: 5,
+	}, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(ZoneHandler(zones))
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot bind loopback UDP: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, zones, addr.String()
+}
+
+func TestQueryOverRealUDP(t *testing.T) {
+	_, zones, addr := startZoneServer(t)
+	c := &Client{Server: addr, Timeout: time.Second}
+
+	name := zones.ByRank(0)
+	resp, err := c.Query(name.Host, dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.RCode != dnswire.RCodeNoError || !resp.Header.Authoritative {
+		t.Fatalf("header %+v", resp.Header)
+	}
+	addrs := resp.AnswerAddrs()
+	if len(addrs) != len(name.Addrs) || addrs[0] != name.Addrs[0] {
+		t.Fatalf("answers %v, want %v", addrs, name.Addrs)
+	}
+	wantTTL := uint32(name.TTL / time.Second)
+	if resp.Answers[0].TTL != wantTTL {
+		t.Fatalf("TTL %d, want %d", resp.Answers[0].TTL, wantTTL)
+	}
+}
+
+func TestNXDomainOverRealUDP(t *testing.T) {
+	_, _, addr := startZoneServer(t)
+	c := &Client{Server: addr, Timeout: time.Second}
+	resp, err := c.Query("definitely.not.here", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.RCode != dnswire.RCodeNXDomain || len(resp.Answers) != 0 {
+		t.Fatalf("resp %+v", resp)
+	}
+}
+
+func TestAAAAEmptyNoError(t *testing.T) {
+	_, zones, addr := startZoneServer(t)
+	c := &Client{Server: addr, Timeout: time.Second}
+	resp, err := c.Query(zones.ByRank(0).Host, dnswire.TypeAAAA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.RCode != dnswire.RCodeNoError || len(resp.Answers) != 0 {
+		t.Fatalf("AAAA resp %+v", resp)
+	}
+}
+
+func TestServerSurvivesGarbage(t *testing.T) {
+	srv, zones, addr := startZoneServer(t)
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte{0xde, 0xad, 0xbe, 0xef}); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	// The server must still answer after swallowing garbage.
+	c := &Client{Server: addr, Timeout: time.Second}
+	if _, err := c.Query(zones.ByRank(1).Host, dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Queries() < 2 {
+		t.Fatalf("queries %d", srv.Queries())
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	_, zones, addr := startZoneServer(t)
+	const n = 8
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			c := &Client{Server: addr, Timeout: 2 * time.Second}
+			name := zones.ByRank(i % 10)
+			resp, err := c.Query(name.Host, dnswire.TypeA)
+			if err == nil && len(resp.AnswerAddrs()) == 0 {
+				err = fmt.Errorf("no answers for %s", name.Host)
+			}
+			errs <- err
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestClientTimeout(t *testing.T) {
+	// A bound-but-silent socket: the client must time out, not hang.
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Skipf("cannot bind loopback UDP: %v", err)
+	}
+	defer conn.Close()
+	c := &Client{Server: conn.LocalAddr().String(), Timeout: 150 * time.Millisecond, Retries: 1}
+	start := time.Now()
+	_, err = c.Query("x.com", dnswire.TypeA)
+	if err == nil {
+		t.Fatal("silent server answered?")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v", elapsed)
+	}
+}
+
+func TestHandlerNilMeansServFail(t *testing.T) {
+	srv := NewServer(HandlerFunc(func(*dnswire.Message) *dnswire.Message { return nil }))
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot bind loopback UDP: %v", err)
+	}
+	defer srv.Close()
+	c := &Client{Server: addr.String(), Timeout: time.Second}
+	resp, err := c.Query("x.com", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.RCode != dnswire.RCodeServFail {
+		t.Fatalf("rcode %v", resp.Header.RCode)
+	}
+}
+
+func TestCloseIdempotentAndUnblocks(t *testing.T) {
+	srv, _, _ := startZoneServer(t)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err == nil || errors.Is(err, net.ErrClosed) {
+		// Double close returns the underlying close error; both shapes
+		// are acceptable, the point is it must not hang or panic.
+		_ = err
+	}
+}

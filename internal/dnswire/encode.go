@@ -1,0 +1,132 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Encode serializes m to wire format, applying name compression across the
+// whole message.
+func (m *Message) Encode() ([]byte, error) {
+	if len(m.Questions) > 0xFFFF || len(m.Answers) > 0xFFFF ||
+		len(m.Authority) > 0xFFFF || len(m.Additional) > 0xFFFF {
+		return nil, ErrTooManyRecords
+	}
+	buf := make([]byte, 12, 512)
+	binary.BigEndian.PutUint16(buf[0:2], m.Header.ID)
+
+	var flags uint16
+	if m.Header.Response {
+		flags |= 1 << 15
+	}
+	flags |= uint16(m.Header.Opcode&0xF) << 11
+	if m.Header.Authoritative {
+		flags |= 1 << 10
+	}
+	if m.Header.Truncated {
+		flags |= 1 << 9
+	}
+	if m.Header.RecursionDesired {
+		flags |= 1 << 8
+	}
+	if m.Header.RecursionAvailable {
+		flags |= 1 << 7
+	}
+	flags |= uint16(m.Header.RCode & 0xF)
+	binary.BigEndian.PutUint16(buf[2:4], flags)
+
+	binary.BigEndian.PutUint16(buf[4:6], uint16(len(m.Questions)))
+	binary.BigEndian.PutUint16(buf[6:8], uint16(len(m.Answers)))
+	binary.BigEndian.PutUint16(buf[8:10], uint16(len(m.Authority)))
+	binary.BigEndian.PutUint16(buf[10:12], uint16(len(m.Additional)))
+
+	ptrs := make(map[string]int)
+	var err error
+	for _, q := range m.Questions {
+		if buf, err = appendName(buf, q.Name, ptrs); err != nil {
+			return nil, fmt.Errorf("question %q: %w", q.Name, err)
+		}
+		buf = binary.BigEndian.AppendUint16(buf, uint16(q.Type))
+		buf = binary.BigEndian.AppendUint16(buf, uint16(q.Class))
+	}
+	for _, section := range [][]RR{m.Answers, m.Authority, m.Additional} {
+		for i := range section {
+			if buf, err = appendRR(buf, &section[i], ptrs); err != nil {
+				return nil, fmt.Errorf("record %q: %w", section[i].Name, err)
+			}
+		}
+	}
+	return buf, nil
+}
+
+func appendRR(buf []byte, rr *RR, ptrs map[string]int) ([]byte, error) {
+	var err error
+	if buf, err = appendName(buf, rr.Name, ptrs); err != nil {
+		return nil, err
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(rr.Type))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(rr.Class))
+	buf = binary.BigEndian.AppendUint32(buf, rr.TTL)
+
+	// Reserve RDLENGTH and fill it in after encoding RDATA, since
+	// compression makes the length data-dependent.
+	lenAt := len(buf)
+	buf = append(buf, 0, 0)
+	start := len(buf)
+
+	switch rr.Type {
+	case TypeA:
+		if !rr.Addr.Is4() && !rr.Addr.Is4In6() {
+			return nil, fmt.Errorf("dnswire: A record with non-IPv4 addr %v", rr.Addr)
+		}
+		a4 := rr.Addr.As4()
+		buf = append(buf, a4[:]...)
+	case TypeAAAA:
+		if !rr.Addr.Is6() || rr.Addr.Is4In6() {
+			return nil, fmt.Errorf("dnswire: AAAA record with non-IPv6 addr %v", rr.Addr)
+		}
+		a16 := rr.Addr.As16()
+		buf = append(buf, a16[:]...)
+	case TypeCNAME, TypeNS, TypePTR:
+		if buf, err = appendName(buf, rr.Target, ptrs); err != nil {
+			return nil, err
+		}
+	case TypeMX:
+		buf = binary.BigEndian.AppendUint16(buf, rr.Pref)
+		if buf, err = appendName(buf, rr.Target, ptrs); err != nil {
+			return nil, err
+		}
+	case TypeTXT:
+		for _, s := range rr.Text {
+			if len(s) > 255 {
+				return nil, fmt.Errorf("dnswire: TXT string over 255 bytes")
+			}
+			buf = append(buf, byte(len(s)))
+			buf = append(buf, s...)
+		}
+	case TypeSOA:
+		if rr.SOA == nil {
+			return nil, fmt.Errorf("dnswire: SOA record without SOA data")
+		}
+		if buf, err = appendName(buf, rr.SOA.MName, ptrs); err != nil {
+			return nil, err
+		}
+		if buf, err = appendName(buf, rr.SOA.RName, ptrs); err != nil {
+			return nil, err
+		}
+		buf = binary.BigEndian.AppendUint32(buf, rr.SOA.Serial)
+		buf = binary.BigEndian.AppendUint32(buf, rr.SOA.Refresh)
+		buf = binary.BigEndian.AppendUint32(buf, rr.SOA.Retry)
+		buf = binary.BigEndian.AppendUint32(buf, rr.SOA.Expire)
+		buf = binary.BigEndian.AppendUint32(buf, rr.SOA.Minimum)
+	default:
+		buf = append(buf, rr.Raw...)
+	}
+
+	rdlen := len(buf) - start
+	if rdlen > 0xFFFF {
+		return nil, ErrRDataOutOfRange
+	}
+	binary.BigEndian.PutUint16(buf[lenAt:lenAt+2], uint16(rdlen))
+	return buf, nil
+}

@@ -1,0 +1,159 @@
+package dnswire
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// Header is the fixed 12-octet DNS message header (RFC 1035 §4.1.1), with
+// the flag bits broken out.
+type Header struct {
+	ID                 uint16
+	Response           bool // QR
+	Opcode             Opcode
+	Authoritative      bool // AA
+	Truncated          bool // TC
+	RecursionDesired   bool // RD
+	RecursionAvailable bool // RA
+	RCode              RCode
+}
+
+// Question is a DNS question (RFC 1035 §4.1.2). Name is in presentation
+// format.
+type Question struct {
+	Name  string
+	Type  Type
+	Class Class
+}
+
+// String renders the question in dig-like form.
+func (q Question) String() string {
+	return fmt.Sprintf("%s %s %s", q.Name, q.Class, q.Type)
+}
+
+// RR is one resource record. Name is presentation format; exactly one of
+// the typed data fields is meaningful, selected by Type:
+//
+//	A     -> Addr (4-byte)
+//	AAAA  -> Addr (16-byte)
+//	CNAME, NS, PTR -> Target
+//	MX    -> Pref, Target
+//	TXT   -> Text
+//	SOA   -> SOA
+//	other -> Raw (opaque RDATA)
+type RR struct {
+	Name  string
+	Type  Type
+	Class Class
+	TTL   uint32
+
+	Addr   netip.Addr
+	Target string
+	Pref   uint16
+	Text   []string
+	SOA    *SOAData
+	Raw    []byte
+}
+
+// SOAData is the RDATA of an SOA record.
+type SOAData struct {
+	MName, RName                            string
+	Serial, Refresh, Retry, Expire, Minimum uint32
+}
+
+// String renders the record in zone-file-like form.
+func (rr RR) String() string {
+	var data string
+	switch rr.Type {
+	case TypeA, TypeAAAA:
+		data = rr.Addr.String()
+	case TypeCNAME, TypeNS, TypePTR:
+		data = rr.Target
+	case TypeMX:
+		data = fmt.Sprintf("%d %s", rr.Pref, rr.Target)
+	case TypeTXT:
+		data = strings.Join(rr.Text, " ")
+	case TypeSOA:
+		if rr.SOA != nil {
+			data = fmt.Sprintf("%s %s %d", rr.SOA.MName, rr.SOA.RName, rr.SOA.Serial)
+		}
+	default:
+		data = fmt.Sprintf("\\# %d", len(rr.Raw))
+	}
+	return fmt.Sprintf("%s %d %s %s %s", rr.Name, rr.TTL, rr.Class, rr.Type, data)
+}
+
+// Message is a complete DNS message.
+type Message struct {
+	Header     Header
+	Questions  []Question
+	Answers    []RR
+	Authority  []RR
+	Additional []RR
+}
+
+// NewQuery builds a standard recursive query for (name, type).
+func NewQuery(id uint16, name string, t Type) *Message {
+	return &Message{
+		Header:    Header{ID: id, Opcode: OpcodeQuery, RecursionDesired: true},
+		Questions: []Question{{Name: name, Type: t, Class: ClassIN}},
+	}
+}
+
+// NewResponse builds a response skeleton echoing q's ID and question.
+func NewResponse(q *Message, rcode RCode) *Message {
+	m := &Message{
+		Header: Header{
+			ID:               q.Header.ID,
+			Response:         true,
+			Opcode:           q.Header.Opcode,
+			RecursionDesired: q.Header.RecursionDesired,
+			RCode:            rcode,
+		},
+	}
+	m.Questions = append(m.Questions, q.Questions...)
+	return m
+}
+
+// AddAnswerA appends an A or AAAA answer for name with the given TTL.
+func (m *Message) AddAnswerA(name string, addr netip.Addr, ttl uint32) {
+	t := TypeA
+	if addr.Is6() && !addr.Is4In6() {
+		t = TypeAAAA
+	}
+	m.Answers = append(m.Answers, RR{
+		Name: name, Type: t, Class: ClassIN, TTL: ttl, Addr: addr,
+	})
+}
+
+// AddAnswerCNAME appends a CNAME answer.
+func (m *Message) AddAnswerCNAME(name, target string, ttl uint32) {
+	m.Answers = append(m.Answers, RR{
+		Name: name, Type: TypeCNAME, Class: ClassIN, TTL: ttl, Target: target,
+	})
+}
+
+// AnswerAddrs returns all A/AAAA addresses in the answer section.
+func (m *Message) AnswerAddrs() []netip.Addr {
+	var out []netip.Addr
+	for _, rr := range m.Answers {
+		if rr.Type == TypeA || rr.Type == TypeAAAA {
+			out = append(out, rr.Addr)
+		}
+	}
+	return out
+}
+
+// MinAnswerTTL returns the smallest TTL across answer records, or 0 when
+// there are none. Callers use it as the effective cache lifetime of the
+// response.
+func (m *Message) MinAnswerTTL() uint32 {
+	var min uint32
+	for i, rr := range m.Answers {
+		if i == 0 || rr.TTL < min {
+			min = rr.TTL
+		}
+	}
+	return min
+}

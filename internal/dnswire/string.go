@@ -1,0 +1,54 @@
+package dnswire
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the message in a dig-like presentation format, useful
+// for debugging captures and for the zeeklite tooling.
+func (m *Message) String() string {
+	var b strings.Builder
+	kind := "QUERY"
+	if m.Header.Response {
+		kind = "RESPONSE"
+	}
+	fmt.Fprintf(&b, ";; %s id=%d opcode=%s rcode=%s", kind, m.Header.ID, m.Header.Opcode, m.Header.RCode)
+	var flags []string
+	if m.Header.Authoritative {
+		flags = append(flags, "aa")
+	}
+	if m.Header.Truncated {
+		flags = append(flags, "tc")
+	}
+	if m.Header.RecursionDesired {
+		flags = append(flags, "rd")
+	}
+	if m.Header.RecursionAvailable {
+		flags = append(flags, "ra")
+	}
+	if len(flags) > 0 {
+		fmt.Fprintf(&b, " flags=%s", strings.Join(flags, ","))
+	}
+	b.WriteByte('\n')
+
+	if len(m.Questions) > 0 {
+		b.WriteString(";; QUESTION\n")
+		for _, q := range m.Questions {
+			fmt.Fprintf(&b, ";%s\n", q)
+		}
+	}
+	section := func(name string, rrs []RR) {
+		if len(rrs) == 0 {
+			return
+		}
+		fmt.Fprintf(&b, ";; %s\n", name)
+		for _, rr := range rrs {
+			fmt.Fprintf(&b, "%s\n", rr)
+		}
+	}
+	section("ANSWER", m.Answers)
+	section("AUTHORITY", m.Authority)
+	section("ADDITIONAL", m.Additional)
+	return b.String()
+}

@@ -1,0 +1,149 @@
+// Package dnswire implements the DNS wire format of RFC 1035 (plus EDNS0
+// OPT from RFC 6891): message header, questions, resource records, and
+// domain-name compression. It is a from-scratch, stdlib-only codec used by
+// the dnscontext simulator to put genuine DNS bytes on the simulated wire
+// and by the zeeklite monitor to decode them, mirroring how the paper's
+// Bro monitor parsed live traffic.
+//
+// The decoder is strict: it bounds-checks every read, limits compression-
+// pointer chases, and refuses names over 255 octets, so it is safe to feed
+// untrusted packet bytes.
+package dnswire
+
+import "fmt"
+
+// Type is a DNS RR type (RFC 1035 §3.2.2 and successors).
+type Type uint16
+
+// Resource record types supported by the codec.
+const (
+	TypeA     Type = 1
+	TypeNS    Type = 2
+	TypeCNAME Type = 5
+	TypeSOA   Type = 6
+	TypePTR   Type = 12
+	TypeMX    Type = 15
+	TypeTXT   Type = 16
+	TypeAAAA  Type = 28
+	TypeOPT   Type = 41
+	TypeANY   Type = 255
+)
+
+// String returns the conventional mnemonic for t.
+func (t Type) String() string {
+	switch t {
+	case TypeA:
+		return "A"
+	case TypeNS:
+		return "NS"
+	case TypeCNAME:
+		return "CNAME"
+	case TypeSOA:
+		return "SOA"
+	case TypePTR:
+		return "PTR"
+	case TypeMX:
+		return "MX"
+	case TypeTXT:
+		return "TXT"
+	case TypeAAAA:
+		return "AAAA"
+	case TypeOPT:
+		return "OPT"
+	case TypeANY:
+		return "ANY"
+	}
+	return fmt.Sprintf("TYPE%d", uint16(t))
+}
+
+// Class is a DNS class. In practice only IN appears in our traffic.
+type Class uint16
+
+// DNS classes.
+const (
+	ClassIN  Class = 1
+	ClassCH  Class = 3
+	ClassANY Class = 255
+)
+
+// String returns the conventional mnemonic for c.
+func (c Class) String() string {
+	switch c {
+	case ClassIN:
+		return "IN"
+	case ClassCH:
+		return "CH"
+	case ClassANY:
+		return "ANY"
+	}
+	return fmt.Sprintf("CLASS%d", uint16(c))
+}
+
+// Opcode is the DNS operation code.
+type Opcode uint8
+
+// DNS opcodes.
+const (
+	OpcodeQuery  Opcode = 0
+	OpcodeIQuery Opcode = 1
+	OpcodeStatus Opcode = 2
+	OpcodeNotify Opcode = 4
+	OpcodeUpdate Opcode = 5
+)
+
+// String returns the conventional mnemonic for o.
+func (o Opcode) String() string {
+	switch o {
+	case OpcodeQuery:
+		return "QUERY"
+	case OpcodeIQuery:
+		return "IQUERY"
+	case OpcodeStatus:
+		return "STATUS"
+	case OpcodeNotify:
+		return "NOTIFY"
+	case OpcodeUpdate:
+		return "UPDATE"
+	}
+	return fmt.Sprintf("OPCODE%d", uint8(o))
+}
+
+// RCode is the DNS response code.
+type RCode uint8
+
+// DNS response codes.
+const (
+	RCodeNoError  RCode = 0
+	RCodeFormErr  RCode = 1
+	RCodeServFail RCode = 2
+	RCodeNXDomain RCode = 3
+	RCodeNotImp   RCode = 4
+	RCodeRefused  RCode = 5
+)
+
+// String returns the conventional mnemonic for rc.
+func (rc RCode) String() string {
+	switch rc {
+	case RCodeNoError:
+		return "NOERROR"
+	case RCodeFormErr:
+		return "FORMERR"
+	case RCodeServFail:
+		return "SERVFAIL"
+	case RCodeNXDomain:
+		return "NXDOMAIN"
+	case RCodeNotImp:
+		return "NOTIMP"
+	case RCodeRefused:
+		return "REFUSED"
+	}
+	return fmt.Sprintf("RCODE%d", uint8(rc))
+}
+
+// Limits from RFC 1035 §2.3.4.
+const (
+	MaxNameLen  = 255 // total octets in a wire-encoded name
+	MaxLabelLen = 63  // octets in one label
+	// maxPointerChases bounds compression-pointer loops during decoding.
+	maxPointerChases = 64
+)

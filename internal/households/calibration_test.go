@@ -1,0 +1,186 @@
+package households
+
+import (
+	"testing"
+	"time"
+
+	"dnscontext/internal/stats"
+	"dnscontext/internal/zonedb"
+)
+
+func statsRNG() *stats.RNG { return stats.NewRNG(12345) }
+
+// calibrationConfig is the scale the calibration assertions run at: large
+// enough for the emergent statistics to stabilize, small enough to keep
+// the suite fast.
+func calibrationConfig(seed uint64) Config {
+	cfg := DefaultConfig()
+	cfg.Houses = 50
+	cfg.Seed = seed
+	return cfg
+}
+
+// TestCalibrationTransferDurations pins the transaction-duration regime
+// that §6 depends on: most web transactions outlive their DNS lookup by
+// two orders of magnitude.
+func TestCalibrationTransferDurations(t *testing.T) {
+	tm := newTransferModel(statsRNG())
+	e := stats.NewECDF(0)
+	for i := 0; i < 20000; i++ {
+		e.Add(tm.sample(zonedb.ServiceWeb, 1).duration.Seconds())
+	}
+	if med := e.Median(); med < 2 || med > 60 {
+		t.Fatalf("web duration median %.2fs outside [2,60]", med)
+	}
+	if short := e.FractionAtMost(0.5); short < 0.03 || short > 0.35 {
+		t.Fatalf("short-transaction mass %.3f outside [0.03,0.35]", short)
+	}
+}
+
+// TestCalibrationResolverMix asserts the Table 1 shape: the local ISP
+// resolvers dominate, Google is second, and every platform appears.
+func TestCalibrationResolverMix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration runs are not -short")
+	}
+	ds, eco, err := Generate(calibrationConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	for i := range ds.DNS {
+		id, _ := platformOfAddr(eco, ds.DNS[i].Resolver)
+		counts[id]++
+	}
+	total := len(ds.DNS)
+	frac := func(name string) float64 { return float64(counts[name]) / float64(total) }
+	if f := frac("Local"); f < 0.60 || f > 0.85 {
+		t.Errorf("Local lookup share %.3f outside [0.60,0.85] (paper: 0.728)", f)
+	}
+	if f := frac("Google"); f < 0.08 || f > 0.30 {
+		t.Errorf("Google lookup share %.3f outside [0.08,0.30] (paper: 0.129)", f)
+	}
+	if counts["OpenDNS"] == 0 {
+		t.Error("OpenDNS unused")
+	}
+	if frac("Local") < frac("Google") || frac("Google") < frac("OpenDNS") {
+		t.Errorf("platform ordering broken: %v", counts)
+	}
+}
+
+func platformOfAddr(eco *Ecosystem, addr interface{ String() string }) (string, bool) {
+	for _, p := range eco.Profiles {
+		for _, a := range p.Addrs {
+			if a.String() == addr.String() {
+				return p.ID.String(), true
+			}
+		}
+	}
+	return "", false
+}
+
+// TestCalibrationPlatformHitRates asserts the §7 ordering of shared-cache
+// hit rates: Cloudflare > Local > OpenDNS >> Google (paper: 83.6 / 71.2 /
+// 58.8 / 23.0). These are the generator-internal ground-truth rates.
+func TestCalibrationPlatformHitRates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration runs are not -short")
+	}
+	cfg := calibrationConfig(13)
+	// Force a few Cloudflare houses so its estimate is meaningful at this
+	// scale.
+	cfg.CloudflareHouseProb = 0.10
+	_, eco, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr := func(name string) float64 {
+		for id, rr := range eco.Platforms {
+			if id.String() == name {
+				return rr.HitRate()
+			}
+		}
+		return -1
+	}
+	local, google := hr("Local"), hr("Google")
+	cf, od := hr("CloudFlare"), hr("OpenDNS")
+	if local < 0.55 || local > 0.85 {
+		t.Errorf("Local hit rate %.3f outside [0.55,0.85] (paper: 0.712)", local)
+	}
+	if google > 0.45 {
+		t.Errorf("Google hit rate %.3f above 0.45 (paper: 0.230)", google)
+	}
+	if google >= local {
+		t.Error("Google hit rate should be far below Local")
+	}
+	if cf <= od {
+		t.Errorf("Cloudflare (%.3f) should beat OpenDNS (%.3f)", cf, od)
+	}
+}
+
+// TestCalibrationDNSConnVolumes pins the gross volumes: connections
+// outnumber A-record-driven lookups modestly, as in the paper's 11.2M
+// conns vs 9.2M lookups.
+func TestCalibrationDNSConnVolumes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration runs are not -short")
+	}
+	ds, _, err := Generate(calibrationConfig(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Conns) < 50000 {
+		t.Fatalf("suspiciously few connections: %d", len(ds.Conns))
+	}
+	ratio := float64(len(ds.Conns)) / float64(len(ds.DNS))
+	if ratio < 0.8 || ratio > 2.5 {
+		t.Fatalf("conns/DNS ratio %.2f outside [0.8,2.5] (paper: 1.22)", ratio)
+	}
+}
+
+// TestCalibrationBlockedGapRegime pins the Figure 1 structure: blocked
+// connections start within tens of milliseconds of their lookup, while
+// cache-served connections trail by seconds to hours.
+func TestCalibrationBlockedGapRegime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration runs are not -short")
+	}
+	cfg := calibrationConfig(19)
+	cfg.Houses = 20
+	ds, _, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct per-record first-conn gaps cheaply: map answer addr ->
+	// most recent lookup completion per house.
+	type key struct{ house, addr string }
+	last := make(map[key]time.Duration)
+	di := 0
+	gaps := stats.NewECDF(0)
+	for i := range ds.Conns {
+		c := &ds.Conns[i]
+		for di < len(ds.DNS) && ds.DNS[di].TS <= c.TS {
+			d := &ds.DNS[di]
+			for _, a := range d.Answers {
+				last[key{d.Client.String(), a.Addr.String()}] = d.TS
+			}
+			di++
+		}
+		if ts, ok := last[key{c.Orig.String(), c.Resp.String()}]; ok {
+			gaps.Add((c.TS - ts).Seconds())
+		}
+	}
+	if gaps.N() < 1000 {
+		t.Fatalf("too few paired gaps: %d", gaps.N())
+	}
+	fastFrac := gaps.FractionAtMost(0.1)
+	if fastFrac < 0.25 || fastFrac > 0.70 {
+		t.Fatalf("blocked fraction %.3f outside [0.25,0.70] (paper: 0.421)", fastFrac)
+	}
+	// The two regimes must be well separated: almost nothing between
+	// 100 ms and 1 s.
+	midFrac := gaps.FractionAtMost(1) - gaps.FractionAtMost(0.1)
+	if midFrac > 0.10 {
+		t.Fatalf("gap distribution has %.3f mass in the 0.1-1s dead zone", midFrac)
+	}
+}

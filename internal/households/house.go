@@ -1,0 +1,228 @@
+package households
+
+import (
+	"math"
+	"net/netip"
+	"time"
+
+	"dnscontext/internal/resolver"
+	"dnscontext/internal/stats"
+	"dnscontext/internal/zonedb"
+)
+
+// deviceKind is the behavioral archetype of a device.
+type deviceKind uint8
+
+const (
+	kindPhone  deviceKind = iota // Android: Google DNS default, probes
+	kindLaptop                   // browser with prefetching
+	kindIoT                      // hard-coded endpoints, rare DNS
+	kindP2P                      // high-port traffic, no DNS
+)
+
+// device is one host inside a house. The monitor cannot see devices (NAT),
+// but their distinct stub caches and resolver choices shape the traffic.
+type device struct {
+	house *house
+	kind  deviceKind
+	stub  *resolver.Stub
+	// dot marks a device resolving over encrypted DNS (DoT): its lookups
+	// are invisible to the monitor except as TCP/853 connections.
+	dot bool
+	// platformPick selects the resolver platform for each wire lookup.
+	platformPick *stats.Weighted
+	platforms    []resolver.PlatformID
+	// workingSet is the set of sites this device habitually revisits.
+	workingSet []*zonedb.Name
+	// apps are the background services doing periodic transactions.
+	apps []appProfile
+}
+
+// appProfile is one background app: a favorite name contacted periodically.
+type appProfile struct {
+	name   *zonedb.Name
+	period time.Duration
+}
+
+// house is one residence: a NAT'd client address plus its devices.
+type house struct {
+	idx      int
+	addr     netip.Addr
+	devices  []*device
+	nextID   uint16
+	nextPort uint16
+
+	hasGoogle     bool
+	hasOpenDNS    bool
+	hasCloudflare bool
+	hasP2P        bool
+
+	// pool is the household's shared site repertoire: different devices in
+	// one home visit overlapping destinations (family members use the same
+	// services), which is what gives a whole-house cache its value (§8).
+	pool []*zonedb.Name
+	// cdnPool is the household's recurring third-party object domains:
+	// similar site tastes mean similar ad/CDN dependencies.
+	cdnPool []*zonedb.Name
+}
+
+func (h *house) dnsID() uint16 {
+	h.nextID++
+	return h.nextID
+}
+
+func (h *house) ephemeralPort() uint16 {
+	h.nextPort++
+	if h.nextPort < 32768 {
+		h.nextPort = 32768
+	}
+	return h.nextPort
+}
+
+// buildHouse constructs a house's device population and resolver
+// configuration following the Table 1 observations.
+func (g *Generator) buildHouse(idx int) *house {
+	r := g.rng
+	h := &house{
+		idx:      idx,
+		addr:     houseAddr(idx),
+		nextPort: 32768 + uint16(r.Intn(8192)),
+	}
+	h.hasGoogle = r.Bool(g.cfg.GoogleHouseProb)
+	h.hasOpenDNS = r.Bool(g.cfg.OpenDNSHouseProb)
+	h.hasCloudflare = r.Bool(g.cfg.CloudflareHouseProb)
+	h.hasP2P = r.Bool(g.cfg.P2PHouseProb)
+
+	for i := 0; i < 2*g.cfg.WorkingSetSize; i++ {
+		h.pool = append(h.pool, g.zones.Pick(r))
+	}
+	for i := 0; i < 4; i++ {
+		h.cdnPool = append(h.cdnPool, g.pickEmbeddedGlobal())
+	}
+
+	phones := 0
+	if h.hasGoogle {
+		phones = 1 + r.Intn(2)
+	}
+	laptops := 1 + r.Intn(3)
+	iot := r.Intn(2)
+
+	for i := 0; i < phones; i++ {
+		h.devices = append(h.devices, g.buildDevice(h, kindPhone))
+	}
+	for i := 0; i < laptops; i++ {
+		h.devices = append(h.devices, g.buildDevice(h, kindLaptop))
+	}
+	for i := 0; i < iot; i++ {
+		h.devices = append(h.devices, g.buildDevice(h, kindIoT))
+	}
+	if h.hasP2P {
+		h.devices = append(h.devices, g.buildDevice(h, kindP2P))
+	}
+	return h
+}
+
+func (g *Generator) buildDevice(h *house, kind deviceKind) *device {
+	r := g.rng
+	d := &device{house: h, kind: kind}
+
+	// Stub cache: small, and possibly TTL-violating.
+	hold := time.Duration(0)
+	if kind != kindP2P && r.Bool(g.cfg.TTLViolatorProb) {
+		hold = time.Duration(stats.LogNormalFromMedian(
+			g.cfg.ViolationHoldMedian.Seconds(), 1.5).Sample(r) * float64(time.Second))
+	}
+	d.stub = resolver.NewStub(512, hold)
+	if kind == kindPhone || kind == kindLaptop {
+		d.dot = r.Bool(g.cfg.EncryptedDNSProb)
+	}
+
+	// Resolver preference: every device can reach the local ISP
+	// resolvers; Android leans on Google; houses with third-party
+	// configuration split laptop traffic accordingly.
+	type pref struct {
+		id resolver.PlatformID
+		w  float64
+	}
+	prefs := []pref{{resolver.PlatformLocal, 1.0}}
+	switch kind {
+	case kindPhone:
+		prefs = []pref{{resolver.PlatformLocal, 0.50}, {resolver.PlatformGoogle, 0.50}}
+	case kindLaptop, kindIoT:
+		if h.hasOpenDNS {
+			prefs = append(prefs, pref{resolver.PlatformOpenDNS, 1.3})
+		}
+		if h.hasCloudflare {
+			prefs = append(prefs, pref{resolver.PlatformCloudflare, 2.5})
+		}
+	}
+	ws := make([]float64, len(prefs))
+	d.platforms = make([]resolver.PlatformID, len(prefs))
+	for i, p := range prefs {
+		ws[i] = p.w
+		d.platforms[i] = p.id
+	}
+	// Weights are positive by construction, so this cannot fail.
+	d.platformPick, _ = stats.NewWeighted(ws)
+
+	// Working set of habitually revisited sites: half drawn from the
+	// household's shared repertoire, half personal.
+	if kind == kindPhone || kind == kindLaptop {
+		for i := 0; i < g.cfg.WorkingSetSize; i++ {
+			if r.Bool(0.65) && len(h.pool) > 0 {
+				d.workingSet = append(d.workingSet, h.pool[r.Intn(len(h.pool))])
+			} else {
+				d.workingSet = append(d.workingSet, g.zones.Pick(r))
+			}
+		}
+		napps := poisson(r, g.cfg.AppsPerDevice)
+		for i := 0; i < napps; i++ {
+			appName := g.zones.Pick(r)
+			if r.Bool(0.85) && len(h.pool) > 0 {
+				// Apps cluster on a handful of per-house services, so
+				// devices in one home repeatedly resolve the same names.
+				appName = h.pool[r.Intn(min(6, len(h.pool)))]
+			}
+			// Background services sit behind stable, long-TTL API names;
+			// resample a few times to prefer them.
+			for try := 0; try < 3 && appName.TTL < 300*time.Second; try++ {
+				appName = g.zones.Pick(r)
+			}
+			d.apps = append(d.apps, appProfile{
+				name: appName,
+				period: time.Duration(stats.LogNormalFromMedian(
+					g.cfg.AppPeriodMedian.Seconds(), 0.6).Sample(r) * float64(time.Second)),
+			})
+		}
+	}
+	return d
+}
+
+// pickPlatform selects the resolver platform for one wire lookup.
+func (d *device) pickPlatform(r *stats.RNG) resolver.PlatformID {
+	return d.platforms[d.platformPick.Pick(r)]
+}
+
+// houseAddr places house idx at 10.1.x.y (see trace.HouseAddr).
+func houseAddr(idx int) netip.Addr {
+	return netip.AddrFrom4([4]byte{10, 1, byte(idx / 256), byte(idx % 256)})
+}
+
+// poisson draws a Poisson variate via inversion (small means only).
+func poisson(r *stats.RNG, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 1000 {
+			return k
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package households
+
+import (
+	"time"
+
+	"dnscontext/internal/stats"
+	"dnscontext/internal/zonedb"
+)
+
+// transfer describes one application transaction's volume and duration.
+type transfer struct {
+	origBytes int64
+	respBytes int64
+	duration  time.Duration
+}
+
+// transferModel samples transaction shapes per service class. Rates are
+// bits per second; rateFactor lets the caller degrade throughput (e.g. a
+// resolver platform mapping the client to a distant CDN edge).
+type transferModel struct {
+	rng *stats.RNG
+
+	webResp  stats.LogNormal
+	apiResp  stats.LogNormal
+	vidResp  stats.LogNormal
+	dlResp   stats.LogNormal
+	chatResp stats.LogNormal
+
+	// rate is the achievable transfer rate for short flows.
+	rate stats.LogNormal
+	// idle is the keep-alive tail web browsers leave on connections.
+	idle stats.LogNormal
+	// rtt is the handshake/setup cost added to every TCP transaction.
+	rtt stats.LogNormal
+}
+
+func newTransferModel(rng *stats.RNG) *transferModel {
+	return &transferModel{
+		rng:      rng,
+		webResp:  stats.LogNormalFromMedian(22_000, 1.6),     // ~22 KB objects
+		apiResp:  stats.LogNormalFromMedian(2_500, 1.1),      // small JSON
+		vidResp:  stats.LogNormalFromMedian(60_000_000, 1.3), // tens of MB
+		dlResp:   stats.LogNormalFromMedian(25_000_000, 1.8), // bulk
+		chatResp: stats.LogNormalFromMedian(30_000, 1.2),     // long trickle
+		rate:     stats.LogNormalFromMedian(12_000_000, 1.0), // ~12 Mbps
+		idle:     stats.LogNormalFromMedian(12, 1.1),         // seconds
+		rtt:      stats.LogNormalFromMedian(0.035, 0.6),      // seconds
+	}
+}
+
+// sample draws a transaction for the given service class. rateFactor
+// multiplies the achievable rate (1.0 = neutral).
+func (m *transferModel) sample(class zonedb.ServiceClass, rateFactor float64) transfer {
+	r := m.rng
+	if rateFactor <= 0 {
+		rateFactor = 1
+	}
+	var t transfer
+	rate := m.rate.Sample(r) * rateFactor
+
+	secsFor := func(bytes float64) float64 { return bytes * 8 / rate }
+
+	switch class {
+	case zonedb.ServiceWeb:
+		t.origBytes = int64(stats.Clamp(m.apiResp.Sample(r)/3, 200, 50_000))
+		t.respBytes = int64(m.webResp.Sample(r))
+		dur := m.rtt.Sample(r) + secsFor(float64(t.respBytes))
+		// Most browser connections linger with keep-alive; some close
+		// immediately after the object (the short-T mass that makes DNS a
+		// visible fraction of the transaction in Fig. 2 bottom).
+		if r.Bool(0.90) {
+			dur += m.idle.Sample(r)
+		}
+		t.duration = secsToDur(dur)
+	case zonedb.ServiceAPI:
+		t.origBytes = int64(stats.Clamp(m.apiResp.Sample(r)/2, 100, 20_000))
+		t.respBytes = int64(m.apiResp.Sample(r))
+		dur := m.rtt.Sample(r) + secsFor(float64(t.respBytes))
+		if r.Bool(0.85) {
+			dur += m.idle.Sample(r)
+		}
+		t.duration = secsToDur(dur)
+	case zonedb.ServiceVideo:
+		t.origBytes = int64(stats.Clamp(m.apiResp.Sample(r), 500, 100_000))
+		t.respBytes = int64(m.vidResp.Sample(r))
+		// Streaming is paced, not rate-limited: duration tracks content
+		// length (~5 Mbps effective).
+		t.duration = secsToDur(float64(t.respBytes) * 8 / (5_000_000 * stats.Clamp(rateFactor, 0.3, 2)))
+	case zonedb.ServiceDownload:
+		t.origBytes = int64(stats.Clamp(m.apiResp.Sample(r)/2, 100, 10_000))
+		t.respBytes = int64(m.dlResp.Sample(r))
+		t.duration = secsToDur(m.rtt.Sample(r) + secsFor(float64(t.respBytes)))
+	case zonedb.ServiceChat:
+		t.origBytes = int64(m.apiResp.Sample(r))
+		t.respBytes = int64(m.chatResp.Sample(r))
+		// Long-lived low-rate connection.
+		t.duration = secsToDur(stats.LogNormalFromMedian(240, 1.0).Sample(r))
+	case zonedb.ServiceProbe:
+		t.origBytes = int64(stats.Clamp(m.apiResp.Sample(r)/10, 120, 600))
+		t.respBytes = int64(stats.Clamp(m.apiResp.Sample(r)/8, 150, 900))
+		dur := m.rtt.Sample(r) * 4
+		if r.Bool(0.5) {
+			dur += m.idle.Sample(r)
+		}
+		t.duration = secsToDur(dur)
+	default:
+		t.origBytes, t.respBytes = 100, 100
+		t.duration = secsToDur(m.rtt.Sample(r))
+	}
+	if t.duration < time.Millisecond {
+		t.duration = time.Millisecond
+	}
+	return t
+}
+
+// p2pTransfer draws a peer-to-peer flow: heavy-tailed sizes, both
+// directions active.
+func (m *transferModel) p2pTransfer() transfer {
+	r := m.rng
+	up := stats.Pareto{Xm: 400, Alpha: 1.1}.Sample(r)
+	down := stats.Pareto{Xm: 400, Alpha: 1.05}.Sample(r)
+	up = stats.Clamp(up, 0, 2e9)
+	down = stats.Clamp(down, 0, 2e9)
+	dur := stats.LogNormalFromMedian(25, 1.5).Sample(m.rng)
+	return transfer{
+		origBytes: int64(up),
+		respBytes: int64(down),
+		duration:  secsToDur(dur),
+	}
+}
+
+// ntpTransfer is a tiny UDP exchange (or a failed one to a dead server).
+func (m *transferModel) ntpTransfer(dead bool) transfer {
+	if dead {
+		return transfer{origBytes: 48, respBytes: 0, duration: 0}
+	}
+	return transfer{origBytes: 48, respBytes: 48, duration: secsToDur(m.rtt.Sample(m.rng))}
+}
+
+func secsToDur(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}

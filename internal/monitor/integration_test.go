@@ -1,0 +1,114 @@
+package monitor
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dnscontext/internal/households"
+	"dnscontext/internal/trace"
+)
+
+// TestPacketPathMatchesEventPath is the pipeline equivalence check
+// promised in DESIGN.md: generating a trace, rendering it as packets, and
+// reconstructing it with the zeeklite monitor must yield the same two
+// datasets the generator emitted directly (modulo the synthesizer's
+// per-connection byte cap and 1-second wire TTL granularity).
+func TestPacketPathMatchesEventPath(t *testing.T) {
+	cfg := households.SmallConfig(99)
+	cfg.Houses = 4
+	cfg.Duration = 45 * time.Minute
+	cfg.Warmup = 45 * time.Minute
+	ds, _, err := households.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.DNS) < 100 || len(ds.Conns) < 100 {
+		t.Fatalf("trace too small to be meaningful: %d/%d", len(ds.DNS), len(ds.Conns))
+	}
+
+	opts := SynthOptions{MaxBytesPerConn: 32 << 10}
+	m := New(DefaultOptions())
+	err = Synthesize(ds, opts, func(ts time.Duration, frame []byte) error {
+		m.FeedFrame(ts, frame)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DecodeErrors != 0 || m.DNSParseErrs != 0 {
+		t.Fatalf("monitor errors: decode=%d dns=%d", m.DecodeErrors, m.DNSParseErrs)
+	}
+	got := m.Flush()
+	want := ApplyByteCap(ds, opts)
+	want.SortByTime()
+
+	if len(got.DNS) != len(want.DNS) {
+		t.Fatalf("DNS records: got %d, want %d", len(got.DNS), len(want.DNS))
+	}
+	if len(got.Conns) != len(want.Conns) {
+		t.Fatalf("conns: got %d, want %d", len(got.Conns), len(want.Conns))
+	}
+
+	// DNS records: key by (client, id, qtype) — unique per house in the
+	// generator.
+	type dnsKey struct {
+		client string
+		id     uint16
+		qtype  uint16
+	}
+	wantDNS := make(map[dnsKey]*trace.DNSRecord, len(want.DNS))
+	for i := range want.DNS {
+		d := &want.DNS[i]
+		wantDNS[dnsKey{d.Client.String(), d.ID, d.QType}] = d
+	}
+	for i := range got.DNS {
+		g := &got.DNS[i]
+		w, ok := wantDNS[dnsKey{g.Client.String(), g.ID, g.QType}]
+		if !ok {
+			t.Fatalf("unexpected DNS record %+v", g)
+		}
+		if g.Query != w.Query || g.Resolver != w.Resolver {
+			t.Fatalf("DNS identity mismatch:\ngot  %+v\nwant %+v", g, w)
+		}
+		if g.QueryTS != w.QueryTS || g.TS != w.TS {
+			t.Fatalf("DNS timing mismatch for %s: %v/%v vs %v/%v",
+				g.Query, g.QueryTS, g.TS, w.QueryTS, w.TS)
+		}
+		if len(g.Answers) != len(w.Answers) {
+			t.Fatalf("answer count mismatch for %s: %d vs %d", g.Query, len(g.Answers), len(w.Answers))
+		}
+		for j := range g.Answers {
+			if g.Answers[j].Addr != w.Answers[j].Addr {
+				t.Fatalf("answer addr mismatch for %s", g.Query)
+			}
+			dttl := g.Answers[j].TTL - w.Answers[j].TTL
+			if dttl < -time.Second || dttl > time.Second {
+				t.Fatalf("answer TTL mismatch for %s: %v vs %v", g.Query, g.Answers[j].TTL, w.Answers[j].TTL)
+			}
+		}
+	}
+
+	// Connections: key by the 5-tuple (ephemeral ports make these unique
+	// in a short window).
+	key := func(c *trace.ConnRecord) string {
+		return fmt.Sprintf("%s/%s:%d>%s:%d", c.Proto, c.Orig, c.OrigPort, c.Resp, c.RespPort)
+	}
+	wantConns := make(map[string]*trace.ConnRecord, len(want.Conns))
+	for i := range want.Conns {
+		wantConns[key(&want.Conns[i])] = &want.Conns[i]
+	}
+	for i := range got.Conns {
+		g := &got.Conns[i]
+		w, ok := wantConns[key(g)]
+		if !ok {
+			t.Fatalf("unexpected conn %+v", g)
+		}
+		if g.TS != w.TS || g.Duration != w.Duration {
+			t.Fatalf("conn timing mismatch %s: %v+%v vs %v+%v", key(g), g.TS, g.Duration, w.TS, w.Duration)
+		}
+		if g.OrigBytes != w.OrigBytes || g.RespBytes != w.RespBytes {
+			t.Fatalf("conn bytes mismatch %s: %d/%d vs %d/%d", key(g), g.OrigBytes, g.RespBytes, w.OrigBytes, w.RespBytes)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+// Package monitor implements "zeeklite": a Bro/Zeek-style passive network
+// monitor that reconstructs the paper's two datasets — DNS transaction
+// records and connection summaries — from raw packets, plus the inverse
+// (a wire synthesizer that renders a dataset as packets). Together they
+// let integration tests prove that the fast event-level pipeline and the
+// packet-level pipeline agree, and they give the cmd/zeeklite binary a
+// real pcap-processing path.
+package monitor
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"dnscontext/internal/dnswire"
+	"dnscontext/internal/pcap"
+	"dnscontext/internal/trace"
+)
+
+// SynthOptions configures wire synthesis.
+type SynthOptions struct {
+	// MaxBytesPerConn truncates each connection's per-direction payload to
+	// keep captures manageable, like a snaplen budget. <=0 means 256 KiB.
+	MaxBytesPerConn int64
+	// ChunkSize is the payload bytes per data packet (default 32 KiB,
+	// capped to fit an IPv4 datagram).
+	ChunkSize int
+}
+
+func (o *SynthOptions) normalize() {
+	if o.MaxBytesPerConn <= 0 {
+		o.MaxBytesPerConn = 256 << 10
+	}
+	if o.ChunkSize <= 0 {
+		o.ChunkSize = 32 << 10
+	}
+	if o.ChunkSize > 60000 {
+		o.ChunkSize = 60000
+	}
+}
+
+// FrameSink receives synthesized frames in chronological order.
+type FrameSink func(ts time.Duration, frame []byte) error
+
+// event is one pending frame emission.
+type synthEvent struct {
+	ts    time.Duration
+	frame []byte
+}
+
+// Synthesize renders ds as Ethernet frames delivered to sink in
+// chronological order. Connection payloads are truncated per
+// opts.MaxBytesPerConn (ApplyByteCap produces the matching truncated
+// dataset for comparison).
+func Synthesize(ds *trace.Dataset, opts SynthOptions, sink FrameSink) error {
+	opts.normalize()
+	var events []synthEvent
+	add := func(ts time.Duration, frame []byte, err error) error {
+		if err != nil {
+			return err
+		}
+		events = append(events, synthEvent{ts: ts, frame: frame})
+		return nil
+	}
+
+	for i := range ds.DNS {
+		d := &ds.DNS[i]
+		sport := uint16(20000 + d.ID%40000)
+		q := dnswire.NewQuery(d.ID, d.Query, dnswire.Type(d.QType))
+		qb, err := q.Encode()
+		if err != nil {
+			return fmt.Errorf("monitor: encoding query %q: %w", d.Query, err)
+		}
+		frame, err := pcap.BuildUDP(d.Client, d.Resolver, sport, 53, qb)
+		if err = add(d.QueryTS, frame, err); err != nil {
+			return err
+		}
+		resp := dnswire.NewResponse(q, dnswire.RCode(d.RCode))
+		resp.Header.RecursionAvailable = true
+		for _, a := range d.Answers {
+			ttl := uint32(a.TTL / time.Second)
+			resp.AddAnswerA(d.Query, a.Addr, ttl)
+		}
+		rb, err := resp.Encode()
+		if err != nil {
+			return fmt.Errorf("monitor: encoding response %q: %w", d.Query, err)
+		}
+		frame, err = pcap.BuildUDP(d.Resolver, d.Client, 53, sport, rb)
+		if err = add(d.TS, frame, err); err != nil {
+			return err
+		}
+	}
+
+	for i := range ds.Conns {
+		c := &ds.Conns[i]
+		if err := synthConn(c, opts, add); err != nil {
+			return err
+		}
+	}
+
+	sortEvents(events)
+	for _, ev := range events {
+		if err := sink(ev.ts, ev.frame); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func synthConn(c *trace.ConnRecord, opts SynthOptions, add func(time.Duration, []byte, error) error) error {
+	ob := min64(c.OrigBytes, opts.MaxBytesPerConn)
+	rb := min64(c.RespBytes, opts.MaxBytesPerConn)
+	end := c.TS + c.Duration
+
+	if c.Proto == trace.UDP {
+		// First datagram opens the flow; payload spread over a handful of
+		// datagrams; the final datagram lands at the flow end.
+		if err := emitChunks(c.Orig, c.Resp, c.OrigPort, c.RespPort, trace.UDP, ob, c.TS, end, opts, add, 0); err != nil {
+			return err
+		}
+		if rb > 0 {
+			if err := emitChunks(c.Resp, c.Orig, c.RespPort, c.OrigPort, trace.UDP, rb, c.TS+1, end, opts, add, 0); err != nil {
+				return err
+			}
+		}
+		// Guarantee packets exactly at the flow boundaries: an opening
+		// datagram for zero-byte flows, and a closing datagram so the
+		// monitor reconstructs the duration.
+		if ob == 0 && rb == 0 {
+			frame, err := pcap.BuildUDP(c.Orig, c.Resp, c.OrigPort, c.RespPort, nil)
+			if err := add(c.TS, frame, err); err != nil {
+				return err
+			}
+		}
+		if c.Duration > 0 {
+			// Keepalives hold long flows together across the monitor's
+			// 60 s idle timeout (QUIC pings do this on real wires), and a
+			// final datagram pins the flow end.
+			for off := 45 * time.Second; off < c.Duration; off += 45 * time.Second {
+				frame, err := pcap.BuildUDP(c.Orig, c.Resp, c.OrigPort, c.RespPort, nil)
+				if err := add(c.TS+off, frame, err); err != nil {
+					return err
+				}
+			}
+			frame, err := pcap.BuildUDP(c.Orig, c.Resp, c.OrigPort, c.RespPort, nil)
+			if err := add(end, frame, err); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// TCP: SYN / SYN-ACK handshake, data, FIN pair at the end.
+	syn, err := pcap.BuildTCP(c.Orig, c.Resp, c.OrigPort, c.RespPort, 0, 0, pcap.FlagSYN, nil)
+	if err := add(c.TS, syn, err); err != nil {
+		return err
+	}
+	synack, err := pcap.BuildTCP(c.Resp, c.Orig, c.RespPort, c.OrigPort, 0, 1, pcap.FlagSYN|pcap.FlagACK, nil)
+	if err := add(c.TS+time.Microsecond, synack, err); err != nil {
+		return err
+	}
+	if err := emitChunks(c.Orig, c.Resp, c.OrigPort, c.RespPort, trace.TCP, ob, c.TS+2*time.Microsecond, end, opts, add, 1); err != nil {
+		return err
+	}
+	if err := emitChunks(c.Resp, c.Orig, c.RespPort, c.OrigPort, trace.TCP, rb, c.TS+3*time.Microsecond, end, opts, add, 1); err != nil {
+		return err
+	}
+	fin, err := pcap.BuildTCP(c.Orig, c.Resp, c.OrigPort, c.RespPort, uint32(1+ob), 0, pcap.FlagFIN|pcap.FlagACK, nil)
+	if err := add(end, fin, err); err != nil {
+		return err
+	}
+	finack, err := pcap.BuildTCP(c.Resp, c.Orig, c.RespPort, c.OrigPort, uint32(1+rb), uint32(2+ob), pcap.FlagFIN|pcap.FlagACK, nil)
+	return add(end, finack, err)
+}
+
+// emitChunks spreads total payload bytes over data packets between start
+// and end (exclusive of the connection-closing packets).
+func emitChunks(src, dst netip.Addr, sport, dport uint16, proto trace.Proto, total int64, start, end time.Duration, opts SynthOptions, add func(time.Duration, []byte, error) error, seq0 int64) error {
+	if total <= 0 {
+		return nil
+	}
+	n := int((total + int64(opts.ChunkSize) - 1) / int64(opts.ChunkSize))
+	span := end - start
+	if span < 0 {
+		span = 0
+	}
+	sent := int64(0)
+	for i := 0; i < n; i++ {
+		size := int64(opts.ChunkSize)
+		if total-sent < size {
+			size = total - sent
+		}
+		ts := start
+		if n > 1 {
+			ts = start + time.Duration(int64(span)*int64(i)/int64(n))
+		}
+		payload := make([]byte, size)
+		var frame []byte
+		var err error
+		if proto == trace.UDP {
+			frame, err = pcap.BuildUDP(src, dst, sport, dport, payload)
+		} else {
+			frame, err = pcap.BuildTCP(src, dst, sport, dport, uint32(seq0+sent), 0, pcap.FlagACK|pcap.FlagPSH, payload)
+		}
+		if err := add(ts, frame, err); err != nil {
+			return err
+		}
+		sent += size
+	}
+	return nil
+}
+
+// ApplyByteCap returns a copy of ds with each connection's per-direction
+// bytes truncated the same way Synthesize truncates them, so monitor
+// output can be compared against it exactly.
+func ApplyByteCap(ds *trace.Dataset, opts SynthOptions) *trace.Dataset {
+	opts.normalize()
+	out := &trace.Dataset{DNS: ds.DNS, Conns: make([]trace.ConnRecord, len(ds.Conns))}
+	copy(out.Conns, ds.Conns)
+	for i := range out.Conns {
+		out.Conns[i].OrigBytes = min64(out.Conns[i].OrigBytes, opts.MaxBytesPerConn)
+		out.Conns[i].RespBytes = min64(out.Conns[i].RespBytes, opts.MaxBytesPerConn)
+	}
+	return out
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func sortEvents(events []synthEvent) {
+	sort.SliceStable(events, func(i, j int) bool { return events[i].ts < events[j].ts })
+}

@@ -1,0 +1,47 @@
+package netsim
+
+import (
+	"time"
+
+	"dnscontext/internal/stats"
+)
+
+// Link models a one-way network path with a base propagation delay and
+// random jitter, plus a small probability of a "slow" episode (queueing,
+// retransmission) that multiplies the delay. The paper's SC/R separation
+// heuristic depends on resolvers having a stable delay mode with occasional
+// positive excursions; this model produces exactly that.
+type Link struct {
+	// Base is the minimum one-way delay.
+	Base time.Duration
+	// Jitter is the mean of an exponential jitter term added to Base.
+	Jitter time.Duration
+	// SlowProb is the probability a delivery hits a slow episode.
+	SlowProb float64
+	// SlowFactor multiplies (Base+jitter) during a slow episode.
+	SlowFactor float64
+}
+
+// Delay samples a one-way delay for one delivery.
+func (l Link) Delay(r *stats.RNG) time.Duration {
+	d := l.Base
+	if l.Jitter > 0 {
+		d += time.Duration(float64(l.Jitter) * r.ExpFloat64())
+	}
+	if l.SlowProb > 0 && r.Bool(l.SlowProb) {
+		f := l.SlowFactor
+		if f < 1 {
+			f = 1
+		}
+		d = time.Duration(float64(d) * f)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// RTT samples a round-trip delay (two independent one-way samples).
+func (l Link) RTT(r *stats.RNG) time.Duration {
+	return l.Delay(r) + l.Delay(r)
+}

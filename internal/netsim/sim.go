@@ -1,0 +1,114 @@
+// Package netsim implements a small discrete-event simulation engine with a
+// virtual clock, an event queue, and latency/jitter link models. The
+// dnscontext traffic generator runs entirely on this engine, so simulated
+// time is decoupled from wall-clock time and runs are deterministic.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Event is a callback scheduled to run at a virtual time.
+type Event func(now time.Duration)
+
+type item struct {
+	at  time.Duration
+	seq uint64 // tie-breaker: FIFO among equal timestamps
+	fn  Event
+}
+
+type eventQueue []*item
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*item)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+// Sim is a discrete-event simulator. The zero value is not usable; call New.
+type Sim struct {
+	now    time.Duration
+	queue  eventQueue
+	seq    uint64
+	events uint64
+}
+
+// New returns an empty simulator with the clock at zero.
+func New() *Sim {
+	return &Sim{}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Events returns the number of events executed so far.
+func (s *Sim) Events() uint64 { return s.events }
+
+// Pending returns the number of scheduled-but-unexecuted events.
+func (s *Sim) Pending() int { return len(s.queue) }
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the
+// past panics: it indicates a logic error that would otherwise silently
+// reorder causality.
+func (s *Sim) At(at time.Duration, fn Event) {
+	if at < s.now {
+		panic(fmt.Sprintf("netsim: scheduling event at %v, before now %v", at, s.now))
+	}
+	s.seq++
+	heap.Push(&s.queue, &item{at: at, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run delay after the current virtual time. Negative
+// delays are clamped to zero.
+func (s *Sim) After(delay time.Duration, fn Event) {
+	if delay < 0 {
+		delay = 0
+	}
+	s.At(s.now+delay, fn)
+}
+
+// Step executes the single earliest pending event. It reports whether an
+// event was executed.
+func (s *Sim) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	it := heap.Pop(&s.queue).(*item)
+	s.now = it.at
+	s.events++
+	it.fn(s.now)
+	return true
+}
+
+// RunUntil executes events in order until the queue is empty or the next
+// event is later than end. The clock finishes at end (or at the last
+// executed event if the queue drains first and that is later).
+func (s *Sim) RunUntil(end time.Duration) {
+	for len(s.queue) > 0 && s.queue[0].at <= end {
+		s.Step()
+	}
+	if s.now < end {
+		s.now = end
+	}
+}
+
+// Run executes every pending event, including events scheduled by events.
+// Use RunUntil for workloads that self-perpetuate.
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}

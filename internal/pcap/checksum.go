@@ -1,0 +1,48 @@
+// Package pcap implements a compact, stdlib-only packet layer codec
+// (Ethernet, IPv4, IPv6, UDP, TCP) and libpcap-format capture file I/O.
+// The design follows the layered-decoding architecture popularized by
+// gopacket: each layer decodes its header from a byte slice and exposes its
+// payload for the next layer, and 5-tuple Flow values are comparable map
+// keys used by the zeeklite monitor's flow table.
+package pcap
+
+import "encoding/binary"
+
+// onesComplementSum computes the running 16-bit one's-complement sum used
+// by the Internet checksum, folding carries as it goes.
+func onesComplementSum(sum uint32, b []byte) uint32 {
+	n := len(b) &^ 1
+	for i := 0; i < n; i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)&1 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum > 0xFFFF {
+		sum = (sum >> 16) + (sum & 0xFFFF)
+	}
+	return sum
+}
+
+// Checksum computes the Internet checksum (RFC 1071) over b.
+func Checksum(b []byte) uint16 {
+	return ^uint16(onesComplementSum(0, b))
+}
+
+// pseudoHeaderSum computes the checksum contribution of the IPv4/IPv6
+// pseudo-header for the given transport protocol and length.
+func pseudoHeaderSum(src, dst []byte, proto uint8, length int) uint32 {
+	sum := onesComplementSum(0, src)
+	sum = onesComplementSum(sum, dst)
+	var meta [4]byte
+	meta[1] = proto
+	binary.BigEndian.PutUint16(meta[2:4], uint16(length))
+	return onesComplementSum(sum, meta[:])
+}
+
+// TransportChecksum computes the UDP/TCP checksum including the
+// pseudo-header. segment must have its checksum field zeroed.
+func TransportChecksum(src, dst []byte, proto uint8, segment []byte) uint16 {
+	sum := pseudoHeaderSum(src, dst, proto, len(segment))
+	return ^uint16(onesComplementSum(sum, segment))
+}

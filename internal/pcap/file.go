@@ -1,0 +1,157 @@
+package pcap
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// libpcap file format constants (microsecond-resolution, little-endian
+// variant written by this package; the reader also accepts big-endian and
+// nanosecond magics).
+const (
+	magicMicrosLE = 0xA1B2C3D4
+	magicNanosLE  = 0xA1B23C4D
+	linkEthernet  = 1
+	versionMajor  = 2
+	versionMinor  = 4
+	// MaxSnapLen caps per-record capture length to defend the reader
+	// against corrupt files.
+	MaxSnapLen = 262144
+)
+
+// ErrBadMagic indicates the file is not a pcap capture.
+var ErrBadMagic = errors.New("pcap: bad magic number")
+
+// Record is one captured frame.
+type Record struct {
+	Timestamp time.Time
+	// OrigLen is the original frame length on the wire; len(Data) may be
+	// smaller if the capture was truncated.
+	OrigLen int
+	Data    []byte
+}
+
+// Writer writes a libpcap capture file.
+type Writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewWriter writes the pcap global header and returns a Writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], magicMicrosLE)
+	binary.LittleEndian.PutUint16(hdr[4:6], versionMajor)
+	binary.LittleEndian.PutUint16(hdr[6:8], versionMinor)
+	binary.LittleEndian.PutUint32(hdr[16:20], MaxSnapLen)
+	binary.LittleEndian.PutUint32(hdr[20:24], linkEthernet)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// WriteRecord appends one frame.
+func (w *Writer) WriteRecord(ts time.Time, frame []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	if len(frame) > MaxSnapLen {
+		return fmt.Errorf("pcap: frame %d bytes exceeds snaplen", len(frame))
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(ts.Unix()))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(ts.Nanosecond()/1000))
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(frame)))
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(frame)))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		w.err = err
+		return err
+	}
+	if _, err := w.w.Write(frame); err != nil {
+		w.err = err
+		return err
+	}
+	return nil
+}
+
+// Flush flushes buffered records to the underlying writer.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// Reader reads a libpcap capture file.
+type Reader struct {
+	r      *bufio.Reader
+	order  binary.ByteOrder
+	nanos  bool
+	teched bool
+}
+
+// NewReader parses the pcap global header. It accepts both byte orders and
+// both time resolutions but requires an Ethernet link type.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [24]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcap: reading global header: %w", err)
+	}
+	rd := &Reader{r: br}
+	magicLE := binary.LittleEndian.Uint32(hdr[0:4])
+	magicBE := binary.BigEndian.Uint32(hdr[0:4])
+	switch {
+	case magicLE == magicMicrosLE:
+		rd.order = binary.LittleEndian
+	case magicLE == magicNanosLE:
+		rd.order, rd.nanos = binary.LittleEndian, true
+	case magicBE == magicMicrosLE:
+		rd.order = binary.BigEndian
+	case magicBE == magicNanosLE:
+		rd.order, rd.nanos = binary.BigEndian, true
+	default:
+		return nil, ErrBadMagic
+	}
+	if link := rd.order.Uint32(hdr[20:24]); link != linkEthernet {
+		return nil, fmt.Errorf("pcap: unsupported link type %d", link)
+	}
+	return rd, nil
+}
+
+// Next returns the next record, or io.EOF at end of file.
+func (r *Reader) Next() (Record, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return Record{}, fmt.Errorf("pcap: truncated record header: %w", err)
+		}
+		return Record{}, err
+	}
+	sec := int64(r.order.Uint32(hdr[0:4]))
+	frac := int64(r.order.Uint32(hdr[4:8]))
+	caplen := r.order.Uint32(hdr[8:12])
+	origlen := r.order.Uint32(hdr[12:16])
+	if caplen > MaxSnapLen {
+		return Record{}, fmt.Errorf("pcap: record caplen %d exceeds snaplen", caplen)
+	}
+	data := make([]byte, caplen)
+	if _, err := io.ReadFull(r.r, data); err != nil {
+		return Record{}, fmt.Errorf("pcap: truncated record body: %w", err)
+	}
+	nanos := frac
+	if !r.nanos {
+		nanos *= 1000
+	}
+	return Record{
+		Timestamp: time.Unix(sec, nanos).UTC(),
+		OrigLen:   int(origlen),
+		Data:      data,
+	}, nil
+}

@@ -1,0 +1,311 @@
+package pcap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// Errors returned by the layer decoders.
+var (
+	ErrShortPacket    = errors.New("pcap: packet too short")
+	ErrBadVersion     = errors.New("pcap: unexpected IP version")
+	ErrBadHeaderLen   = errors.New("pcap: header length field out of range")
+	ErrUnsupported    = errors.New("pcap: unsupported protocol")
+	ErrLengthMismatch = errors.New("pcap: length field disagrees with data")
+)
+
+// EtherType values understood by the decoder.
+const (
+	EtherTypeIPv4 uint16 = 0x0800
+	EtherTypeIPv6 uint16 = 0x86DD
+)
+
+// IP protocol numbers understood by the decoder.
+const (
+	ProtoTCP uint8 = 6
+	ProtoUDP uint8 = 17
+)
+
+// MAC is a 6-octet Ethernet address.
+type MAC [6]byte
+
+// String renders the address in colon-hex form.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// Ethernet is a decoded Ethernet II header.
+type Ethernet struct {
+	Dst, Src  MAC
+	EtherType uint16
+	Payload   []byte
+}
+
+// DecodeEthernet parses an Ethernet II frame.
+func DecodeEthernet(b []byte) (Ethernet, error) {
+	var e Ethernet
+	if len(b) < 14 {
+		return e, fmt.Errorf("%w: ethernet %d bytes", ErrShortPacket, len(b))
+	}
+	copy(e.Dst[:], b[0:6])
+	copy(e.Src[:], b[6:12])
+	e.EtherType = binary.BigEndian.Uint16(b[12:14])
+	e.Payload = b[14:]
+	return e, nil
+}
+
+// Encode serializes the header followed by the payload.
+func (e Ethernet) Encode() []byte {
+	out := make([]byte, 14+len(e.Payload))
+	copy(out[0:6], e.Dst[:])
+	copy(out[6:12], e.Src[:])
+	binary.BigEndian.PutUint16(out[12:14], e.EtherType)
+	copy(out[14:], e.Payload)
+	return out
+}
+
+// IPv4 is a decoded IPv4 header (options preserved opaquely).
+type IPv4 struct {
+	TOS      uint8
+	ID       uint16
+	TTL      uint8
+	Protocol uint8
+	Src, Dst netip.Addr
+	Options  []byte
+	Payload  []byte
+}
+
+// DecodeIPv4 parses an IPv4 packet and verifies its header checksum.
+func DecodeIPv4(b []byte) (IPv4, error) {
+	var p IPv4
+	if len(b) < 20 {
+		return p, fmt.Errorf("%w: ipv4 %d bytes", ErrShortPacket, len(b))
+	}
+	if v := b[0] >> 4; v != 4 {
+		return p, fmt.Errorf("%w: version %d", ErrBadVersion, v)
+	}
+	ihl := int(b[0]&0x0F) * 4
+	if ihl < 20 || ihl > len(b) {
+		return p, fmt.Errorf("%w: ihl %d", ErrBadHeaderLen, ihl)
+	}
+	total := int(binary.BigEndian.Uint16(b[2:4]))
+	if total < ihl || total > len(b) {
+		return p, fmt.Errorf("%w: total length %d of %d", ErrLengthMismatch, total, len(b))
+	}
+	if Checksum(b[:ihl]) != 0 {
+		return p, errors.New("pcap: ipv4 header checksum mismatch")
+	}
+	p.TOS = b[1]
+	p.ID = binary.BigEndian.Uint16(b[4:6])
+	p.TTL = b[8]
+	p.Protocol = b[9]
+	p.Src = netip.AddrFrom4([4]byte(b[12:16]))
+	p.Dst = netip.AddrFrom4([4]byte(b[16:20]))
+	if ihl > 20 {
+		p.Options = b[20:ihl]
+	}
+	p.Payload = b[ihl:total]
+	return p, nil
+}
+
+// Encode serializes the header (with computed checksum) and payload.
+func (p IPv4) Encode() ([]byte, error) {
+	if !p.Src.Is4() || !p.Dst.Is4() {
+		return nil, fmt.Errorf("%w: IPv4 needs 4-byte addrs", ErrBadVersion)
+	}
+	if len(p.Options)%4 != 0 || len(p.Options) > 40 {
+		return nil, fmt.Errorf("%w: options %d bytes", ErrBadHeaderLen, len(p.Options))
+	}
+	ihl := 20 + len(p.Options)
+	total := ihl + len(p.Payload)
+	if total > 0xFFFF {
+		return nil, fmt.Errorf("%w: packet %d bytes", ErrLengthMismatch, total)
+	}
+	out := make([]byte, total)
+	out[0] = 4<<4 | uint8(ihl/4)
+	out[1] = p.TOS
+	binary.BigEndian.PutUint16(out[2:4], uint16(total))
+	binary.BigEndian.PutUint16(out[4:6], p.ID)
+	out[8] = p.TTL
+	out[9] = p.Protocol
+	src, dst := p.Src.As4(), p.Dst.As4()
+	copy(out[12:16], src[:])
+	copy(out[16:20], dst[:])
+	copy(out[20:ihl], p.Options)
+	binary.BigEndian.PutUint16(out[10:12], Checksum(out[:ihl]))
+	copy(out[ihl:], p.Payload)
+	return out, nil
+}
+
+// IPv6 is a decoded IPv6 header. Extension headers are not supported; the
+// simulator never emits them and the monitor treats them as undecodable.
+type IPv6 struct {
+	TrafficClass uint8
+	HopLimit     uint8
+	NextHeader   uint8
+	Src, Dst     netip.Addr
+	Payload      []byte
+}
+
+// DecodeIPv6 parses an IPv6 packet.
+func DecodeIPv6(b []byte) (IPv6, error) {
+	var p IPv6
+	if len(b) < 40 {
+		return p, fmt.Errorf("%w: ipv6 %d bytes", ErrShortPacket, len(b))
+	}
+	if v := b[0] >> 4; v != 6 {
+		return p, fmt.Errorf("%w: version %d", ErrBadVersion, v)
+	}
+	plen := int(binary.BigEndian.Uint16(b[4:6]))
+	if 40+plen > len(b) {
+		return p, fmt.Errorf("%w: payload length %d of %d", ErrLengthMismatch, plen, len(b)-40)
+	}
+	p.TrafficClass = b[0]<<4 | b[1]>>4
+	p.NextHeader = b[6]
+	p.HopLimit = b[7]
+	p.Src = netip.AddrFrom16([16]byte(b[8:24]))
+	p.Dst = netip.AddrFrom16([16]byte(b[24:40]))
+	p.Payload = b[40 : 40+plen]
+	return p, nil
+}
+
+// Encode serializes the header and payload.
+func (p IPv6) Encode() ([]byte, error) {
+	if !p.Src.Is6() || !p.Dst.Is6() || p.Src.Is4In6() || p.Dst.Is4In6() {
+		return nil, fmt.Errorf("%w: IPv6 needs 16-byte addrs", ErrBadVersion)
+	}
+	if len(p.Payload) > 0xFFFF {
+		return nil, fmt.Errorf("%w: payload %d bytes", ErrLengthMismatch, len(p.Payload))
+	}
+	out := make([]byte, 40+len(p.Payload))
+	out[0] = 6<<4 | p.TrafficClass>>4
+	out[1] = p.TrafficClass << 4
+	binary.BigEndian.PutUint16(out[4:6], uint16(len(p.Payload)))
+	out[6] = p.NextHeader
+	out[7] = p.HopLimit
+	src, dst := p.Src.As16(), p.Dst.As16()
+	copy(out[8:24], src[:])
+	copy(out[24:40], dst[:])
+	copy(out[40:], p.Payload)
+	return out, nil
+}
+
+// UDP is a decoded UDP header.
+type UDP struct {
+	SrcPort, DstPort uint16
+	Payload          []byte
+}
+
+// DecodeUDP parses a UDP datagram.
+func DecodeUDP(b []byte) (UDP, error) {
+	var u UDP
+	if len(b) < 8 {
+		return u, fmt.Errorf("%w: udp %d bytes", ErrShortPacket, len(b))
+	}
+	ulen := int(binary.BigEndian.Uint16(b[4:6]))
+	if ulen < 8 || ulen > len(b) {
+		return u, fmt.Errorf("%w: udp length %d of %d", ErrLengthMismatch, ulen, len(b))
+	}
+	u.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	u.DstPort = binary.BigEndian.Uint16(b[2:4])
+	u.Payload = b[8:ulen]
+	return u, nil
+}
+
+// Encode serializes the datagram, computing the checksum with the given
+// IP-layer addresses.
+func (u UDP) Encode(src, dst netip.Addr) ([]byte, error) {
+	if 8+len(u.Payload) > 0xFFFF {
+		return nil, fmt.Errorf("%w: udp payload %d bytes", ErrLengthMismatch, len(u.Payload))
+	}
+	out := make([]byte, 8+len(u.Payload))
+	binary.BigEndian.PutUint16(out[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(out[2:4], u.DstPort)
+	binary.BigEndian.PutUint16(out[4:6], uint16(len(out)))
+	copy(out[8:], u.Payload)
+	s, d := addrBytes(src), addrBytes(dst)
+	ck := TransportChecksum(s, d, ProtoUDP, out)
+	if ck == 0 {
+		ck = 0xFFFF // RFC 768: transmitted zero means "no checksum"
+	}
+	binary.BigEndian.PutUint16(out[6:8], ck)
+	return out, nil
+}
+
+// TCP flag bits.
+const (
+	FlagFIN uint8 = 1 << 0
+	FlagSYN uint8 = 1 << 1
+	FlagRST uint8 = 1 << 2
+	FlagPSH uint8 = 1 << 3
+	FlagACK uint8 = 1 << 4
+)
+
+// TCP is a decoded TCP header.
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	Window           uint16
+	Options          []byte
+	Payload          []byte
+}
+
+// DecodeTCP parses a TCP segment.
+func DecodeTCP(b []byte) (TCP, error) {
+	var t TCP
+	if len(b) < 20 {
+		return t, fmt.Errorf("%w: tcp %d bytes", ErrShortPacket, len(b))
+	}
+	doff := int(b[12]>>4) * 4
+	if doff < 20 || doff > len(b) {
+		return t, fmt.Errorf("%w: data offset %d", ErrBadHeaderLen, doff)
+	}
+	t.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	t.DstPort = binary.BigEndian.Uint16(b[2:4])
+	t.Seq = binary.BigEndian.Uint32(b[4:8])
+	t.Ack = binary.BigEndian.Uint32(b[8:12])
+	t.Flags = b[13] & 0x1F
+	t.Window = binary.BigEndian.Uint16(b[14:16])
+	if doff > 20 {
+		t.Options = b[20:doff]
+	}
+	t.Payload = b[doff:]
+	return t, nil
+}
+
+// Encode serializes the segment, computing the checksum with the given
+// IP-layer addresses.
+func (t TCP) Encode(src, dst netip.Addr) ([]byte, error) {
+	if len(t.Options)%4 != 0 || len(t.Options) > 40 {
+		return nil, fmt.Errorf("%w: tcp options %d bytes", ErrBadHeaderLen, len(t.Options))
+	}
+	doff := 20 + len(t.Options)
+	out := make([]byte, doff+len(t.Payload))
+	binary.BigEndian.PutUint16(out[0:2], t.SrcPort)
+	binary.BigEndian.PutUint16(out[2:4], t.DstPort)
+	binary.BigEndian.PutUint32(out[4:8], t.Seq)
+	binary.BigEndian.PutUint32(out[8:12], t.Ack)
+	out[12] = uint8(doff/4) << 4
+	out[13] = t.Flags
+	binary.BigEndian.PutUint16(out[14:16], t.Window)
+	copy(out[20:doff], t.Options)
+	copy(out[doff:], t.Payload)
+	s, d := addrBytes(src), addrBytes(dst)
+	binary.BigEndian.PutUint16(out[16:18], TransportChecksum(s, d, ProtoTCP, out))
+	return out, nil
+}
+
+// HasFlags reports whether every flag in mask is set.
+func (t TCP) HasFlags(mask uint8) bool { return t.Flags&mask == mask }
+
+func addrBytes(a netip.Addr) []byte {
+	if a.Is4() {
+		b := a.As4()
+		return b[:]
+	}
+	b := a.As16()
+	return b[:]
+}

@@ -1,0 +1,207 @@
+package pcap
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+)
+
+// Flow identifies a unidirectional transport flow. It is a comparable
+// value type and so usable directly as a map key, mirroring gopacket's
+// Flow/Endpoint design.
+type Flow struct {
+	Proto            uint8
+	Src, Dst         netip.Addr
+	SrcPort, DstPort uint16
+}
+
+// Reverse returns the flow in the opposite direction.
+func (f Flow) Reverse() Flow {
+	return Flow{Proto: f.Proto, Src: f.Dst, Dst: f.Src, SrcPort: f.DstPort, DstPort: f.SrcPort}
+}
+
+// Canonical returns a direction-independent key: the flow ordered so the
+// lexicographically smaller (addr, port) endpoint is the source. Both
+// directions of a connection map to the same canonical flow.
+func (f Flow) Canonical() Flow {
+	if f.Src.Compare(f.Dst) > 0 || (f.Src == f.Dst && f.SrcPort > f.DstPort) {
+		return f.Reverse()
+	}
+	return f
+}
+
+// String renders the flow as "proto src:sport > dst:dport".
+func (f Flow) String() string {
+	proto := "ip"
+	switch f.Proto {
+	case ProtoTCP:
+		proto = "tcp"
+	case ProtoUDP:
+		proto = "udp"
+	}
+	return fmt.Sprintf("%s %s:%d > %s:%d", proto, f.Src, f.SrcPort, f.Dst, f.DstPort)
+}
+
+// Packet is a fully decoded frame: link, network and transport layers plus
+// the capture timestamp. Exactly one of UDP/TCP is non-nil for transport
+// traffic the decoder understands.
+type Packet struct {
+	Timestamp time.Time
+	Ethernet  Ethernet
+	// IsIPv6 selects which of IPv4/IPv6 is populated.
+	IsIPv6 bool
+	IPv4   IPv4
+	IPv6   IPv6
+	UDP    *UDP
+	TCP    *TCP
+}
+
+// SrcAddr returns the network-layer source address.
+func (p *Packet) SrcAddr() netip.Addr {
+	if p.IsIPv6 {
+		return p.IPv6.Src
+	}
+	return p.IPv4.Src
+}
+
+// DstAddr returns the network-layer destination address.
+func (p *Packet) DstAddr() netip.Addr {
+	if p.IsIPv6 {
+		return p.IPv6.Dst
+	}
+	return p.IPv4.Dst
+}
+
+// Flow returns the unidirectional transport flow of the packet, or a
+// zero-port flow for non-UDP/TCP traffic.
+func (p *Packet) Flow() Flow {
+	f := Flow{Src: p.SrcAddr(), Dst: p.DstAddr()}
+	switch {
+	case p.UDP != nil:
+		f.Proto = ProtoUDP
+		f.SrcPort, f.DstPort = p.UDP.SrcPort, p.UDP.DstPort
+	case p.TCP != nil:
+		f.Proto = ProtoTCP
+		f.SrcPort, f.DstPort = p.TCP.SrcPort, p.TCP.DstPort
+	default:
+		if p.IsIPv6 {
+			f.Proto = p.IPv6.NextHeader
+		} else {
+			f.Proto = p.IPv4.Protocol
+		}
+	}
+	return f
+}
+
+// TransportPayload returns the application payload bytes, or nil.
+func (p *Packet) TransportPayload() []byte {
+	switch {
+	case p.UDP != nil:
+		return p.UDP.Payload
+	case p.TCP != nil:
+		return p.TCP.Payload
+	}
+	return nil
+}
+
+// DecodePacket decodes an Ethernet frame down to the transport layer.
+// Unknown ethertypes or IP protocols leave the deeper layers unset rather
+// than failing, matching how a passive monitor skips traffic it cannot
+// parse.
+func DecodePacket(ts time.Time, frame []byte) (*Packet, error) {
+	eth, err := DecodeEthernet(frame)
+	if err != nil {
+		return nil, err
+	}
+	p := &Packet{Timestamp: ts, Ethernet: eth}
+	var proto uint8
+	var payload []byte
+	switch eth.EtherType {
+	case EtherTypeIPv4:
+		ip, err := DecodeIPv4(eth.Payload)
+		if err != nil {
+			return nil, err
+		}
+		p.IPv4 = ip
+		proto, payload = ip.Protocol, ip.Payload
+	case EtherTypeIPv6:
+		ip, err := DecodeIPv6(eth.Payload)
+		if err != nil {
+			return nil, err
+		}
+		p.IsIPv6 = true
+		p.IPv6 = ip
+		proto, payload = ip.NextHeader, ip.Payload
+	default:
+		return p, nil
+	}
+	switch proto {
+	case ProtoUDP:
+		u, err := DecodeUDP(payload)
+		if err != nil {
+			return nil, err
+		}
+		p.UDP = &u
+	case ProtoTCP:
+		t, err := DecodeTCP(payload)
+		if err != nil {
+			return nil, err
+		}
+		p.TCP = &t
+	}
+	return p, nil
+}
+
+// defaultMACs gives deterministic placeholder link addresses for
+// synthesized frames; the monitor never inspects them.
+var (
+	srcMAC = MAC{0x02, 0x00, 0x00, 0x00, 0x00, 0x01}
+	dstMAC = MAC{0x02, 0x00, 0x00, 0x00, 0x00, 0x02}
+)
+
+// BuildUDP synthesizes a complete Ethernet/IP/UDP frame.
+func BuildUDP(src, dst netip.Addr, srcPort, dstPort uint16, payload []byte) ([]byte, error) {
+	u := UDP{SrcPort: srcPort, DstPort: dstPort, Payload: payload}
+	seg, err := u.Encode(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	return wrapIP(src, dst, ProtoUDP, seg)
+}
+
+// BuildTCP synthesizes a complete Ethernet/IP/TCP frame.
+func BuildTCP(src, dst netip.Addr, srcPort, dstPort uint16, seq, ack uint32, flags uint8, payload []byte) ([]byte, error) {
+	t := TCP{SrcPort: srcPort, DstPort: dstPort, Seq: seq, Ack: ack, Flags: flags, Window: 65535, Payload: payload}
+	seg, err := t.Encode(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	return wrapIP(src, dst, ProtoTCP, seg)
+}
+
+func wrapIP(src, dst netip.Addr, proto uint8, seg []byte) ([]byte, error) {
+	var (
+		pkt []byte
+		et  uint16
+		err error
+	)
+	if src.Is4() != dst.Is4() {
+		return nil, fmt.Errorf("%w: mixed address families", ErrBadVersion)
+	}
+	if src.Is4() {
+		ip := IPv4{TTL: 64, Protocol: proto, Src: src, Dst: dst}
+		ip.Payload = seg
+		pkt, err = ip.Encode()
+		et = EtherTypeIPv4
+	} else {
+		ip := IPv6{HopLimit: 64, NextHeader: proto, Src: src, Dst: dst}
+		ip.Payload = seg
+		pkt, err = ip.Encode()
+		et = EtherTypeIPv6
+	}
+	if err != nil {
+		return nil, err
+	}
+	eth := Ethernet{Dst: dstMAC, Src: srcMAC, EtherType: et, Payload: pkt}
+	return eth.Encode(), nil
+}

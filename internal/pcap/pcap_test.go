@@ -1,0 +1,462 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var (
+	v4a = netip.MustParseAddr("192.0.2.1")
+	v4b = netip.MustParseAddr("198.51.100.7")
+	v6a = netip.MustParseAddr("2001:db8::1")
+	v6b = netip.MustParseAddr("2001:db8::2")
+)
+
+func TestChecksumRFC1071Example(t *testing.T) {
+	// Classic example from RFC 1071 §3.
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(data); got != ^uint16(0xddf2) {
+		t.Fatalf("checksum = %#x", got)
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	if Checksum([]byte{0xFF}) != ^uint16(0xFF00) {
+		t.Fatal("odd-length checksum wrong")
+	}
+}
+
+func TestUDPRoundTripV4(t *testing.T) {
+	payload := []byte("dns goes here")
+	frame, err := BuildUDP(v4a, v4b, 5353, 53, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := DecodePacket(time.Unix(100, 0), frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.UDP == nil || p.TCP != nil {
+		t.Fatal("expected UDP transport")
+	}
+	if p.SrcAddr() != v4a || p.DstAddr() != v4b {
+		t.Fatalf("addrs %v %v", p.SrcAddr(), p.DstAddr())
+	}
+	if p.UDP.SrcPort != 5353 || p.UDP.DstPort != 53 {
+		t.Fatalf("ports %d %d", p.UDP.SrcPort, p.UDP.DstPort)
+	}
+	if !bytes.Equal(p.TransportPayload(), payload) {
+		t.Fatalf("payload %q", p.TransportPayload())
+	}
+	// Verify the UDP checksum validates against the pseudo-header.
+	seg := p.IPv4.Payload
+	if TransportChecksum(addrBytes(v4a), addrBytes(v4b), ProtoUDP, zeroCksum(seg, 6)) != binary.BigEndian.Uint16(seg[6:8]) {
+		t.Fatal("UDP checksum does not verify")
+	}
+}
+
+func zeroCksum(seg []byte, off int) []byte {
+	cp := append([]byte(nil), seg...)
+	cp[off], cp[off+1] = 0, 0
+	return cp
+}
+
+func TestUDPRoundTripV6(t *testing.T) {
+	frame, err := BuildUDP(v6a, v6b, 1111, 853, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := DecodePacket(time.Time{}, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.IsIPv6 || p.UDP == nil {
+		t.Fatal("expected IPv6 UDP")
+	}
+	if p.SrcAddr() != v6a || p.DstAddr() != v6b {
+		t.Fatalf("addrs %v %v", p.SrcAddr(), p.DstAddr())
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	frame, err := BuildTCP(v4a, v4b, 40000, 443, 1000, 2000, FlagSYN|FlagACK, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := DecodePacket(time.Time{}, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcp := p.TCP
+	if tcp == nil {
+		t.Fatal("no TCP layer")
+	}
+	if tcp.Seq != 1000 || tcp.Ack != 2000 {
+		t.Fatalf("seq/ack %d/%d", tcp.Seq, tcp.Ack)
+	}
+	if !tcp.HasFlags(FlagSYN|FlagACK) || tcp.HasFlags(FlagRST) {
+		t.Fatalf("flags %#x", tcp.Flags)
+	}
+	seg := p.IPv4.Payload
+	if TransportChecksum(addrBytes(v4a), addrBytes(v4b), ProtoTCP, zeroCksum(seg, 16)) != binary.BigEndian.Uint16(seg[16:18]) {
+		t.Fatal("TCP checksum does not verify")
+	}
+}
+
+func TestMixedFamiliesRejected(t *testing.T) {
+	if _, err := BuildUDP(v4a, v6b, 1, 2, nil); err == nil {
+		t.Fatal("mixed families accepted")
+	}
+}
+
+func TestIPv4CorruptionDetected(t *testing.T) {
+	frame, _ := BuildUDP(v4a, v4b, 1, 2, []byte("hello"))
+	// Flip a bit inside the IP header (TTL).
+	frame[14+8] ^= 0xFF
+	if _, err := DecodePacket(time.Time{}, frame); err == nil {
+		t.Fatal("corrupted IPv4 header decoded")
+	}
+}
+
+func TestDecodeShortFrames(t *testing.T) {
+	frame, _ := BuildTCP(v4a, v4b, 1, 2, 0, 0, FlagSYN, nil)
+	for n := 0; n < len(frame); n++ {
+		if _, err := DecodePacket(time.Time{}, frame[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded", n)
+		}
+	}
+}
+
+func TestDecodeUnknownEtherType(t *testing.T) {
+	eth := Ethernet{EtherType: 0x0806 /* ARP */, Payload: []byte{1, 2, 3}}
+	p, err := DecodePacket(time.Time{}, eth.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.UDP != nil || p.TCP != nil {
+		t.Fatal("transport decoded from ARP")
+	}
+}
+
+func TestDecodeGarbageNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = DecodePacket(time.Time{}, data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlowReverseCanonical(t *testing.T) {
+	f := Flow{Proto: ProtoTCP, Src: v4b, Dst: v4a, SrcPort: 9999, DstPort: 80}
+	r := f.Reverse()
+	if r.Src != v4a || r.DstPort != 9999 {
+		t.Fatalf("reverse = %+v", r)
+	}
+	if f.Canonical() != r.Canonical() {
+		t.Fatal("canonical differs between directions")
+	}
+	if f.Canonical().Src != v4a {
+		t.Fatalf("canonical src = %v, want smaller addr", f.Canonical().Src)
+	}
+}
+
+func TestFlowCanonicalSameAddr(t *testing.T) {
+	f := Flow{Proto: ProtoUDP, Src: v4a, Dst: v4a, SrcPort: 9, DstPort: 5}
+	if got := f.Canonical(); got.SrcPort != 5 {
+		t.Fatalf("canonical = %+v", got)
+	}
+}
+
+func TestFlowString(t *testing.T) {
+	f := Flow{Proto: ProtoUDP, Src: v4a, Dst: v4b, SrcPort: 53, DstPort: 31000}
+	want := "udp 192.0.2.1:53 > 198.51.100.7:31000"
+	if f.String() != want {
+		t.Fatalf("String = %q", f.String())
+	}
+}
+
+func TestPacketFlow(t *testing.T) {
+	frame, _ := BuildUDP(v4a, v4b, 5000, 53, nil)
+	p, _ := DecodePacket(time.Time{}, frame)
+	f := p.Flow()
+	if f.Proto != ProtoUDP || f.SrcPort != 5000 || f.DstPort != 53 {
+		t.Fatalf("flow = %+v", f)
+	}
+}
+
+func TestPcapFileRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := [][]byte{}
+	times := []time.Time{}
+	for i := 0; i < 10; i++ {
+		frame, err := BuildUDP(v4a, v4b, uint16(1000+i), 53, []byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := time.Unix(int64(1549400000+i), int64(i)*1000).UTC()
+		if err := w.WriteRecord(ts, frame); err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, frame)
+		times = append(times, ts)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		rec, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			if i != 10 {
+				t.Fatalf("read %d records, want 10", i)
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(rec.Data, frames[i]) {
+			t.Fatalf("record %d data mismatch", i)
+		}
+		if !rec.Timestamp.Equal(times[i]) {
+			t.Fatalf("record %d time %v, want %v", i, rec.Timestamp, times[i])
+		}
+		if rec.OrigLen != len(frames[i]) {
+			t.Fatalf("record %d origlen %d", i, rec.OrigLen)
+		}
+	}
+}
+
+func TestPcapReaderBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader(make([]byte, 24))); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPcapReaderTruncatedHeader(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Fatal("short header accepted")
+	}
+}
+
+func TestPcapReaderTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	frame, _ := BuildUDP(v4a, v4b, 1, 2, nil)
+	_ = w.WriteRecord(time.Unix(0, 0), frame)
+	_ = w.Flush()
+	b := buf.Bytes()[:buf.Len()-3]
+	r, err := NewReader(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Fatal("truncated record read successfully")
+	}
+}
+
+func TestPcapWriterRejectsGiantFrame(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	if err := w.WriteRecord(time.Unix(0, 0), make([]byte, MaxSnapLen+1)); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestMACString(t *testing.T) {
+	m := MAC{0x02, 0, 0, 0xAB, 0xCD, 0xEF}
+	if m.String() != "02:00:00:ab:cd:ef" {
+		t.Fatalf("MAC = %q", m.String())
+	}
+}
+
+func TestPacketFlowNonTransport(t *testing.T) {
+	// An IP packet with an unknown protocol: Flow carries the protocol
+	// number with zero ports; TransportPayload is nil.
+	ip := IPv4{TTL: 64, Protocol: 47 /* GRE */, Src: v4a, Dst: v4b, Payload: make([]byte, 24)}
+	b, err := ip.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eth := Ethernet{EtherType: EtherTypeIPv4, Payload: b}
+	p, err := DecodePacket(time.Time{}, eth.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := p.Flow()
+	if f.Proto != 47 || f.SrcPort != 0 || f.DstPort != 0 {
+		t.Fatalf("flow %+v", f)
+	}
+	if p.TransportPayload() != nil {
+		t.Fatal("payload for non-transport packet")
+	}
+}
+
+func TestPacketFlowIPv6NonTransport(t *testing.T) {
+	ip := IPv6{HopLimit: 64, NextHeader: 58 /* ICMPv6 */, Src: v6a, Dst: v6b, Payload: []byte{1, 2, 3, 4}}
+	b, err := ip.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eth := Ethernet{EtherType: EtherTypeIPv6, Payload: b}
+	p, err := DecodePacket(time.Time{}, eth.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := p.Flow(); f.Proto != 58 {
+		t.Fatalf("flow %+v", f)
+	}
+	if tp := p.TransportPayload(); tp != nil {
+		t.Fatalf("payload %v", tp)
+	}
+}
+
+func TestTCPWithOptionsRoundTrip(t *testing.T) {
+	opts := []byte{2, 4, 5, 0xb4, 1, 1, 1, 1} // MSS + padding, 8 bytes
+	tcp := TCP{SrcPort: 1, DstPort: 2, Seq: 9, Flags: FlagSYN, Window: 1024, Options: opts, Payload: []byte("x")}
+	seg, err := tcp.Encode(v4a, v4b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeTCP(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Options, opts) || !bytes.Equal(got.Payload, []byte("x")) {
+		t.Fatalf("options/payload lost: %+v", got)
+	}
+	if _, err := (TCP{Options: []byte{1, 2, 3}}).Encode(v4a, v4b); err == nil {
+		t.Fatal("unaligned options accepted")
+	}
+}
+
+func TestIPv4OptionsRoundTrip(t *testing.T) {
+	ip := IPv4{TTL: 9, Protocol: ProtoUDP, Src: v4a, Dst: v4b,
+		Options: []byte{1, 1, 1, 1}, Payload: []byte{0xAA}}
+	b, err := ip.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeIPv4(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Options, []byte{1, 1, 1, 1}) || got.TTL != 9 {
+		t.Fatalf("ipv4 options lost: %+v", got)
+	}
+	if _, err := (IPv4{Src: v4a, Dst: v4b, Options: []byte{1, 2, 3}}).Encode(); err == nil {
+		t.Fatal("unaligned IP options accepted")
+	}
+}
+
+func TestPcapReaderBigEndianAndNanos(t *testing.T) {
+	frame, _ := BuildUDP(v4a, v4b, 1, 2, []byte("z"))
+	for _, tc := range []struct {
+		name  string
+		magic uint32
+		nanos bool
+	}{
+		{"big-endian micros", 0xA1B2C3D4, false},
+		{"little-endian nanos", 0xA1B23C4D, true},
+	} {
+		var buf bytes.Buffer
+		hdr := make([]byte, 24)
+		if tc.name == "big-endian micros" {
+			binary.BigEndian.PutUint32(hdr[0:4], tc.magic)
+			binary.BigEndian.PutUint32(hdr[20:24], 1)
+		} else {
+			binary.LittleEndian.PutUint32(hdr[0:4], tc.magic)
+			binary.LittleEndian.PutUint32(hdr[20:24], 1)
+		}
+		buf.Write(hdr)
+		rec := make([]byte, 16)
+		order := binary.ByteOrder(binary.LittleEndian)
+		if tc.name == "big-endian micros" {
+			order = binary.BigEndian
+		}
+		order.PutUint32(rec[0:4], 1700000000)
+		order.PutUint32(rec[4:8], 123)
+		order.PutUint32(rec[8:12], uint32(len(frame)))
+		order.PutUint32(rec[12:16], uint32(len(frame)))
+		buf.Write(rec)
+		buf.Write(frame)
+
+		r, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		wantNanos := int64(123)
+		if !tc.nanos {
+			wantNanos *= 1000
+		}
+		if got.Timestamp.UnixNano() != 1700000000*1e9+wantNanos {
+			t.Fatalf("%s: ts %v", tc.name, got.Timestamp)
+		}
+	}
+}
+
+func TestPcapReaderRejectsNonEthernet(t *testing.T) {
+	hdr := make([]byte, 24)
+	binary.LittleEndian.PutUint32(hdr[0:4], 0xA1B2C3D4)
+	binary.LittleEndian.PutUint32(hdr[20:24], 101) // LINKTYPE_RAW
+	if _, err := NewReader(bytes.NewReader(hdr)); err == nil {
+		t.Fatal("non-ethernet link type accepted")
+	}
+}
+
+func TestPcapReaderRejectsGiantCaplen(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	_ = w.Flush()
+	rec := make([]byte, 16)
+	binary.LittleEndian.PutUint32(rec[8:12], MaxSnapLen+1)
+	buf.Write(rec)
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Fatal("absurd caplen accepted")
+	}
+}
+
+func TestWriterErrorSticky(t *testing.T) {
+	w, err := NewWriter(&failingWriter{})
+	if err == nil {
+		// The header write may be buffered; force it out.
+		frame, _ := BuildUDP(v4a, v4b, 1, 2, make([]byte, 8000))
+		for i := 0; i < 20 && err == nil; i++ {
+			err = w.WriteRecord(time.Unix(0, 0), frame)
+			if err == nil {
+				err = w.Flush()
+			}
+		}
+		if err == nil {
+			t.Fatal("writes to failing writer never errored")
+		}
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write(p []byte) (int, error) { return 0, io.ErrClosedPipe }

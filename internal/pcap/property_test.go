@@ -1,0 +1,101 @@
+package pcap
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Property: Canonical is direction-invariant and idempotent for arbitrary
+// flows.
+func TestFlowCanonicalProperty(t *testing.T) {
+	f := func(a, b [4]byte, sp, dp uint16, udp bool) bool {
+		proto := ProtoTCP
+		if udp {
+			proto = ProtoUDP
+		}
+		fl := Flow{
+			Proto: proto,
+			Src:   netip.AddrFrom4(a), Dst: netip.AddrFrom4(b),
+			SrcPort: sp, DstPort: dp,
+		}
+		c := fl.Canonical()
+		return c == fl.Reverse().Canonical() && c == c.Canonical()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Reverse is an involution.
+func TestFlowReverseInvolution(t *testing.T) {
+	f := func(a, b [4]byte, sp, dp uint16) bool {
+		fl := Flow{Proto: ProtoTCP, Src: netip.AddrFrom4(a), Dst: netip.AddrFrom4(b), SrcPort: sp, DstPort: dp}
+		return fl.Reverse().Reverse() == fl
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: UDP frames round-trip for arbitrary ports and payloads.
+func TestUDPRoundTripProperty(t *testing.T) {
+	f := func(a, b [4]byte, sp, dp uint16, payload []byte) bool {
+		if len(payload) > 1400 {
+			payload = payload[:1400]
+		}
+		src, dst := netip.AddrFrom4(a), netip.AddrFrom4(b)
+		frame, err := BuildUDP(src, dst, sp, dp, payload)
+		if err != nil {
+			return false
+		}
+		p, err := DecodePacket(time.Time{}, frame)
+		if err != nil || p.UDP == nil {
+			return false
+		}
+		return p.SrcAddr() == src && p.DstAddr() == dst &&
+			p.UDP.SrcPort == sp && p.UDP.DstPort == dp &&
+			bytes.Equal(p.UDP.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: TCP frames round-trip seq/ack/flags for arbitrary values.
+func TestTCPRoundTripProperty(t *testing.T) {
+	f := func(a, b [4]byte, sp, dp uint16, seq, ack uint32, flags uint8) bool {
+		src, dst := netip.AddrFrom4(a), netip.AddrFrom4(b)
+		flags &= 0x1F
+		frame, err := BuildTCP(src, dst, sp, dp, seq, ack, flags, nil)
+		if err != nil {
+			return false
+		}
+		p, err := DecodePacket(time.Time{}, frame)
+		if err != nil || p.TCP == nil {
+			return false
+		}
+		return p.TCP.Seq == seq && p.TCP.Ack == ack && p.TCP.Flags == flags
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the checksum of any buffer with its computed checksum folded
+// in verifies to zero (the receiver-side identity).
+func TestChecksumIdentityProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		if len(data)%2 == 1 {
+			data = append(data, 0)
+		}
+		ck := Checksum(data)
+		full := append(append([]byte(nil), data...), byte(ck>>8), byte(ck))
+		return Checksum(full) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,156 @@
+package resolver
+
+import (
+	"math"
+	"net/netip"
+	"time"
+
+	"dnscontext/internal/stats"
+	"dnscontext/internal/trace"
+)
+
+// Result is the client-observed outcome of one recursive lookup.
+type Result struct {
+	// Duration is the total client-observed lookup time (network RTT plus
+	// any authoritative iteration the resolver performed).
+	Duration time.Duration
+	// FromCache is true when the shared resolver answered from its cache
+	// (the paper's SC case); false means authoritative servers were
+	// contacted (the R case).
+	FromCache bool
+	// Resolver is the platform address that served the query.
+	Resolver netip.Addr
+	Answers  []trace.Answer
+	RCode    uint8
+}
+
+// Recursive is one resolver platform: a set of anycast frontends, each
+// with an independent shared cache, backed by the authoritative model.
+type Recursive struct {
+	Profile PlatformProfile
+	parts   []*Cache
+	auth    *Authority
+	rng     *stats.RNG
+
+	queries uint64
+	hits    uint64
+}
+
+// NewRecursive builds a platform instance.
+func NewRecursive(profile PlatformProfile, auth *Authority, rng *stats.RNG) *Recursive {
+	n := profile.Partitions
+	if n < 1 {
+		n = 1
+	}
+	parts := make([]*Cache, n)
+	for i := range parts {
+		parts[i] = NewCache(profile.CacheCapacity)
+	}
+	return &Recursive{Profile: profile, parts: parts, auth: auth, rng: rng}
+}
+
+// HitRate returns the platform's cumulative shared-cache hit rate.
+func (rr *Recursive) HitRate() float64 {
+	if rr.queries == 0 {
+		return 0
+	}
+	return float64(rr.hits) / float64(rr.queries)
+}
+
+// Lookup resolves host for a client at virtual time now. The returned
+// Result carries everything the generator needs to emit the dns.log record
+// and to decide when the answer is available to the application.
+func (rr *Recursive) Lookup(now time.Duration, host string) Result {
+	rr.queries++
+	// Pick the frontend: clients hash to frontends per flow in reality;
+	// per-query random choice models load-balanced anycast, which is what
+	// de-correlates Google's caches.
+	part := rr.parts[rr.rng.Intn(len(rr.parts))]
+	// The query reaches the frontend after one one-way delay; the answer
+	// returns after another.
+	owdOut := rr.Profile.Link.Delay(rr.rng)
+	owdBack := rr.Profile.Link.Delay(rr.rng)
+	arrival := now + owdOut
+
+	res := Result{Resolver: rr.Profile.Addrs[rr.rng.Intn(len(rr.Profile.Addrs))]}
+	if answers, rcode, ok := part.Get(arrival, host); ok {
+		rr.hits++
+		res.FromCache = true
+		res.Answers = answers
+		res.RCode = rcode
+		res.Duration = owdOut + owdBack
+		return res
+	}
+
+	// The frontend also serves clients outside the simulation; a popular
+	// name missed here may well be warm because someone else just asked.
+	if ans, ok := rr.externallyWarm(host); ok {
+		rr.hits++
+		res.FromCache = true
+		res.Answers = ans
+		res.Duration = owdOut + owdBack
+		// Seed the partition so subsequent in-simulation queries hit it
+		// organically.
+		part.Put(arrival, host, ans, 0, 0)
+		return res
+	}
+
+	// Cache miss: iterate to the authoritative servers.
+	authRes := rr.auth.Resolve(host, rr.rng)
+	iterate := authRes.Delay + rr.Profile.AuthExtra.Delay(rr.rng)
+	done := arrival + iterate
+	negTTL := time.Duration(0)
+	if len(authRes.Answers) == 0 {
+		negTTL = rr.auth.NegTTL
+	}
+	part.Put(done, host, authRes.Answers, authRes.RCode, negTTL)
+
+	res.Answers = authRes.Answers
+	res.RCode = authRes.RCode
+	res.Duration = owdOut + iterate + owdBack
+	return res
+}
+
+// externallyWarm models the platform's other clients (see
+// PlatformProfile.ExternalQPS): under Poisson external arrivals at rate
+// qps·share, the record is live in the frontend's cache with probability
+// 1 − exp(−qps·share·TTL), with a uniformly distributed residual TTL.
+func (rr *Recursive) externallyWarm(host string) ([]trace.Answer, bool) {
+	qps := rr.Profile.ExternalQPS
+	if qps <= 0 {
+		return nil, false
+	}
+	n := rr.auth.Zones().Lookup(host)
+	if n == nil {
+		return nil, false
+	}
+	share := rr.auth.Zones().Share(n)
+	ttlSecs := n.TTL.Seconds()
+	p := 1 - math.Exp(-qps*share*ttlSecs)
+	if !rr.rng.Bool(p) {
+		return nil, false
+	}
+	// Age uniform over the TTL; keep at least one second of life so the
+	// answer is cacheable downstream.
+	rem := time.Duration(rr.rng.Float64() * float64(n.TTL))
+	if rem < time.Second {
+		rem = time.Second
+	}
+	answers := make([]trace.Answer, len(n.Addrs))
+	for i, addr := range n.Addrs {
+		answers[i] = trace.Answer{Addr: addr, TTL: rem}
+	}
+	return answers, true
+}
+
+// WarmFraction reports the fraction of partitions currently holding host
+// unexpired — a calibration/diagnostic hook.
+func (rr *Recursive) WarmFraction(now time.Duration, host string) float64 {
+	warm := 0
+	for _, p := range rr.parts {
+		if _, ok := p.Peek(now, host); ok {
+			warm++
+		}
+	}
+	return float64(warm) / float64(len(rr.parts))
+}

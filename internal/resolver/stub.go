@@ -1,0 +1,148 @@
+package resolver
+
+import (
+	"container/list"
+	"time"
+
+	"dnscontext/internal/trace"
+)
+
+// Stub models the DNS cache closest to the application: the on-device stub
+// resolver (or, for §8's what-if, a home-router forwarder). Unlike the
+// shared Cache, a Stub can be configured to keep serving entries past
+// their TTL — the paper finds 22.2% of local-cache connections use such
+// outdated records, attributing it to residential gear that does not
+// respect the TTL.
+type Stub struct {
+	// MinHold extends every entry's usable lifetime to at least MinHold
+	// past insertion. Zero means the stub honors TTLs exactly.
+	MinHold time.Duration
+
+	capacity int
+	entries  map[string]*list.Element
+	lru      *list.List
+}
+
+type stubEntry struct {
+	host       string
+	answers    []trace.Answer
+	insertedAt time.Duration
+	ttlExpiry  time.Duration // when the record *should* die
+	holdExpiry time.Duration // when this stub actually stops serving it
+}
+
+// StubLookup is what the stub returns to the application.
+type StubLookup struct {
+	Answers []trace.Answer
+	// Expired is true when the entry was served past its TTL — a TTL
+	// violation observable in the trace.
+	Expired bool
+}
+
+// NewStub returns a stub cache with the given entry capacity (<=0 means
+// unbounded) and TTL-violation hold.
+func NewStub(capacity int, minHold time.Duration) *Stub {
+	return &Stub{
+		MinHold:  minHold,
+		capacity: capacity,
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// Len returns the number of stored entries.
+func (s *Stub) Len() int { return len(s.entries) }
+
+// Put stores a response. Answerless responses are not cached (stubs do
+// little negative caching, and the analysis does not need it).
+func (s *Stub) Put(now time.Duration, host string, answers []trace.Answer) {
+	if len(answers) == 0 {
+		return
+	}
+	life := answers[0].TTL
+	for _, a := range answers[1:] {
+		if a.TTL < life {
+			life = a.TTL
+		}
+	}
+	hold := life
+	if s.MinHold > hold {
+		hold = s.MinHold
+	}
+	e := &stubEntry{
+		host:       host,
+		answers:    answers,
+		insertedAt: now,
+		ttlExpiry:  now + life,
+		holdExpiry: now + hold,
+	}
+	if el, ok := s.entries[host]; ok {
+		el.Value = e
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.entries[host] = s.lru.PushFront(e)
+	if s.capacity > 0 && s.lru.Len() > s.capacity {
+		oldest := s.lru.Back()
+		s.lru.Remove(oldest)
+		delete(s.entries, oldest.Value.(*stubEntry).host)
+	}
+}
+
+// Get returns the stored answers if the stub is still willing to serve
+// them. Remaining TTLs are decremented, clamping at zero for entries
+// served in violation of their TTL.
+func (s *Stub) Get(now time.Duration, host string) (StubLookup, bool) {
+	el, found := s.entries[host]
+	if !found {
+		return StubLookup{}, false
+	}
+	e := el.Value.(*stubEntry)
+	if now >= e.holdExpiry {
+		s.lru.Remove(el)
+		delete(s.entries, host)
+		return StubLookup{}, false
+	}
+	s.lru.MoveToFront(el)
+	age := now - e.insertedAt
+	if age < 0 {
+		age = 0
+	}
+	out := make([]trace.Answer, len(e.answers))
+	for i, a := range e.answers {
+		rem := a.TTL - age
+		if rem < 0 {
+			rem = 0
+		}
+		out[i] = trace.Answer{Addr: a.Addr, TTL: rem}
+	}
+	return StubLookup{Answers: out, Expired: now >= e.ttlExpiry}, true
+}
+
+// Forwarder is a whole-house caching forwarder: a TTL-honoring cache
+// shared by every device in a house. It is the mechanism evaluated in §8.
+type Forwarder struct {
+	cache *Cache
+}
+
+// NewForwarder returns a whole-house forwarder cache.
+func NewForwarder(capacity int) *Forwarder {
+	return &Forwarder{cache: NewCache(capacity)}
+}
+
+// Get returns cached answers with decremented TTLs.
+func (f *Forwarder) Get(now time.Duration, host string) ([]trace.Answer, bool) {
+	answers, _, ok := f.cache.Get(now, host)
+	return answers, ok
+}
+
+// Put stores a response observed by any device in the house.
+func (f *Forwarder) Put(now time.Duration, host string, answers []trace.Answer) {
+	if len(answers) == 0 {
+		return
+	}
+	f.cache.Put(now, host, answers, 0, 0)
+}
+
+// Stats exposes the underlying cache counters.
+func (f *Forwarder) Stats() (hits, misses, expired uint64) { return f.cache.Stats() }

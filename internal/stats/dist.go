@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sampler draws values from a distribution using the supplied RNG.
+type Sampler interface {
+	Sample(r *RNG) float64
+}
+
+// Exponential is an exponential distribution with the given Mean.
+type Exponential struct {
+	Mean float64
+}
+
+// Sample draws an exponential variate.
+func (d Exponential) Sample(r *RNG) float64 { return d.Mean * r.ExpFloat64() }
+
+// LogNormal is a log-normal distribution parameterized by the mean (Mu) and
+// standard deviation (Sigma) of the underlying normal.
+type LogNormal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// Sample draws a log-normal variate.
+func (d LogNormal) Sample(r *RNG) float64 {
+	return math.Exp(d.Mu + d.Sigma*r.NormFloat64())
+}
+
+// LogNormalFromMedian builds a LogNormal whose median is median and whose
+// shape is sigma (the standard deviation of log values).
+func LogNormalFromMedian(median, sigma float64) LogNormal {
+	if median <= 0 {
+		panic("stats: LogNormalFromMedian requires median > 0")
+	}
+	return LogNormal{Mu: math.Log(median), Sigma: sigma}
+}
+
+// Pareto is a (type I) Pareto distribution with scale Xm and shape Alpha.
+// It models heavy-tailed quantities such as transfer sizes.
+type Pareto struct {
+	Xm    float64
+	Alpha float64
+}
+
+// Sample draws a Pareto variate.
+func (d Pareto) Sample(r *RNG) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return d.Xm / math.Pow(u, 1/d.Alpha)
+}
+
+// Uniform is a uniform distribution on [Lo, Hi).
+type Uniform struct {
+	Lo, Hi float64
+}
+
+// Sample draws a uniform variate.
+func (d Uniform) Sample(r *RNG) float64 { return d.Lo + (d.Hi-d.Lo)*r.Float64() }
+
+// Constant always returns Value. Useful for deterministic test workloads.
+type Constant struct {
+	Value float64
+}
+
+// Sample returns the constant value.
+func (d Constant) Sample(*RNG) float64 { return d.Value }
+
+// Zipf draws ranks in [0, N) with probability proportional to
+// 1/(rank+1)^S. It precomputes the inverse CDF table, making sampling O(log N),
+// which is the right trade-off for our fixed, moderate-size name universes.
+type Zipf struct {
+	n   int
+	cum []float64 // cum[i] = P(rank <= i), normalized
+}
+
+// NewZipf constructs a Zipf sampler over n ranks with exponent s > 0.
+func NewZipf(n int, s float64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("stats: Zipf needs n > 0, got %d", n)
+	}
+	if s <= 0 {
+		return nil, fmt.Errorf("stats: Zipf needs s > 0, got %g", s)
+	}
+	z := &Zipf{n: n, cum: make([]float64, n)}
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		z.cum[i] = total
+	}
+	for i := range z.cum {
+		z.cum[i] /= total
+	}
+	// Force exact 1.0 at the end so search never falls off the table.
+	z.cum[n-1] = 1.0
+	return z, nil
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return z.n }
+
+// Rank draws a rank in [0, N), with rank 0 the most popular.
+func (z *Zipf) Rank(r *RNG) int {
+	u := r.Float64()
+	lo, hi := 0, z.n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Weighted selects an index with probability proportional to its weight.
+type Weighted struct {
+	cum []float64
+}
+
+// NewWeighted builds a weighted sampler. All weights must be non-negative
+// and at least one must be positive.
+func NewWeighted(weights []float64) (*Weighted, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("stats: Weighted needs at least one weight")
+	}
+	w := &Weighted{cum: make([]float64, len(weights))}
+	total := 0.0
+	for i, x := range weights {
+		if x < 0 || math.IsNaN(x) {
+			return nil, fmt.Errorf("stats: weight %d is invalid (%g)", i, x)
+		}
+		total += x
+		w.cum[i] = total
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("stats: all weights are zero")
+	}
+	for i := range w.cum {
+		w.cum[i] /= total
+	}
+	w.cum[len(w.cum)-1] = 1.0
+	return w, nil
+}
+
+// Pick draws an index in [0, len(weights)).
+func (w *Weighted) Pick(r *RNG) int {
+	u := r.Float64()
+	lo, hi := 0, len(w.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if w.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Clamp bounds v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,203 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestExponentialMean(t *testing.T) {
+	r := NewRNG(1)
+	d := Exponential{Mean: 5}
+	const draws = 200000
+	var sum float64
+	for i := 0; i < draws; i++ {
+		sum += d.Sample(r)
+	}
+	mean := sum / draws
+	if math.Abs(mean-5) > 0.1 {
+		t.Fatalf("exponential mean %.3f, want ~5", mean)
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	r := NewRNG(2)
+	d := LogNormalFromMedian(100, 1.0)
+	e := NewECDF(0)
+	for i := 0; i < 100000; i++ {
+		e.Add(d.Sample(r))
+	}
+	med := e.Median()
+	if med < 95 || med > 105 {
+		t.Fatalf("lognormal median %.2f, want ~100", med)
+	}
+}
+
+func TestLogNormalFromMedianPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for non-positive median")
+		}
+	}()
+	LogNormalFromMedian(0, 1)
+}
+
+func TestParetoLowerBound(t *testing.T) {
+	r := NewRNG(3)
+	d := Pareto{Xm: 2, Alpha: 1.5}
+	f := func(_ uint8) bool { return d.Sample(r) >= 2 }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParetoHeavyTail(t *testing.T) {
+	r := NewRNG(4)
+	d := Pareto{Xm: 1, Alpha: 1.2}
+	e := NewECDF(0)
+	for i := 0; i < 100000; i++ {
+		e.Add(d.Sample(r))
+	}
+	// P(X > 10) = 10^-1.2 ≈ 0.063.
+	frac := e.FractionAbove(10)
+	if frac < 0.05 || frac > 0.08 {
+		t.Fatalf("Pareto tail P(X>10)=%.4f, want ~0.063", frac)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := NewRNG(5)
+	d := Uniform{Lo: 3, Hi: 7}
+	f := func(_ uint8) bool {
+		v := d.Sample(r)
+		return v >= 3 && v < 7
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstant(t *testing.T) {
+	d := Constant{Value: 42}
+	if v := d.Sample(nil); v != 42 {
+		t.Fatalf("constant sample = %g", v)
+	}
+}
+
+func TestZipfErrors(t *testing.T) {
+	if _, err := NewZipf(0, 1); err == nil {
+		t.Error("NewZipf(0,1) should fail")
+	}
+	if _, err := NewZipf(10, 0); err == nil {
+		t.Error("NewZipf(10,0) should fail")
+	}
+}
+
+func TestZipfRankRange(t *testing.T) {
+	r := NewRNG(6)
+	z, err := NewZipf(100, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(_ uint8) bool {
+		k := z.Rank(r)
+		return k >= 0 && k < 100
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRNG(7)
+	z, err := NewZipf(1000, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const draws = 100000
+	rank0 := 0
+	for i := 0; i < draws; i++ {
+		if z.Rank(r) == 0 {
+			rank0++
+		}
+	}
+	// With s=1, N=1000 the top rank holds ~1/H(1000) ≈ 13.4% of mass.
+	frac := float64(rank0) / draws
+	if frac < 0.12 || frac > 0.15 {
+		t.Fatalf("Zipf rank-0 mass %.4f, want ~0.134", frac)
+	}
+}
+
+func TestZipfSingleRank(t *testing.T) {
+	r := NewRNG(8)
+	z, err := NewZipf(1, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if z.Rank(r) != 0 {
+			t.Fatal("single-rank Zipf returned nonzero rank")
+		}
+	}
+}
+
+func TestWeightedErrors(t *testing.T) {
+	if _, err := NewWeighted(nil); err == nil {
+		t.Error("empty weights should fail")
+	}
+	if _, err := NewWeighted([]float64{0, 0}); err == nil {
+		t.Error("all-zero weights should fail")
+	}
+	if _, err := NewWeighted([]float64{1, -1}); err == nil {
+		t.Error("negative weight should fail")
+	}
+	if _, err := NewWeighted([]float64{1, math.NaN()}); err == nil {
+		t.Error("NaN weight should fail")
+	}
+}
+
+func TestWeightedProportions(t *testing.T) {
+	r := NewRNG(9)
+	w, err := NewWeighted([]float64{7, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const draws = 100000
+	counts := [3]int{}
+	for i := 0; i < draws; i++ {
+		counts[w.Pick(r)]++
+	}
+	want := []float64{0.7, 0.2, 0.1}
+	for i, c := range counts {
+		frac := float64(c) / draws
+		if math.Abs(frac-want[i]) > 0.01 {
+			t.Errorf("weight %d: frac %.3f, want %.1f", i, frac, want[i])
+		}
+	}
+}
+
+func TestWeightedZeroWeightNeverPicked(t *testing.T) {
+	r := NewRNG(10)
+	w, err := NewWeighted([]float64{0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if w.Pick(r) != 1 {
+			t.Fatal("picked a zero-weight index")
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ v, lo, hi, want float64 }{
+		{5, 0, 10, 5},
+		{-1, 0, 10, 0},
+		{11, 0, 10, 10},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.v, c.lo, c.hi); got != c.want {
+			t.Errorf("Clamp(%g,%g,%g)=%g, want %g", c.v, c.lo, c.hi, got, c.want)
+		}
+	}
+}

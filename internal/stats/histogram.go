@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// LogHistogram buckets positive values into logarithmically spaced bins.
+// It is used for delay distributions where interesting structure spans
+// several orders of magnitude (e.g. 1 ms .. 100 s).
+type LogHistogram struct {
+	base    float64
+	lo      float64
+	counts  []uint64
+	under   uint64
+	total   uint64
+	binsPer int
+}
+
+// NewLogHistogram creates a histogram starting at lo with binsPerDecade
+// bins per factor of 10, covering decades decades.
+func NewLogHistogram(lo float64, binsPerDecade, decades int) *LogHistogram {
+	if lo <= 0 || binsPerDecade <= 0 || decades <= 0 {
+		panic("stats: invalid LogHistogram parameters")
+	}
+	return &LogHistogram{
+		base:    math.Pow(10, 1/float64(binsPerDecade)),
+		lo:      lo,
+		counts:  make([]uint64, binsPerDecade*decades+1),
+		binsPer: binsPerDecade,
+	}
+}
+
+// Add records one observation.
+func (h *LogHistogram) Add(x float64) {
+	h.total++
+	if x < h.lo {
+		h.under++
+		return
+	}
+	idx := int(math.Log(x/h.lo) / math.Log(h.base))
+	if idx >= len(h.counts) {
+		idx = len(h.counts) - 1
+	}
+	h.counts[idx]++
+}
+
+// Total returns the number of observations.
+func (h *LogHistogram) Total() uint64 { return h.total }
+
+// BucketLo returns the lower bound of bucket i.
+func (h *LogHistogram) BucketLo(i int) float64 {
+	return h.lo * math.Pow(h.base, float64(i))
+}
+
+// String renders the histogram as an ASCII bar chart, one line per
+// non-empty bucket.
+func (h *LogHistogram) String() string {
+	var b strings.Builder
+	var maxCount uint64
+	for _, c := range h.counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	if h.under > 0 {
+		fmt.Fprintf(&b, "%12s  %8d\n", fmt.Sprintf("<%.3g", h.lo), h.under)
+	}
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		bar := ""
+		if maxCount > 0 {
+			bar = strings.Repeat("#", int(40*c/maxCount))
+		}
+		fmt.Fprintf(&b, "%12.4g  %8d %s\n", h.BucketLo(i), c, bar)
+	}
+	return b.String()
+}
+
+// Counter tallies labeled events; a tiny convenience for classification
+// breakdowns.
+type Counter struct {
+	counts map[string]uint64
+	total  uint64
+}
+
+// NewCounter returns an empty counter.
+func NewCounter() *Counter {
+	return &Counter{counts: make(map[string]uint64)}
+}
+
+// Inc increments label by one.
+func (c *Counter) Inc(label string) { c.AddN(label, 1) }
+
+// AddN increments label by n.
+func (c *Counter) AddN(label string, n uint64) {
+	c.counts[label] += n
+	c.total += n
+}
+
+// Count returns the tally for label.
+func (c *Counter) Count(label string) uint64 { return c.counts[label] }
+
+// Total returns the sum of all tallies.
+func (c *Counter) Total() uint64 { return c.total }
+
+// Fraction returns Count(label)/Total, or 0 when empty.
+func (c *Counter) Fraction(label string) float64 {
+	if c.total == 0 {
+		return 0
+	}
+	return float64(c.counts[label]) / float64(c.total)
+}

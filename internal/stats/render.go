@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Curve is a named series for an ASCII plot.
+type Curve struct {
+	Name string
+	ECDF *ECDF
+}
+
+// PlotOptions configures RenderCDFs.
+type PlotOptions struct {
+	Title  string
+	XLabel string
+	Width  int  // plot columns (default 72)
+	Height int  // plot rows (default 20)
+	LogX   bool // log-scale the x axis (requires positive x values)
+	XMin   float64
+	XMax   float64 // 0 means auto
+}
+
+// RenderCDFs draws one or more empirical CDFs as an ASCII plot. The paper's
+// figures are all CDFs; this renderer lets examples and the report binary
+// regenerate recognizably shaped figures in a terminal. Each curve is drawn
+// with its own marker rune.
+func RenderCDFs(opts PlotOptions, curves ...Curve) string {
+	width := opts.Width
+	if width <= 0 {
+		width = 72
+	}
+	height := opts.Height
+	if height <= 0 {
+		height = 20
+	}
+
+	// Establish the x range across all curves.
+	xmin, xmax := opts.XMin, opts.XMax
+	auto := xmax == 0
+	if auto {
+		xmin, xmax = math.Inf(1), math.Inf(-1)
+		for _, c := range curves {
+			if c.ECDF.N() == 0 {
+				continue
+			}
+			if v := c.ECDF.Min(); v < xmin {
+				xmin = v
+			}
+			// Clip the extreme tail so one outlier doesn't flatten the plot.
+			if v := c.ECDF.Quantile(0.999); v > xmax {
+				xmax = v
+			}
+		}
+		if math.IsInf(xmin, 1) {
+			return opts.Title + ": (no data)\n"
+		}
+	}
+	if opts.LogX {
+		if xmin <= 0 {
+			xmin = 1e-6
+		}
+		if xmax <= xmin {
+			xmax = xmin * 10
+		}
+	} else if xmax <= xmin {
+		xmax = xmin + 1
+	}
+
+	xcol := func(x float64) int {
+		var f float64
+		if opts.LogX {
+			if x < xmin {
+				x = xmin
+			}
+			f = (math.Log(x) - math.Log(xmin)) / (math.Log(xmax) - math.Log(xmin))
+		} else {
+			f = (x - xmin) / (xmax - xmin)
+		}
+		c := int(f * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", width))
+	}
+	markers := []rune{'*', 'o', '+', 'x', '.', '#'}
+
+	for ci, c := range curves {
+		if c.ECDF.N() == 0 {
+			continue
+		}
+		m := markers[ci%len(markers)]
+		xs := c.ECDF.Values()
+		n := len(xs)
+		for row := 0; row < height; row++ {
+			// Row 0 is the top (y = 1.0).
+			y := 1 - float64(row)/float64(height-1)
+			// x at which CDF reaches y.
+			idx := int(y*float64(n)) - 1
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= n {
+				idx = n - 1
+			}
+			grid[row][xcol(xs[idx])] = m
+		}
+	}
+
+	var b strings.Builder
+	if opts.Title != "" {
+		fmt.Fprintf(&b, "%s\n", opts.Title)
+	}
+	for row := 0; row < height; row++ {
+		y := 1 - float64(row)/float64(height-1)
+		fmt.Fprintf(&b, "%4.2f |%s|\n", y, string(grid[row]))
+	}
+	fmt.Fprintf(&b, "     +%s+\n", strings.Repeat("-", width))
+	left := fmt.Sprintf("%.3g", xmin)
+	right := fmt.Sprintf("%.3g", xmax)
+	pad := width - len(left) - len(right)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "      %s%s%s", left, strings.Repeat(" ", pad), right)
+	if opts.XLabel != "" {
+		fmt.Fprintf(&b, "  (%s%s)", opts.XLabel, map[bool]string{true: ", log scale", false: ""}[opts.LogX])
+	}
+	b.WriteByte('\n')
+	names := make([]string, 0, len(curves))
+	for ci, c := range curves {
+		names = append(names, fmt.Sprintf("%c=%s", markers[ci%len(markers)], c.Name))
+	}
+	sort.Strings(names)
+	fmt.Fprintf(&b, "      legend: %s\n", strings.Join(names, "  "))
+	return b.String()
+}

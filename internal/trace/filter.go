@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"net/netip"
+	"time"
+)
+
+// Slice utilities for working with captured windows: time-range cuts,
+// per-house extraction, and dataset merging. All return fresh datasets;
+// inputs are never mutated.
+
+// FilterTime returns the records active in [from, to): DNS transactions
+// whose query was issued in range, connections starting in range.
+// Timestamps are NOT re-based; use Rebase for that.
+func (ds *Dataset) FilterTime(from, to time.Duration) *Dataset {
+	out := &Dataset{}
+	for i := range ds.DNS {
+		if d := &ds.DNS[i]; d.QueryTS >= from && d.QueryTS < to {
+			out.DNS = append(out.DNS, *d)
+		}
+	}
+	for i := range ds.Conns {
+		if c := &ds.Conns[i]; c.TS >= from && c.TS < to {
+			out.Conns = append(out.Conns, *c)
+		}
+	}
+	return out
+}
+
+// FilterHouse returns only the records originated by the given client
+// address (one house).
+func (ds *Dataset) FilterHouse(client netip.Addr) *Dataset {
+	out := &Dataset{}
+	for i := range ds.DNS {
+		if ds.DNS[i].Client == client {
+			out.DNS = append(out.DNS, ds.DNS[i])
+		}
+	}
+	for i := range ds.Conns {
+		if ds.Conns[i].Orig == client {
+			out.Conns = append(out.Conns, ds.Conns[i])
+		}
+	}
+	return out
+}
+
+// Rebase shifts every timestamp by -offset, so a cut window starts at
+// zero.
+func (ds *Dataset) Rebase(offset time.Duration) *Dataset {
+	out := &Dataset{
+		DNS:   make([]DNSRecord, len(ds.DNS)),
+		Conns: make([]ConnRecord, len(ds.Conns)),
+	}
+	copy(out.DNS, ds.DNS)
+	copy(out.Conns, ds.Conns)
+	for i := range out.DNS {
+		out.DNS[i].QueryTS -= offset
+		out.DNS[i].TS -= offset
+	}
+	for i := range out.Conns {
+		out.Conns[i].TS -= offset
+	}
+	return out
+}
+
+// Merge combines datasets into one time-sorted dataset. Records are
+// copied.
+func Merge(datasets ...*Dataset) *Dataset {
+	out := &Dataset{}
+	for _, ds := range datasets {
+		out.DNS = append(out.DNS, ds.DNS...)
+		out.Conns = append(out.Conns, ds.Conns...)
+	}
+	out.SortByTime()
+	return out
+}

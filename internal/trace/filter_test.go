@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+)
+
+func TestFilterTime(t *testing.T) {
+	ds := &Dataset{DNS: sampleDNS(), Conns: sampleConns()}
+	cut := ds.FilterTime(2*time.Second, 10*time.Second)
+	if len(cut.DNS) != 1 || cut.DNS[0].Query != "nx.example.net" {
+		t.Fatalf("DNS cut %+v", cut.DNS)
+	}
+	if len(cut.Conns) != 1 || cut.Conns[0].RespPort != 123 {
+		t.Fatalf("conn cut %+v", cut.Conns)
+	}
+	// Inputs untouched.
+	if len(ds.DNS) != 2 || len(ds.Conns) != 2 {
+		t.Fatal("filter mutated input")
+	}
+	empty := ds.FilterTime(time.Hour, 2*time.Hour)
+	if len(empty.DNS) != 0 || len(empty.Conns) != 0 {
+		t.Fatal("out-of-range filter returned records")
+	}
+}
+
+func TestFilterHouse(t *testing.T) {
+	ds := &Dataset{DNS: sampleDNS(), Conns: sampleConns()}
+	h := netip.MustParseAddr("10.1.0.3")
+	cut := ds.FilterHouse(h)
+	if len(cut.DNS) != 1 || cut.DNS[0].Client != h {
+		t.Fatalf("DNS cut %+v", cut.DNS)
+	}
+	if len(cut.Conns) != 1 || cut.Conns[0].Orig != h {
+		t.Fatalf("conn cut %+v", cut.Conns)
+	}
+}
+
+func TestRebase(t *testing.T) {
+	ds := &Dataset{DNS: sampleDNS(), Conns: sampleConns()}
+	shifted := ds.Rebase(time.Second)
+	if shifted.DNS[0].QueryTS != ds.DNS[0].QueryTS-time.Second {
+		t.Fatalf("rebase wrong: %v", shifted.DNS[0].QueryTS)
+	}
+	if shifted.Conns[0].TS != ds.Conns[0].TS-time.Second {
+		t.Fatalf("rebase wrong: %v", shifted.Conns[0].TS)
+	}
+	if ds.DNS[0].QueryTS == shifted.DNS[0].QueryTS {
+		t.Fatal("rebase mutated input")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := &Dataset{DNS: sampleDNS()[:1], Conns: sampleConns()[:1]}
+	b := &Dataset{DNS: sampleDNS()[1:], Conns: sampleConns()[1:]}
+	// Merge in reverse order; result must still be time-sorted.
+	m := Merge(b, a)
+	if len(m.DNS) != 2 || len(m.Conns) != 2 {
+		t.Fatalf("merge sizes %d/%d", len(m.DNS), len(m.Conns))
+	}
+	if m.DNS[0].TS > m.DNS[1].TS || m.Conns[0].TS > m.Conns[1].TS {
+		t.Fatal("merge not sorted")
+	}
+	if empty := Merge(); len(empty.DNS) != 0 {
+		t.Fatal("empty merge")
+	}
+}
+
+func TestFilterComposition(t *testing.T) {
+	// Cutting a window and rebasing it yields records starting at zero.
+	ds := &Dataset{DNS: sampleDNS(), Conns: sampleConns()}
+	window := ds.FilterTime(time.Second, time.Minute).Rebase(time.Second)
+	for i := range window.DNS {
+		if window.DNS[i].QueryTS < 0 {
+			t.Fatal("negative timestamp after rebase")
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/netip"
+	"time"
+)
+
+// JSON serialization: one object per line (JSONL), a convenient interop
+// format for external tooling. Field names follow the TSV columns;
+// timestamps and durations are fractional seconds; addresses are strings.
+
+type dnsJSON struct {
+	QueryTS  float64      `json:"query_ts"`
+	TS       float64      `json:"ts"`
+	Client   string       `json:"client"`
+	Resolver string       `json:"resolver"`
+	ID       uint16       `json:"id"`
+	Query    string       `json:"query"`
+	QType    uint16       `json:"qtype"`
+	RCode    uint8        `json:"rcode"`
+	Answers  []answerJSON `json:"answers,omitempty"`
+}
+
+type answerJSON struct {
+	Addr string  `json:"addr"`
+	TTL  float64 `json:"ttl"`
+}
+
+type connJSON struct {
+	TS        float64 `json:"ts"`
+	Duration  float64 `json:"duration"`
+	Proto     string  `json:"proto"`
+	Orig      string  `json:"orig"`
+	OrigPort  uint16  `json:"orig_port"`
+	Resp      string  `json:"resp"`
+	RespPort  uint16  `json:"resp_port"`
+	OrigBytes int64   `json:"orig_bytes"`
+	RespBytes int64   `json:"resp_bytes"`
+}
+
+// WriteDNSJSON writes DNS records as JSON lines.
+func WriteDNSJSON(w io.Writer, recs []DNSRecord) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range recs {
+		d := &recs[i]
+		j := dnsJSON{
+			QueryTS: d.QueryTS.Seconds(), TS: d.TS.Seconds(),
+			Client: d.Client.String(), Resolver: d.Resolver.String(),
+			ID: d.ID, Query: d.Query, QType: d.QType, RCode: d.RCode,
+		}
+		for _, a := range d.Answers {
+			j.Answers = append(j.Answers, answerJSON{Addr: a.Addr.String(), TTL: a.TTL.Seconds()})
+		}
+		if err := enc.Encode(&j); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadDNSJSON parses JSON-lines DNS records.
+func ReadDNSJSON(r io.Reader) ([]DNSRecord, error) {
+	dec := json.NewDecoder(r)
+	var out []DNSRecord
+	for line := 1; dec.More(); line++ {
+		var j dnsJSON
+		if err := dec.Decode(&j); err != nil {
+			return nil, fmt.Errorf("trace: dns json record %d: %w", line, err)
+		}
+		d := DNSRecord{
+			QueryTS: secsDur(j.QueryTS), TS: secsDur(j.TS),
+			ID: j.ID, Query: j.Query, QType: j.QType, RCode: j.RCode,
+		}
+		var err error
+		if d.Client, err = netip.ParseAddr(j.Client); err != nil {
+			return nil, fmt.Errorf("trace: dns json record %d client: %w", line, err)
+		}
+		if d.Resolver, err = netip.ParseAddr(j.Resolver); err != nil {
+			return nil, fmt.Errorf("trace: dns json record %d resolver: %w", line, err)
+		}
+		for _, aj := range j.Answers {
+			addr, err := netip.ParseAddr(aj.Addr)
+			if err != nil {
+				return nil, fmt.Errorf("trace: dns json record %d answer: %w", line, err)
+			}
+			d.Answers = append(d.Answers, Answer{Addr: addr, TTL: secsDur(aj.TTL)})
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// WriteConnsJSON writes connection records as JSON lines.
+func WriteConnsJSON(w io.Writer, recs []ConnRecord) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range recs {
+		c := &recs[i]
+		j := connJSON{
+			TS: c.TS.Seconds(), Duration: c.Duration.Seconds(), Proto: c.Proto.String(),
+			Orig: c.Orig.String(), OrigPort: c.OrigPort,
+			Resp: c.Resp.String(), RespPort: c.RespPort,
+			OrigBytes: c.OrigBytes, RespBytes: c.RespBytes,
+		}
+		if err := enc.Encode(&j); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadConnsJSON parses JSON-lines connection records.
+func ReadConnsJSON(r io.Reader) ([]ConnRecord, error) {
+	dec := json.NewDecoder(r)
+	var out []ConnRecord
+	for line := 1; dec.More(); line++ {
+		var j connJSON
+		if err := dec.Decode(&j); err != nil {
+			return nil, fmt.Errorf("trace: conn json record %d: %w", line, err)
+		}
+		c := ConnRecord{
+			TS: secsDur(j.TS), Duration: secsDur(j.Duration),
+			OrigPort: j.OrigPort, RespPort: j.RespPort,
+			OrigBytes: j.OrigBytes, RespBytes: j.RespBytes,
+		}
+		var err error
+		if c.Proto, err = ParseProto(j.Proto); err != nil {
+			return nil, fmt.Errorf("trace: conn json record %d: %w", line, err)
+		}
+		if c.Orig, err = netip.ParseAddr(j.Orig); err != nil {
+			return nil, fmt.Errorf("trace: conn json record %d orig: %w", line, err)
+		}
+		if c.Resp, err = netip.ParseAddr(j.Resp); err != nil {
+			return nil, fmt.Errorf("trace: conn json record %d resp: %w", line, err)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+func secsDur(s float64) time.Duration {
+	// Round, not truncate — see parseSecs in tsv.go.
+	return time.Duration(math.Round(s * float64(time.Second)))
+}

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDNSJSONRoundTrip(t *testing.T) {
+	want := sampleDNS()
+	var buf bytes.Buffer
+	if err := WriteDNSJSON(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDNSJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("records %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := &want[i], &got[i]
+		if g.Client != w.Client || g.Resolver != w.Resolver || g.Query != w.Query ||
+			g.ID != w.ID || g.QType != w.QType || g.RCode != w.RCode {
+			t.Fatalf("record %d identity mismatch:\ngot  %+v\nwant %+v", i, g, w)
+		}
+		// Seconds-float encoding loses sub-microsecond precision.
+		if !closeDur(g.TS, w.TS) || !closeDur(g.QueryTS, w.QueryTS) {
+			t.Fatalf("record %d times drifted", i)
+		}
+		if len(g.Answers) != len(w.Answers) {
+			t.Fatalf("record %d answers %d, want %d", i, len(g.Answers), len(w.Answers))
+		}
+		for j := range w.Answers {
+			if g.Answers[j].Addr != w.Answers[j].Addr || !closeDur(g.Answers[j].TTL, w.Answers[j].TTL) {
+				t.Fatalf("record %d answer %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestConnsJSONRoundTrip(t *testing.T) {
+	want := sampleConns()
+	var buf bytes.Buffer
+	if err := WriteConnsJSON(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadConnsJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("records %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := &want[i], &got[i]
+		if g.Orig != w.Orig || g.Resp != w.Resp || g.OrigPort != w.OrigPort ||
+			g.RespPort != w.RespPort || g.Proto != w.Proto ||
+			g.OrigBytes != w.OrigBytes || g.RespBytes != w.RespBytes {
+			t.Fatalf("record %d mismatch:\ngot  %+v\nwant %+v", i, g, w)
+		}
+		if !closeDur(g.TS, w.TS) || !closeDur(g.Duration, w.Duration) {
+			t.Fatalf("record %d times drifted", i)
+		}
+	}
+}
+
+func closeDur(a, b time.Duration) bool {
+	return math.Abs(float64(a-b)) <= float64(time.Microsecond)
+}
+
+func TestJSONReadErrors(t *testing.T) {
+	dnsCases := map[string]string{
+		"garbage":      "{",
+		"bad client":   `{"client":"x","resolver":"8.8.8.8"}`,
+		"bad resolver": `{"client":"10.1.0.1","resolver":"y"}`,
+		"bad answer":   `{"client":"10.1.0.1","resolver":"8.8.8.8","answers":[{"addr":"zzz"}]}`,
+	}
+	for name, in := range dnsCases {
+		if _, err := ReadDNSJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("dns %s: no error", name)
+		}
+	}
+	connCases := map[string]string{
+		"garbage":   "[",
+		"bad proto": `{"proto":"sctp","orig":"10.1.0.1","resp":"1.2.3.4"}`,
+		"bad orig":  `{"proto":"tcp","orig":"x","resp":"1.2.3.4"}`,
+		"bad resp":  `{"proto":"tcp","orig":"10.1.0.1","resp":"y"}`,
+	}
+	for name, in := range connCases {
+		if _, err := ReadConnsJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("conn %s: no error", name)
+		}
+	}
+}
+
+func TestJSONEmpty(t *testing.T) {
+	recs, err := ReadDNSJSON(strings.NewReader(""))
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("empty dns: %v %v", recs, err)
+	}
+	conns, err := ReadConnsJSON(strings.NewReader(""))
+	if err != nil || len(conns) != 0 {
+		t.Fatalf("empty conns: %v %v", conns, err)
+	}
+}

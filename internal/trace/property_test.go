@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"bytes"
+	"net/netip"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// arbitraryDNS builds a structurally valid DNS record from fuzz inputs.
+func arbitraryDNS(qts, dur uint32, idv uint16, qt uint16, nAns uint8) DNSRecord {
+	d := DNSRecord{
+		QueryTS:  time.Duration(qts%86400) * time.Second,
+		Client:   netip.AddrFrom4([4]byte{10, 1, byte(idv), byte(idv >> 8)}),
+		Resolver: netip.AddrFrom4([4]byte{8, 8, 8, 8}),
+		ID:       idv,
+		Query:    "q.example.com",
+		QType:    qt,
+		RCode:    uint8(qt % 6),
+	}
+	d.TS = d.QueryTS + time.Duration(dur%5000)*time.Millisecond
+	for i := 0; i < int(nAns%4); i++ {
+		d.Answers = append(d.Answers, Answer{
+			Addr: netip.AddrFrom4([4]byte{203, 0, byte(i), byte(idv)}),
+			TTL:  time.Duration(int(dur)%3600+1) * time.Second,
+		})
+	}
+	return d
+}
+
+// Property: arbitrary well-formed DNS records survive the TSV round trip
+// exactly.
+func TestDNSTSVRoundTripProperty(t *testing.T) {
+	f := func(qts, dur uint32, idv uint16, qt uint16, nAns uint8) bool {
+		want := []DNSRecord{arbitraryDNS(qts, dur, idv, qt, nAns)}
+		var buf bytes.Buffer
+		if err := WriteDNS(&buf, want); err != nil {
+			return false
+		}
+		got, err := ReadDNS(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: arbitrary connection records survive the TSV round trip.
+func TestConnTSVRoundTripProperty(t *testing.T) {
+	f := func(ts, dur uint32, op, rp uint16, ob, rb int32, udp bool) bool {
+		proto := TCP
+		if udp {
+			proto = UDP
+		}
+		want := []ConnRecord{{
+			TS:        time.Duration(ts%86400) * time.Second,
+			Duration:  time.Duration(dur%3600) * time.Millisecond,
+			Proto:     proto,
+			Orig:      netip.AddrFrom4([4]byte{10, 1, 0, 1}),
+			OrigPort:  op,
+			Resp:      netip.AddrFrom4([4]byte{203, 0, 2, 1}),
+			RespPort:  rp,
+			OrigBytes: int64(ob & 0x7FFFFFFF),
+			RespBytes: int64(rb & 0x7FFFFFFF),
+		}}
+		var buf bytes.Buffer
+		if err := WriteConns(&buf, want); err != nil {
+			return false
+		}
+		got, err := ReadConns(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ExpiresAt is monotone in TTL and never precedes TS.
+func TestExpiresAtProperty(t *testing.T) {
+	f := func(qts, dur uint32, idv uint16, qt uint16, nAns uint8) bool {
+		d := arbitraryDNS(qts, dur, idv, qt, nAns)
+		return d.ExpiresAt() >= d.TS
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,164 @@
+// Package trace defines the two datasets at the heart of the paper —
+// DNS transaction records and connection summaries, in the spirit of Bro's
+// dns.log and conn.log — together with Bro-style tab-separated
+// serialization so the pipeline stages (generator, monitor, analyzer) can
+// run as separate processes.
+//
+// Timestamps are time.Duration offsets from the start of the observation
+// window; Epoch anchors them to absolute time when writing pcap files.
+package trace
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+)
+
+// Epoch is the absolute start of the observation window, matching the
+// paper's capture start (Feb 6, 2019).
+var Epoch = time.Date(2019, time.February, 6, 0, 0, 0, 0, time.UTC)
+
+// Proto is the transport protocol of a connection.
+type Proto uint8
+
+// Transport protocols.
+const (
+	TCP Proto = iota
+	UDP
+)
+
+// String returns "tcp" or "udp".
+func (p Proto) String() string {
+	if p == TCP {
+		return "tcp"
+	}
+	return "udp"
+}
+
+// ParseProto parses "tcp" or "udp".
+func ParseProto(s string) (Proto, error) {
+	switch s {
+	case "tcp":
+		return TCP, nil
+	case "udp":
+		return UDP, nil
+	}
+	return 0, fmt.Errorf("trace: unknown proto %q", s)
+}
+
+// Answer is one address in a DNS response with its TTL.
+type Answer struct {
+	Addr netip.Addr
+	TTL  time.Duration
+}
+
+// DNSRecord summarizes one DNS transaction (query/response pair) as seen
+// at the monitoring point.
+type DNSRecord struct {
+	// QueryTS is when the query passed the monitor; TS is when the
+	// response passed it. TS - QueryTS is the client-observed lookup
+	// duration the paper analyzes.
+	QueryTS time.Duration
+	TS      time.Duration
+	// Client is the in-network (house) address; Resolver is the server
+	// the query was sent to.
+	Client   netip.Addr
+	Resolver netip.Addr
+	ID       uint16
+	Query    string
+	QType    uint16
+	RCode    uint8
+	Answers  []Answer
+}
+
+// Duration is the client-observed lookup time.
+func (d *DNSRecord) Duration() time.Duration { return d.TS - d.QueryTS }
+
+// HasAddr reports whether addr appears in the answer section.
+func (d *DNSRecord) HasAddr(addr netip.Addr) bool {
+	for _, a := range d.Answers {
+		if a.Addr == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// MinTTL is the smallest answer TTL (the effective cache lifetime), or 0
+// for answerless responses.
+func (d *DNSRecord) MinTTL() time.Duration {
+	var min time.Duration
+	for i, a := range d.Answers {
+		if i == 0 || a.TTL < min {
+			min = a.TTL
+		}
+	}
+	return min
+}
+
+// ExpiresAt is the virtual time at which the record leaves caches that
+// honor the TTL.
+func (d *DNSRecord) ExpiresAt() time.Duration { return d.TS + d.MinTTL() }
+
+// ConnRecord summarizes one application connection. For TCP the bounds
+// come from SYN/FIN/RST tracking; for UDP a flow ends 60 s after its last
+// packet (the paper's Bro configuration).
+type ConnRecord struct {
+	// TS is the start of the connection (first packet).
+	TS       time.Duration
+	Duration time.Duration
+	Proto    Proto
+	// Orig is the in-network originator; Resp is the remote responder.
+	Orig     netip.Addr
+	OrigPort uint16
+	Resp     netip.Addr
+	RespPort uint16
+	// OrigBytes/RespBytes are payload bytes in each direction.
+	OrigBytes int64
+	RespBytes int64
+}
+
+// TotalBytes is the two-way payload volume.
+func (c *ConnRecord) TotalBytes() int64 { return c.OrigBytes + c.RespBytes }
+
+// ThroughputBps returns the connection's two-way throughput in bits per
+// second, or 0 for zero-duration connections.
+func (c *ConnRecord) ThroughputBps() float64 {
+	if c.Duration <= 0 {
+		return 0
+	}
+	return float64(c.TotalBytes()*8) / c.Duration.Seconds()
+}
+
+// Dataset bundles the week's two datasets.
+type Dataset struct {
+	DNS   []DNSRecord
+	Conns []ConnRecord
+}
+
+// SortByTime orders DNS records by response time and connections by start
+// time, the order every analysis pass assumes.
+func (ds *Dataset) SortByTime() {
+	sort.SliceStable(ds.DNS, func(i, j int) bool { return ds.DNS[i].TS < ds.DNS[j].TS })
+	sort.SliceStable(ds.Conns, func(i, j int) bool { return ds.Conns[i].TS < ds.Conns[j].TS })
+}
+
+// HouseOf maps an in-network client address to its house index. The
+// generator assigns each house the /32 address 10.1.H/16-style laid out as
+// 10.1.hi.lo; addresses outside 10.0.0.0/8 return -1.
+func HouseOf(addr netip.Addr) int {
+	if !addr.Is4() {
+		return -1
+	}
+	b := addr.As4()
+	if b[0] != 10 {
+		return -1
+	}
+	return int(b[2])*256 + int(b[3])
+}
+
+// HouseAddr is the inverse of HouseOf.
+func HouseAddr(house int) netip.Addr {
+	return netip.AddrFrom4([4]byte{10, 1, byte(house / 256), byte(house % 256)})
+}

@@ -1,0 +1,196 @@
+package trace
+
+import (
+	"bytes"
+	"net/netip"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleDNS() []DNSRecord {
+	return []DNSRecord{
+		{
+			QueryTS:  1500 * time.Millisecond,
+			TS:       1512 * time.Millisecond,
+			Client:   netip.MustParseAddr("10.1.0.3"),
+			Resolver: netip.MustParseAddr("192.0.2.53"),
+			ID:       4242,
+			Query:    "www.site00001.com",
+			QType:    1,
+			RCode:    0,
+			Answers: []Answer{
+				{Addr: netip.MustParseAddr("203.0.0.1"), TTL: 300 * time.Second},
+				{Addr: netip.MustParseAddr("203.0.0.2"), TTL: 60 * time.Second},
+			},
+		},
+		{
+			QueryTS:  2 * time.Second,
+			TS:       2*time.Second + 80*time.Millisecond,
+			Client:   netip.MustParseAddr("10.1.0.7"),
+			Resolver: netip.MustParseAddr("8.8.8.8"),
+			ID:       1,
+			Query:    "nx.example.net",
+			QType:    28,
+			RCode:    3,
+		},
+	}
+}
+
+func sampleConns() []ConnRecord {
+	return []ConnRecord{
+		{
+			TS: 1513 * time.Millisecond, Duration: 2 * time.Second, Proto: TCP,
+			Orig: netip.MustParseAddr("10.1.0.3"), OrigPort: 50123,
+			Resp: netip.MustParseAddr("203.0.0.1"), RespPort: 443,
+			OrigBytes: 900, RespBytes: 54321,
+		},
+		{
+			TS: 5 * time.Second, Duration: 0, Proto: UDP,
+			Orig: netip.MustParseAddr("10.1.0.7"), OrigPort: 40000,
+			Resp: netip.MustParseAddr("198.51.100.1"), RespPort: 123,
+			OrigBytes: 48, RespBytes: 0,
+		},
+	}
+}
+
+func TestDNSRecordHelpers(t *testing.T) {
+	d := sampleDNS()[0]
+	if d.Duration() != 12*time.Millisecond {
+		t.Fatalf("duration %v", d.Duration())
+	}
+	if !d.HasAddr(netip.MustParseAddr("203.0.0.2")) || d.HasAddr(netip.MustParseAddr("203.0.0.9")) {
+		t.Fatal("HasAddr wrong")
+	}
+	if d.MinTTL() != 60*time.Second {
+		t.Fatalf("MinTTL %v", d.MinTTL())
+	}
+	if d.ExpiresAt() != d.TS+60*time.Second {
+		t.Fatalf("ExpiresAt %v", d.ExpiresAt())
+	}
+	empty := sampleDNS()[1]
+	if empty.MinTTL() != 0 {
+		t.Fatalf("answerless MinTTL %v", empty.MinTTL())
+	}
+}
+
+func TestConnRecordHelpers(t *testing.T) {
+	c := sampleConns()[0]
+	if c.TotalBytes() != 55221 {
+		t.Fatalf("TotalBytes %d", c.TotalBytes())
+	}
+	wantBps := float64(55221*8) / 2.0
+	if got := c.ThroughputBps(); got != wantBps {
+		t.Fatalf("throughput %g, want %g", got, wantBps)
+	}
+	zero := sampleConns()[1]
+	if zero.ThroughputBps() != 0 {
+		t.Fatal("zero-duration throughput not 0")
+	}
+}
+
+func TestProtoRoundTrip(t *testing.T) {
+	for _, p := range []Proto{TCP, UDP} {
+		got, err := ParseProto(p.String())
+		if err != nil || got != p {
+			t.Fatalf("ParseProto(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := ParseProto("sctp"); err == nil {
+		t.Fatal("unknown proto accepted")
+	}
+}
+
+func TestHouseAddrRoundTrip(t *testing.T) {
+	for _, h := range []int{0, 1, 99, 255, 256, 1000} {
+		if got := HouseOf(HouseAddr(h)); got != h {
+			t.Fatalf("HouseOf(HouseAddr(%d)) = %d", h, got)
+		}
+	}
+	if HouseOf(netip.MustParseAddr("192.0.2.1")) != -1 {
+		t.Fatal("external addr mapped to a house")
+	}
+	if HouseOf(netip.MustParseAddr("2001:db8::1")) != -1 {
+		t.Fatal("v6 addr mapped to a house")
+	}
+}
+
+func TestDatasetSortByTime(t *testing.T) {
+	ds := Dataset{DNS: sampleDNS(), Conns: sampleConns()}
+	// Reverse both.
+	ds.DNS[0], ds.DNS[1] = ds.DNS[1], ds.DNS[0]
+	ds.Conns[0], ds.Conns[1] = ds.Conns[1], ds.Conns[0]
+	ds.SortByTime()
+	if ds.DNS[0].TS > ds.DNS[1].TS || ds.Conns[0].TS > ds.Conns[1].TS {
+		t.Fatal("not sorted")
+	}
+}
+
+func TestDNSTSVRoundTrip(t *testing.T) {
+	want := sampleDNS()
+	var buf bytes.Buffer
+	if err := WriteDNS(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDNS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestConnTSVRoundTrip(t *testing.T) {
+	want := sampleConns()
+	var buf bytes.Buffer
+	if err := WriteConns(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadConns(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestReadDNSErrors(t *testing.T) {
+	cases := map[string]string{
+		"field count":    "a\tb\tc\n",
+		"bad ts":         "x\t1\t10.1.0.1\t8.8.8.8\t1\tq\t1\t0\t-\n",
+		"bad client":     "1\t1\tnope\t8.8.8.8\t1\tq\t1\t0\t-\n",
+		"bad answer":     "1\t1\t10.1.0.1\t8.8.8.8\t1\tq\t1\t0\t203.0.0.1\n",
+		"bad answer ttl": "1\t1\t10.1.0.1\t8.8.8.8\t1\tq\t1\t0\t203.0.0.1/x\n",
+		"bad id":         "1\t1\t10.1.0.1\t8.8.8.8\t99999999\tq\t1\t0\t-\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadDNS(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestReadConnsErrors(t *testing.T) {
+	cases := map[string]string{
+		"field count": "1\t2\n",
+		"bad proto":   "1\t1\tsctp\t10.1.0.1\t1\t203.0.0.1\t443\t0\t0\n",
+		"bad port":    "1\t1\ttcp\t10.1.0.1\t999999\t203.0.0.1\t443\t0\t0\n",
+		"bad bytes":   "1\t1\ttcp\t10.1.0.1\t1\t203.0.0.1\t443\tx\t0\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadConns(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# comment\n\n#fields\twhatever\n"
+	recs, err := ReadConns(strings.NewReader(in))
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("recs=%v err=%v", recs, err)
+	}
+}

@@ -1,0 +1,199 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/netip"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// TSV serialization in the spirit of Bro logs: a '#fields' header line
+// followed by one tab-separated record per line. Timestamps are seconds
+// (with fractional part) since the window start.
+
+const (
+	dnsFields  = "#fields\tquery_ts\tts\tclient\tresolver\tid\tquery\tqtype\trcode\tanswers"
+	connFields = "#fields\tts\tduration\tproto\torig\torig_port\tresp\tresp_port\torig_bytes\tresp_bytes"
+)
+
+func secs(d time.Duration) string {
+	return strconv.FormatFloat(d.Seconds(), 'f', 6, 64)
+}
+
+func parseSecs(s string) (time.Duration, error) {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	// Round rather than truncate: the fractional-seconds encoding is
+	// microsecond-precise, and f*1e9 lands a hair under whole nanosecond
+	// values often enough that truncation would corrupt round trips.
+	return time.Duration(math.Round(f * float64(time.Second))), nil
+}
+
+// WriteDNS writes DNS records as TSV.
+func WriteDNS(w io.Writer, recs []DNSRecord) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, dnsFields); err != nil {
+		return err
+	}
+	for i := range recs {
+		d := &recs[i]
+		answers := make([]string, len(d.Answers))
+		for j, a := range d.Answers {
+			answers[j] = fmt.Sprintf("%s/%s", a.Addr, secs(a.TTL))
+		}
+		ans := strings.Join(answers, ",")
+		if ans == "" {
+			ans = "-"
+		}
+		if _, err := fmt.Fprintf(bw, "%s\t%s\t%s\t%s\t%d\t%s\t%d\t%d\t%s\n",
+			secs(d.QueryTS), secs(d.TS), d.Client, d.Resolver, d.ID,
+			d.Query, d.QType, d.RCode, ans); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadDNS parses TSV DNS records.
+func ReadDNS(r io.Reader) ([]DNSRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var out []DNSRecord
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Split(line, "\t")
+		if len(f) != 9 {
+			return nil, fmt.Errorf("trace: dns line %d: %d fields, want 9", lineNo, len(f))
+		}
+		var d DNSRecord
+		var err error
+		if d.QueryTS, err = parseSecs(f[0]); err != nil {
+			return nil, fmt.Errorf("trace: dns line %d query_ts: %w", lineNo, err)
+		}
+		if d.TS, err = parseSecs(f[1]); err != nil {
+			return nil, fmt.Errorf("trace: dns line %d ts: %w", lineNo, err)
+		}
+		if d.Client, err = netip.ParseAddr(f[2]); err != nil {
+			return nil, fmt.Errorf("trace: dns line %d client: %w", lineNo, err)
+		}
+		if d.Resolver, err = netip.ParseAddr(f[3]); err != nil {
+			return nil, fmt.Errorf("trace: dns line %d resolver: %w", lineNo, err)
+		}
+		id, err := strconv.ParseUint(f[4], 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("trace: dns line %d id: %w", lineNo, err)
+		}
+		d.ID = uint16(id)
+		d.Query = f[5]
+		qt, err := strconv.ParseUint(f[6], 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("trace: dns line %d qtype: %w", lineNo, err)
+		}
+		d.QType = uint16(qt)
+		rc, err := strconv.ParseUint(f[7], 10, 8)
+		if err != nil {
+			return nil, fmt.Errorf("trace: dns line %d rcode: %w", lineNo, err)
+		}
+		d.RCode = uint8(rc)
+		if f[8] != "-" {
+			for _, part := range strings.Split(f[8], ",") {
+				addr, ttlStr, ok := strings.Cut(part, "/")
+				if !ok {
+					return nil, fmt.Errorf("trace: dns line %d answer %q missing ttl", lineNo, part)
+				}
+				var a Answer
+				if a.Addr, err = netip.ParseAddr(addr); err != nil {
+					return nil, fmt.Errorf("trace: dns line %d answer addr: %w", lineNo, err)
+				}
+				if a.TTL, err = parseSecs(ttlStr); err != nil {
+					return nil, fmt.Errorf("trace: dns line %d answer ttl: %w", lineNo, err)
+				}
+				d.Answers = append(d.Answers, a)
+			}
+		}
+		out = append(out, d)
+	}
+	return out, sc.Err()
+}
+
+// WriteConns writes connection records as TSV.
+func WriteConns(w io.Writer, recs []ConnRecord) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, connFields); err != nil {
+		return err
+	}
+	for i := range recs {
+		c := &recs[i]
+		if _, err := fmt.Fprintf(bw, "%s\t%s\t%s\t%s\t%d\t%s\t%d\t%d\t%d\n",
+			secs(c.TS), secs(c.Duration), c.Proto, c.Orig, c.OrigPort,
+			c.Resp, c.RespPort, c.OrigBytes, c.RespBytes); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadConns parses TSV connection records.
+func ReadConns(r io.Reader) ([]ConnRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var out []ConnRecord
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Split(line, "\t")
+		if len(f) != 9 {
+			return nil, fmt.Errorf("trace: conn line %d: %d fields, want 9", lineNo, len(f))
+		}
+		var c ConnRecord
+		var err error
+		if c.TS, err = parseSecs(f[0]); err != nil {
+			return nil, fmt.Errorf("trace: conn line %d ts: %w", lineNo, err)
+		}
+		if c.Duration, err = parseSecs(f[1]); err != nil {
+			return nil, fmt.Errorf("trace: conn line %d duration: %w", lineNo, err)
+		}
+		if c.Proto, err = ParseProto(f[2]); err != nil {
+			return nil, fmt.Errorf("trace: conn line %d: %w", lineNo, err)
+		}
+		if c.Orig, err = netip.ParseAddr(f[3]); err != nil {
+			return nil, fmt.Errorf("trace: conn line %d orig: %w", lineNo, err)
+		}
+		op, err := strconv.ParseUint(f[4], 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("trace: conn line %d orig_port: %w", lineNo, err)
+		}
+		c.OrigPort = uint16(op)
+		if c.Resp, err = netip.ParseAddr(f[5]); err != nil {
+			return nil, fmt.Errorf("trace: conn line %d resp: %w", lineNo, err)
+		}
+		rp, err := strconv.ParseUint(f[6], 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("trace: conn line %d resp_port: %w", lineNo, err)
+		}
+		c.RespPort = uint16(rp)
+		if c.OrigBytes, err = strconv.ParseInt(f[7], 10, 64); err != nil {
+			return nil, fmt.Errorf("trace: conn line %d orig_bytes: %w", lineNo, err)
+		}
+		if c.RespBytes, err = strconv.ParseInt(f[8], 10, 64); err != nil {
+			return nil, fmt.Errorf("trace: conn line %d resp_bytes: %w", lineNo, err)
+		}
+		out = append(out, c)
+	}
+	return out, sc.Err()
+}
