@@ -1,0 +1,29 @@
+# Development targets for the dnscontext repository. `make check` is the
+# tier-1 gate: vet, build, and the full test suite under the race
+# detector (the parallel analysis pipeline makes -race non-optional).
+
+GO ?= go
+
+.PHONY: check vet build test race bench bench-parallel
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full paper reproduction: every table and figure as bench metrics.
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$'
+
+# Scaling record: the sharded pipeline vs. its 1-worker baseline.
+bench-parallel:
+	$(GO) test -bench=BenchmarkAnalyzeParallel -run='^$$' -benchtime=3x

@@ -13,6 +13,7 @@ package dnscontext
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -266,6 +267,35 @@ func BenchmarkSection8WholeHouse(b *testing.B) {
 	b.ReportMetric(pct(wh.MovedFraction), "moved_pct")
 	b.ReportMetric(pct(wh.SCBenefit), "sc_benefit_pct")
 	b.ReportMetric(pct(wh.RBenefit), "r_benefit_pct")
+}
+
+// BenchmarkAnalyzeParallel measures the sharded pipeline at increasing
+// worker counts over the shared bench trace and reports each count's
+// speedup over the 1-worker baseline (speedup_x). The result is
+// bit-identical at every width — only the wall clock moves — so this is
+// the scaling record for the ISSUE's ≥2x-at-GOMAXPROCS≥4 gate.
+func BenchmarkAnalyzeParallel(b *testing.B) {
+	_, ds, _ := benchAnalysis(b)
+	widths := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		widths = append(widths, p)
+	}
+	var baselineNs float64
+	for _, w := range widths {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			an := NewAnalyzer(WithWorkers(w))
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				an.Analyze(ds)
+			}
+			perOp := float64(time.Since(start).Nanoseconds()) / float64(b.N)
+			if w == 1 {
+				baselineNs = perOp
+			} else if baselineNs > 0 {
+				b.ReportMetric(baselineNs/perOp, "speedup_x")
+			}
+		})
+	}
 }
 
 // --- Ablations (DESIGN.md §5) ---

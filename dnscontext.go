@@ -23,8 +23,14 @@
 //	cfg.Houses, cfg.Duration = 20, 6*time.Hour
 //	ds, eco, err := dnscontext.Generate(cfg)
 //	if err != nil { ... }
-//	analysis := dnscontext.Analyze(ds, dnscontext.DefaultOptions())
+//	an := dnscontext.NewAnalyzer(dnscontext.WithWorkers(0)) // 0 = GOMAXPROCS
+//	analysis := an.Analyze(ds)
 //	analysis.Report(os.Stdout, eco.Profiles)
+//
+// The analysis pipeline shards the trace by originating house and runs
+// on a bounded worker pool; the result is bit-identical for every worker
+// count. AnalyzeContext supports cooperative cancellation. The legacy
+// form Analyze(ds, Options) remains as a thin wrapper.
 //
 // The subsystems are available for separate use: the RFC 1035 codec
 // (internal/dnswire re-exported here as the Wire* identifiers), the
@@ -33,6 +39,7 @@
 package dnscontext
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -95,6 +102,8 @@ type (
 	Class = core.Class
 	// PairedConn is one connection with its DN-Hunter pairing.
 	PairedConn = core.PairedConn
+	// PairingPolicy selects how ambiguous pairings are broken (§4).
+	PairingPolicy = core.PairingPolicy
 	// RefreshPolicy is a whole-house-cache refresh rule for exploring §8's
 	// open question (see CompareRefreshPolicies on Analysis).
 	RefreshPolicy = core.RefreshPolicy
@@ -160,9 +169,113 @@ func Generate(cfg GeneratorConfig) (*Dataset, *Ecosystem, error) { return househ
 // threshold, per-resolver SC/R thresholds, most-recent pairing).
 func DefaultOptions() Options { return core.DefaultOptions() }
 
+// Analyzer runs the paper's pipeline — DN-Hunter pairing, the blocking
+// heuristic, and the N/LC/P/SC/R classification — over datasets. It is
+// configured once with functional options and can be reused across
+// traces and goroutines; each Analyze call shards its dataset by
+// originating house and fans out over a bounded worker pool.
+type Analyzer struct {
+	opts core.Options
+}
+
+// AnalyzerOption configures an Analyzer.
+type AnalyzerOption func(*Analyzer)
+
+// NewAnalyzer returns an Analyzer with the paper's defaults, modified by
+// the given options:
+//
+//	an := dnscontext.NewAnalyzer(
+//	        dnscontext.WithBlockThreshold(20*time.Millisecond),
+//	        dnscontext.WithWorkers(8),
+//	)
+//	analysis := an.Analyze(ds)
+func NewAnalyzer(opts ...AnalyzerOption) *Analyzer {
+	an := &Analyzer{opts: core.DefaultOptions()}
+	for _, o := range opts {
+		o(an)
+	}
+	return an
+}
+
+// WithOptions replaces the Analyzer's entire option set; later
+// AnalyzerOptions still apply on top. It bridges code that already
+// assembles an Options struct into the Analyzer API.
+func WithOptions(o Options) AnalyzerOption { return func(an *Analyzer) { an.opts = o } }
+
+// WithBlockThreshold sets the gap separating blocked from non-blocked
+// connections (paper: a conservative 100 ms).
+func WithBlockThreshold(d time.Duration) AnalyzerOption {
+	return func(an *Analyzer) { an.opts.BlockThreshold = d }
+}
+
+// WithKneeThreshold sets the visual knee reported alongside Figure 1
+// (paper: 20 ms).
+func WithKneeThreshold(d time.Duration) AnalyzerOption {
+	return func(an *Analyzer) { an.opts.KneeThreshold = d }
+}
+
+// WithSCRMinSamples caps the per-resolver sample gate for deriving SC/R
+// duration thresholds (paper: 1000).
+func WithSCRMinSamples(n int) AnalyzerOption {
+	return func(an *Analyzer) { an.opts.SCRMinSamples = n }
+}
+
+// WithDefaultSCThreshold sets the SC/R threshold applied to unpopular
+// resolvers (paper: 5 ms).
+func WithDefaultSCThreshold(d time.Duration) AnalyzerOption {
+	return func(an *Analyzer) { an.opts.DefaultSCThreshold = d }
+}
+
+// WithPairing selects the pairing policy (PairMostRecent or PairRandom).
+func WithPairing(p PairingPolicy) AnalyzerOption {
+	return func(an *Analyzer) { an.opts.Pairing = p }
+}
+
+// WithSeed seeds the per-shard RNG streams behind PairRandom.
+func WithSeed(seed uint64) AnalyzerOption {
+	return func(an *Analyzer) { an.opts.Seed = seed }
+}
+
+// WithWorkers bounds the analysis worker pool; 0 (the default) uses
+// GOMAXPROCS. The analysis result is bit-identical for every value.
+func WithWorkers(n int) AnalyzerOption {
+	return func(an *Analyzer) { an.opts.Workers = n }
+}
+
+// WithInsignificance sets §6's two independent "insignificant DNS cost"
+// criteria: absolute lookup time and fractional contribution (paper:
+// 20 ms and 1%).
+func WithInsignificance(abs time.Duration, rel float64) AnalyzerOption {
+	return func(an *Analyzer) {
+		an.opts.InsignificantAbs = abs
+		an.opts.InsignificantRel = rel
+	}
+}
+
+// Options returns the Analyzer's resolved option set.
+func (an *Analyzer) Options() Options { return an.opts }
+
+// Analyze runs the pipeline over ds. The dataset is time-sorted in
+// place. Safe for concurrent use with distinct datasets.
+func (an *Analyzer) Analyze(ds *Dataset) *Analysis { return core.Analyze(ds, an.opts) }
+
+// AnalyzeContext is Analyze with cooperative cancellation: the worker
+// pool checks ctx between shards. A cancelled run returns a nil Analysis
+// and an error wrapping the context's error — never a partial result.
+func (an *Analyzer) AnalyzeContext(ctx context.Context, ds *Dataset) (*Analysis, error) {
+	return core.AnalyzeContext(ctx, ds, an.opts)
+}
+
 // Analyze runs DN-Hunter pairing, the blocking heuristic, and the
-// N/LC/P/SC/R classification over ds.
+// N/LC/P/SC/R classification over ds. It is the legacy entry point, kept
+// as a thin wrapper over the Analyzer API.
 func Analyze(ds *Dataset, opts Options) *Analysis { return core.Analyze(ds, opts) }
+
+// AnalyzeContext is the cancellable form of Analyze; see
+// Analyzer.AnalyzeContext.
+func AnalyzeContext(ctx context.Context, ds *Dataset, opts Options) (*Analysis, error) {
+	return core.AnalyzeContext(ctx, ds, opts)
+}
 
 // DefaultProfiles returns the four calibrated resolver platform profiles.
 func DefaultProfiles() []PlatformProfile { return resolver.DefaultProfiles() }

@@ -24,12 +24,14 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "trace: %d DNS transactions, %d connections\n\n", len(ds.DNS), len(ds.Conns))
 
-	opts := dnscontext.DefaultOptions()
-	// Small traces need a lower per-resolver sample floor for the SC/R
-	// duration thresholds (the paper used 1000 on a week of data).
-	opts.SCRMinSamples = 100
-
-	analysis := dnscontext.Analyze(ds, opts)
+	an := dnscontext.NewAnalyzer(
+		// Small traces need a lower per-resolver sample floor for the SC/R
+		// duration thresholds (the paper used 1000 on a week of data).
+		dnscontext.WithSCRMinSamples(100),
+		// 0 workers = one per CPU; the result is identical either way.
+		dnscontext.WithWorkers(0),
+	)
+	analysis := an.Analyze(ds)
 	if err := analysis.Report(os.Stdout, eco.Profiles); err != nil {
 		log.Fatal(err)
 	}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"time"
 
+	"dnscontext/internal/parallel"
 	"dnscontext/internal/stats"
 )
 
@@ -25,31 +27,51 @@ type Figure1 struct {
 	Knee, Block time.Duration
 }
 
-// Figure1 computes the gap distribution and first-use split.
+// Figure1 computes the gap distribution and first-use split. The scan is
+// chunked across the worker pool; per-chunk samples are appended in
+// chunk order, so the resulting distribution matches a sequential
+// left-to-right pass exactly.
 func (a *Analysis) Figure1() Figure1 {
 	f := Figure1{
 		Gaps:  stats.NewECDF(len(a.Paired)),
 		Knee:  a.Opts.KneeThreshold,
 		Block: a.Opts.BlockThreshold,
 	}
+	type partial struct {
+		gaps                                     []float64
+		withinFirst, within, beyondFirst, beyond int
+	}
+	chunks := parallel.Chunks(len(a.Paired), parallel.Workers(a.Opts.Workers))
+	parts, _ := parallel.Map(context.Background(), a.Opts.Workers, len(chunks), func(c int) (partial, error) {
+		var p partial
+		for i := chunks[c].Lo; i < chunks[c].Hi; i++ {
+			pc := &a.Paired[i]
+			if pc.DNS < 0 {
+				continue
+			}
+			p.gaps = append(p.gaps, float64(pc.Gap)/float64(time.Millisecond))
+			if pc.Gap <= a.Opts.KneeThreshold {
+				p.within++
+				if pc.FirstUse {
+					p.withinFirst++
+				}
+			} else {
+				p.beyond++
+				if pc.FirstUse {
+					p.beyondFirst++
+				}
+			}
+		}
+		return p, nil
+	})
+
 	var withinFirst, within, beyondFirst, beyond int
-	for i := range a.Paired {
-		pc := &a.Paired[i]
-		if pc.DNS < 0 {
-			continue
-		}
-		f.Gaps.Add(float64(pc.Gap) / float64(time.Millisecond))
-		if pc.Gap <= a.Opts.KneeThreshold {
-			within++
-			if pc.FirstUse {
-				withinFirst++
-			}
-		} else {
-			beyond++
-			if pc.FirstUse {
-				beyondFirst++
-			}
-		}
+	for _, p := range parts {
+		f.Gaps.AddAll(p.gaps)
+		withinFirst += p.withinFirst
+		within += p.within
+		beyondFirst += p.beyondFirst
+		beyond += p.beyond
 	}
 	if within > 0 {
 		f.FirstUseWithinKnee = float64(withinFirst) / float64(within)

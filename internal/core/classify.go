@@ -1,16 +1,40 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"time"
 
+	"dnscontext/internal/parallel"
 	"dnscontext/internal/stats"
 	"dnscontext/internal/trace"
 )
 
 // Analyze runs the full pipeline over ds: DN-Hunter pairing, the blocking
 // heuristic, per-resolver SC/R thresholds, and Table 2 classification.
-// The dataset is time-sorted in place.
+// The dataset is time-sorted in place. It is the non-cancellable
+// compatibility form of AnalyzeContext.
 func Analyze(ds *trace.Dataset, opts Options) *Analysis {
+	a, err := AnalyzeContext(context.Background(), ds, opts)
+	if err != nil {
+		// Unreachable: the only failure mode is context cancellation and
+		// Background never cancels.
+		panic(err)
+	}
+	return a
+}
+
+// AnalyzeContext is Analyze with cooperative cancellation: the worker
+// pool checks ctx between shards. A cancelled run returns a nil Analysis
+// and an error wrapping the context's error — never a partial result.
+//
+// The pipeline partitions connections by originating client (the paper's
+// pairing, §4, keys on the originator, so shards share no state), runs
+// pairing + blocking + classification for the shards on a bounded worker
+// pool, and merges per-shard tallies in shard order. Each shard draws
+// from its own RNG stream seeded from Opts.Seed and the shard ID, so the
+// result is bit-identical for every Workers value and GOMAXPROCS.
+func AnalyzeContext(ctx context.Context, ds *trace.Dataset, opts Options) (*Analysis, error) {
 	opts = opts.withDefaults()
 	ds.SortByTime()
 	a := &Analysis{
@@ -20,97 +44,75 @@ func Analyze(ds *trace.Dataset, opts Options) *Analysis {
 		DNSUsed:    make([]bool, len(ds.DNS)),
 		Thresholds: make(map[string]time.Duration),
 	}
-	a.deriveThresholds()
+	a.buildShards()
+	if err := a.deriveThresholds(ctx); err != nil {
+		return nil, analysisAborted(err)
+	}
 
-	idx := buildPairIndex(ds)
-	rng := stats.NewRNG(opts.Seed)
+	counts := make([][numClasses]int, len(a.shards))
+	err := parallel.ForEach(ctx, opts.Workers, len(a.shards), func(s int) error {
+		a.classifyShard(s, &counts[s])
+		return nil
+	})
+	if err != nil {
+		return nil, analysisAborted(err)
+	}
+	for s := range counts {
+		for c, n := range counts[s] {
+			a.classCounts[c] += n
+		}
+	}
+	return a, nil
+}
 
-	// Connections are processed in start-time order so "first use of a
-	// lookup" is well defined.
-	for i := range ds.Conns {
-		conn := &ds.Conns[i]
-		pc := &a.Paired[i]
-		pc.Conn = i
+func analysisAborted(err error) error {
+	return fmt.Errorf("dnscontext: analysis aborted: %w", err)
+}
+
+// classifyShard pairs and classifies one client's connections. Within a
+// shard, connections are processed in start-time order so "first use of
+// a lookup" stays well defined; across shards there is nothing to order,
+// because a DNS record can only pair with its own client's connections.
+func (a *Analysis) classifyShard(shardID int, counts *[numClasses]int) {
+	sh := &a.shards[shardID]
+	if len(sh.conns) == 0 {
+		return
+	}
+	idx := buildShardIndex(a.DS, sh.dns)
+	rng := stats.NewRNG(a.Opts.Seed + uint64(shardID))
+
+	for _, ci := range sh.conns {
+		conn := &a.DS.Conns[ci]
+		pc := &a.Paired[ci]
+		pc.Conn = int(ci)
 		pc.DNS, pc.Candidates = a.pair(idx, conn, rng)
 		if pc.DNS < 0 {
 			pc.Class = ClassN
+			counts[ClassN]++
 			continue
 		}
-		d := &ds.DNS[pc.DNS]
+		d := &a.DS.DNS[pc.DNS]
 		pc.Gap = conn.TS - d.TS
 		pc.FirstUse = !a.DNSUsed[pc.DNS]
 		a.DNSUsed[pc.DNS] = true
 		pc.UsedExpired = conn.TS >= d.ExpiresAt()
 
-		if pc.Gap > opts.BlockThreshold {
+		if pc.Gap > a.Opts.BlockThreshold {
 			// Record was on hand: local cache or prefetch.
 			if pc.FirstUse {
 				pc.Class = ClassP
 			} else {
 				pc.Class = ClassLC
 			}
-			continue
-		}
-		// Blocked on the lookup: shared cache vs full resolution, decided
-		// by the per-resolver duration threshold.
-		if d.Duration() <= a.thresholdFor(d.Resolver.String()) {
+		} else if d.Duration() <= a.thresholdFor(d.Resolver.String()) {
+			// Blocked on the lookup: shared cache vs full resolution,
+			// decided by the per-resolver duration threshold.
 			pc.Class = ClassSC
 		} else {
 			pc.Class = ClassR
 		}
+		counts[pc.Class]++
 	}
-	return a
-}
-
-// deriveThresholds implements §5.3's per-resolver SC/R split: for every
-// resolver with at least SCRMinSamples lookups, the minimum observed
-// lookup duration approximates the network RTT; lookups not exceeding a
-// rounded-up multiple of that minimum are shared-cache hits. The paper
-// observes a 2 ms minimum for the local resolvers and uses a 5 ms
-// threshold, i.e. roughly 2.5x the minimum; we round 2.5x the minimum up
-// to the next millisecond.
-func (a *Analysis) deriveThresholds() {
-	durs := make(map[string][]time.Duration)
-	for i := range a.DS.DNS {
-		d := &a.DS.DNS[i]
-		durs[d.Resolver.String()] = append(durs[d.Resolver.String()], d.Duration())
-	}
-	// The paper's gate — 1,000 lookups out of 9.2M (~0.011%) — scales
-	// with trace size so shorter captures don't push moderately popular
-	// resolvers onto the 5 ms default; Opts.SCRMinSamples caps it.
-	gate := len(a.DS.DNS) / 9200
-	if gate < 50 {
-		gate = 50
-	}
-	if gate > a.Opts.SCRMinSamples {
-		gate = a.Opts.SCRMinSamples
-	}
-	for resolver, ds := range durs {
-		if len(ds) < gate {
-			continue
-		}
-		min := ds[0]
-		for _, d := range ds[1:] {
-			if d < min {
-				min = d
-			}
-		}
-		th := time.Duration(float64(min) * 2.5)
-		// Round up to a whole millisecond, mirroring the paper's "small
-		// amount of rounding".
-		th = ((th + time.Millisecond - 1) / time.Millisecond) * time.Millisecond
-		if th < a.Opts.DefaultSCThreshold {
-			th = a.Opts.DefaultSCThreshold
-		}
-		a.Thresholds[resolver] = th
-	}
-}
-
-func (a *Analysis) thresholdFor(resolver string) time.Duration {
-	if th, ok := a.Thresholds[resolver]; ok {
-		return th
-	}
-	return a.Opts.DefaultSCThreshold
 }
 
 // Table2Row is one line of Table 2.
@@ -122,18 +124,14 @@ type Table2Row struct {
 
 // Table2 computes the DNS-information-origin breakdown.
 func (a *Analysis) Table2() []Table2Row {
-	counts := make([]int, numClasses)
-	for i := range a.Paired {
-		counts[a.Paired[i].Class]++
-	}
 	total := len(a.Paired)
 	rows := make([]Table2Row, 0, numClasses)
 	for c := ClassN; c < numClasses; c++ {
 		frac := 0.0
 		if total > 0 {
-			frac = float64(counts[c]) / float64(total)
+			frac = float64(a.classCounts[c]) / float64(total)
 		}
-		rows = append(rows, Table2Row{Class: c, Conns: counts[c], Fraction: frac})
+		rows = append(rows, Table2Row{Class: c, Conns: a.classCounts[c], Fraction: frac})
 	}
 	return rows
 }

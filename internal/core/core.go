@@ -9,8 +9,11 @@ package core
 
 import (
 	"fmt"
+	"net/netip"
+	"sync"
 	"time"
 
+	"dnscontext/internal/parallel"
 	"dnscontext/internal/trace"
 )
 
@@ -84,6 +87,11 @@ type Options struct {
 	// fractional contribution to the transaction.
 	InsignificantAbs time.Duration
 	InsignificantRel float64
+	// Workers bounds the analysis worker pool. Zero (the default) uses
+	// GOMAXPROCS. The result is bit-identical for every worker count:
+	// work is sharded by originating client and each shard carries its
+	// own RNG stream seeded from Seed and the shard ID.
+	Workers int
 }
 
 // DefaultOptions returns the paper's parameters.
@@ -158,17 +166,62 @@ type Analysis struct {
 	// Thresholds maps resolver address (as string) to the SC/R duration
 	// threshold derived for it.
 	Thresholds map[string]time.Duration
+
+	// classCounts tallies connections per class, computed once during
+	// classification so Count and Fraction are O(1).
+	classCounts [numClasses]int
+	// shards partitions the dataset by originating client in
+	// first-appearance order. Clients are houses (the monitor sees one
+	// NAT'd address per residence), so the shards also drive the
+	// per-house what-if simulations. Shard IDs seed the per-shard RNG
+	// streams, which is why the order must be deterministic.
+	shards []clientShard
+	// refreshOnce guards authTTL/window, the lazily derived inputs shared
+	// by every refresh-policy simulation (possibly running concurrently).
+	refreshOnce sync.Once
+	authTTL     map[string]time.Duration
+	window      time.Duration
+}
+
+// clientShard is one per-client slice of the dataset: the client's
+// connection and DNS record indices, each ascending (= time order).
+type clientShard struct {
+	client netip.Addr
+	conns  []int32
+	dns    []int32
+}
+
+// buildShards partitions the (time-sorted) dataset by client. Pairing
+// only ever matches a connection with lookups from the same originator,
+// so the shards touch disjoint ranges of Paired and DNSUsed and can be
+// classified concurrently without locks.
+func (a *Analysis) buildShards() {
+	connShards := parallel.ShardBy(len(a.DS.Conns), func(i int) netip.Addr { return a.DS.Conns[i].Orig })
+	dnsShards := parallel.ShardBy(len(a.DS.DNS), func(i int) netip.Addr { return a.DS.DNS[i].Client })
+	dnsOf := make(map[netip.Addr][]int32, len(dnsShards))
+	for _, s := range dnsShards {
+		dnsOf[s.Key] = s.Items
+	}
+	a.shards = make([]clientShard, 0, len(connShards))
+	for _, s := range connShards {
+		a.shards = append(a.shards, clientShard{client: s.Key, conns: s.Items, dns: dnsOf[s.Key]})
+		delete(dnsOf, s.Key)
+	}
+	// Clients that only issued lookups still get (connection-less) shards
+	// so the shard set partitions the DNS dataset completely.
+	for _, s := range dnsShards {
+		if items, ok := dnsOf[s.Key]; ok {
+			a.shards = append(a.shards, clientShard{client: s.Key, dns: items})
+		}
+	}
 }
 
 // Count returns the number of connections in class c.
 func (a *Analysis) Count(c Class) int {
-	n := 0
-	for i := range a.Paired {
-		if a.Paired[i].Class == c {
-			n++
-		}
+	if c >= numClasses {
+		return 0
 	}
-	return n
+	return a.classCounts[c]
 }
 
 // Fraction returns the fraction of connections in class c.

@@ -8,26 +8,23 @@ import (
 	"dnscontext/internal/trace"
 )
 
-// pairKey indexes DNS records by (client, answered address).
-type pairKey struct {
-	client netip.Addr
-	addr   netip.Addr
-}
+// shardIndex is the DN-Hunter lookup structure for one client shard: it
+// maps each answered address to the shard's DNS records (dataset
+// indices, ascending by completion time) whose answers contain it. The
+// client is implicit — every record in a shard shares one — which is
+// exactly what lets the pipeline shard the trace with no cross-shard
+// pairing candidates.
+type shardIndex map[netip.Addr][]int32
 
-// pairIndex maps each (client, address) to the DNS records (dataset
-// indices, ascending by completion time) whose answers contain that
-// address.
-type pairIndex map[pairKey][]int32
-
-// buildPairIndex constructs the DN-Hunter lookup structure. The dataset
-// must be time-sorted.
-func buildPairIndex(ds *trace.Dataset) pairIndex {
-	idx := make(pairIndex)
-	for i := range ds.DNS {
+// buildShardIndex constructs the lookup structure over one shard's DNS
+// records (indices into ds.DNS, ascending). The dataset must be
+// time-sorted.
+func buildShardIndex(ds *trace.Dataset, dns []int32) shardIndex {
+	idx := make(shardIndex)
+	for _, i := range dns {
 		d := &ds.DNS[i]
-		for _, a := range d.Answers {
-			k := pairKey{client: d.Client, addr: a.Addr}
-			idx[k] = append(idx[k], int32(i))
+		for _, ans := range d.Answers {
+			idx[ans.Addr] = append(idx[ans.Addr], i)
 		}
 	}
 	return idx
@@ -41,8 +38,8 @@ func buildPairIndex(ds *trace.Dataset) pairIndex {
 //
 // rng is only consulted under PairRandom, which picks uniformly among the
 // non-expired candidates.
-func (a *Analysis) pair(idx pairIndex, conn *trace.ConnRecord, rng *stats.RNG) (dnsIdx int, candidates int) {
-	recs := idx[pairKey{client: conn.Orig, addr: conn.Resp}]
+func (a *Analysis) pair(idx shardIndex, conn *trace.ConnRecord, rng *stats.RNG) (dnsIdx int, candidates int) {
+	recs := idx[conn.Resp]
 	if len(recs) == 0 {
 		return -1, 0
 	}

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"net/netip"
 	"time"
+
+	"dnscontext/internal/parallel"
 )
 
 // RefreshPolicy is a declarative rule for when a whole-house cache
@@ -54,27 +56,61 @@ func PolicyPopular(minUses int, maxIdle time.Duration) RefreshPolicy {
 // per-house cache governed by pol, charging one lookup per demand miss
 // and one per speculative refresh. Names with authoritative TTL at or
 // below floor are never refreshed (the paper's logistical bound).
+//
+// Caches are per house and the shards are per house, so each shard
+// replays independently on the worker pool; the per-shard counters are
+// summed in shard order.
 func (a *Analysis) SimulateCachePolicy(floor time.Duration, pol RefreshPolicy) CachePolicy {
 	authTTL, window := a.refreshInputs()
 
+	parts, _ := parallel.Map(context.Background(), a.Opts.Workers, len(a.shards),
+		func(s int) (cacheShardTally, error) {
+			return a.simulateShardCache(s, floor, pol, authTTL, window), nil
+		})
+
+	var out CachePolicy
+	houses := 0
+	for _, p := range parts {
+		out.Lookups += p.lookups
+		out.Hits += p.hits
+		out.Misses += p.misses
+		if p.active {
+			houses++
+		}
+	}
+	total := out.Hits + out.Misses
+	if total > 0 {
+		out.HitRate = float64(out.Hits) / float64(total)
+	}
+	if houses > 0 && window > 0 {
+		out.LookupsPerSecPerHouse = float64(out.Lookups) / window.Seconds() / float64(houses)
+	}
+	return out
+}
+
+// cacheShardTally is one house's contribution to a cache simulation;
+// active marks houses that drove at least one DNS-using connection.
+type cacheShardTally struct {
+	lookups, hits, misses uint64
+	active                bool
+}
+
+// simulateShardCache replays one house's DNS-using connections through a
+// cache governed by pol (see SimulateCachePolicy).
+func (a *Analysis) simulateShardCache(shardID int, floor time.Duration, pol RefreshPolicy,
+	authTTL map[string]time.Duration, window time.Duration) (out cacheShardTally) {
 	type state struct {
 		alive     bool
 		expiresAt time.Duration
 		lastUse   time.Duration
 		uses      int
 	}
-	type key struct {
-		house netip.Addr
-		name  string
-	}
-	states := make(map[key]*state)
-	var out CachePolicy
-	houses := make(map[netip.Addr]bool)
+	states := make(map[string]*state)
 
 	// refreshesUntil counts the refresh lookups for an entry expiring at
-	// expiry, last used at lastUse with uses total uses, up to (not
-	// including) the first expiry the policy abandons, capped at limit.
-	// It returns the count and the entry's expiry after those refreshes.
+	// st.expiresAt, up to (not including) the first expiry the policy
+	// abandons, capped at limit. It advances the entry's expiry as it
+	// counts.
 	refreshesUntil := func(st *state, ttl, limit time.Duration) (count uint64) {
 		if pol.Never || ttl <= floor || ttl <= 0 {
 			return 0
@@ -92,38 +128,37 @@ func (a *Analysis) SimulateCachePolicy(floor time.Duration, pol RefreshPolicy) C
 		return count
 	}
 
-	for i := range a.Paired {
-		pc := &a.Paired[i]
+	sh := &a.shards[shardID]
+	for _, ci := range sh.conns {
+		pc := &a.Paired[ci]
 		if pc.Class == ClassN {
 			continue
 		}
-		conn := &a.DS.Conns[pc.Conn]
-		houses[conn.Orig] = true
+		out.active = true
 		name := a.DS.DNS[pc.DNS].Query
 		ttl := authTTL[name]
-		now := conn.TS
-		k := key{house: conn.Orig, name: name}
+		now := a.DS.Conns[ci].TS
 
-		st := states[k]
+		st := states[name]
 		if st == nil {
 			st = &state{}
-			states[k] = st
+			states[name] = st
 		}
 
 		if st.alive && now >= st.expiresAt {
 			// The entry expired before this use; see how long the policy
 			// kept it alive.
-			out.Lookups += refreshesUntil(st, ttl, now)
+			out.lookups += refreshesUntil(st, ttl, now)
 			if now >= st.expiresAt {
 				st.alive = false
 			}
 		}
 
 		if st.alive && now < st.expiresAt {
-			out.Hits++
+			out.hits++
 		} else {
-			out.Misses++
-			out.Lookups++
+			out.misses++
+			out.lookups++
 			st.alive = ttl > 0
 			st.expiresAt = now + ttl
 		}
@@ -133,43 +168,37 @@ func (a *Analysis) SimulateCachePolicy(floor time.Duration, pol RefreshPolicy) C
 
 	// Tail: entries still alive at the end of the window keep consuming
 	// refresh lookups until the policy abandons them or the capture ends.
-	for k, st := range states {
+	for name, st := range states {
 		if !st.alive {
 			continue
 		}
-		out.Lookups += refreshesUntil(st, authTTL[k.name], window)
-	}
-
-	total := out.Hits + out.Misses
-	if total > 0 {
-		out.HitRate = float64(out.Hits) / float64(total)
-	}
-	if len(houses) > 0 && window > 0 {
-		out.LookupsPerSecPerHouse = float64(out.Lookups) / window.Seconds() / float64(len(houses))
+		out.lookups += refreshesUntil(st, authTTL[name], window)
 	}
 	return out
 }
 
 // refreshInputs derives the per-name authoritative TTL approximation and
-// the window length (shared by both refresh simulators).
+// the window length (shared by every refresh simulation). The inputs are
+// computed once and cached; concurrent simulations share the result.
 func (a *Analysis) refreshInputs() (map[string]time.Duration, time.Duration) {
-	authTTL := make(map[string]time.Duration)
-	var window time.Duration
-	for i := range a.DS.DNS {
-		d := &a.DS.DNS[i]
-		if t := d.MinTTL(); t > authTTL[d.Query] {
-			authTTL[d.Query] = t
+	a.refreshOnce.Do(func() {
+		a.authTTL = make(map[string]time.Duration)
+		for i := range a.DS.DNS {
+			d := &a.DS.DNS[i]
+			if t := d.MinTTL(); t > a.authTTL[d.Query] {
+				a.authTTL[d.Query] = t
+			}
+			if d.TS > a.window {
+				a.window = d.TS
+			}
 		}
-		if d.TS > window {
-			window = d.TS
+		for i := range a.DS.Conns {
+			if end := a.DS.Conns[i].TS; end > a.window {
+				a.window = end
+			}
 		}
-	}
-	for i := range a.DS.Conns {
-		if end := a.DS.Conns[i].TS; end > window {
-			window = end
-		}
-	}
-	return authTTL, window
+	})
+	return a.authTTL, a.window
 }
 
 // PolicyComparison is one row of the future-work exploration: a policy
@@ -180,13 +209,17 @@ type PolicyComparison struct {
 }
 
 // CompareRefreshPolicies evaluates a set of refresh policies over the
-// trace, bracketing them with the paper's two extremes.
+// trace, bracketing them with the paper's two extremes. The grid points
+// are independent simulations, so they run concurrently; the rows come
+// back in policy order.
 func (a *Analysis) CompareRefreshPolicies(floor time.Duration, policies ...RefreshPolicy) []PolicyComparison {
 	all := append([]RefreshPolicy{PolicyNever}, policies...)
 	all = append(all, PolicyRefreshAll)
-	out := make([]PolicyComparison, 0, len(all))
-	for _, pol := range all {
-		out = append(out, PolicyComparison{Policy: pol, Result: a.SimulateCachePolicy(floor, pol)})
-	}
+	// Warm the shared inputs before fanning out.
+	a.refreshInputs()
+	out, _ := parallel.Map(context.Background(), a.Opts.Workers, len(all),
+		func(i int) (PolicyComparison, error) {
+			return PolicyComparison{Policy: all[i], Result: a.SimulateCachePolicy(floor, all[i])}, nil
+		})
 	return out
 }

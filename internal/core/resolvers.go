@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
 	"net/netip"
+	"sort"
 	"time"
 
+	"dnscontext/internal/parallel"
 	"dnscontext/internal/resolver"
 	"dnscontext/internal/stats"
 )
@@ -11,6 +14,74 @@ import (
 // ConnectivityCheckHost is the Android captive-portal probe hostname whose
 // connections the paper filters out of Google's throughput curve (§7).
 const ConnectivityCheckHost = "connectivitycheck.gstatic.com"
+
+// deriveThresholds implements §5.3's per-resolver SC/R split: for every
+// resolver with at least SCRMinSamples lookups, the minimum observed
+// lookup duration approximates the network RTT; lookups not exceeding a
+// rounded-up multiple of that minimum are shared-cache hits. The paper
+// observes a 2 ms minimum for the local resolvers and uses a 5 ms
+// threshold, i.e. roughly 2.5x the minimum; we round 2.5x the minimum up
+// to the next millisecond.
+//
+// The per-resolver sweeps are independent, so they run on the worker
+// pool; results land in a deterministically ordered slice before the map
+// is filled, keeping the outcome identical for every worker count.
+func (a *Analysis) deriveThresholds(ctx context.Context) error {
+	durs := make(map[string][]time.Duration)
+	for i := range a.DS.DNS {
+		d := &a.DS.DNS[i]
+		durs[d.Resolver.String()] = append(durs[d.Resolver.String()], d.Duration())
+	}
+	// The paper's gate — 1,000 lookups out of 9.2M (~0.011%) — scales
+	// with trace size so shorter captures don't push moderately popular
+	// resolvers onto the 5 ms default; Opts.SCRMinSamples caps it.
+	gate := len(a.DS.DNS) / 9200
+	if gate < 50 {
+		gate = 50
+	}
+	if gate > a.Opts.SCRMinSamples {
+		gate = a.Opts.SCRMinSamples
+	}
+	popular := make([]string, 0, len(durs))
+	for res, ds := range durs {
+		if len(ds) >= gate {
+			popular = append(popular, res)
+		}
+	}
+	sort.Strings(popular)
+
+	ths, err := parallel.Map(ctx, a.Opts.Workers, len(popular), func(i int) (time.Duration, error) {
+		ds := durs[popular[i]]
+		min := ds[0]
+		for _, d := range ds[1:] {
+			if d < min {
+				min = d
+			}
+		}
+		th := time.Duration(float64(min) * 2.5)
+		// Round up to a whole millisecond, mirroring the paper's "small
+		// amount of rounding".
+		th = ((th + time.Millisecond - 1) / time.Millisecond) * time.Millisecond
+		if th < a.Opts.DefaultSCThreshold {
+			th = a.Opts.DefaultSCThreshold
+		}
+		return th, nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, res := range popular {
+		a.Thresholds[res] = ths[i]
+	}
+	return nil
+}
+
+func (a *Analysis) thresholdFor(resolver string) time.Duration {
+	if th, ok := a.Thresholds[resolver]; ok {
+		return th
+	}
+	return a.Opts.DefaultSCThreshold
+}
 
 // Table1Row is one line of Table 1: a resolver platform's footprint.
 type Table1Row struct {

@@ -1,8 +1,10 @@
 package core
 
 import (
-	"net/netip"
+	"context"
 	"time"
+
+	"dnscontext/internal/parallel"
 )
 
 // WholeHouse is §8's first what-if: would a TTL-honoring cache in each
@@ -22,71 +24,83 @@ type WholeHouse struct {
 	Moved, SCTotal, RTotal int
 }
 
-type houseNameKey struct {
-	house netip.Addr
-	name  string
+// houseTally is one house's contribution to the whole-house what-if.
+type houseTally struct {
+	moved, scMoved, rMoved, scTotal, rTotal int
 }
 
-// WholeHouse runs the simulation over the analyzed trace.
+// WholeHouse runs the simulation over the analyzed trace. A house's
+// cache holds only that house's lookups and serves only that house's
+// connections, so each house shard replays independently on the worker
+// pool and the counts are summed.
 func (a *Analysis) WholeHouse() WholeHouse {
+	parts, _ := parallel.Map(context.Background(), a.Opts.Workers, len(a.shards),
+		func(s int) (houseTally, error) { return a.wholeHouseShard(s), nil })
+
 	var out WholeHouse
-
-	// lastCovered[house,name] is the expiry time of the freshest record
-	// a whole-house cache would hold, built by replaying the DNS dataset.
-	// We walk connections in time order, advancing a DNS cursor, so the
-	// cache reflects exactly the lookups that completed before each
-	// connection's own lookup started.
-	type cover struct{ expires time.Duration }
-	cache := make(map[houseNameKey]cover)
-	dnsCursor := 0
-
-	for i := range a.Paired {
-		pc := &a.Paired[i]
-		if pc.Class != ClassSC && pc.Class != ClassR {
-			continue
-		}
-		conn := &a.DS.Conns[pc.Conn]
-		d := &a.DS.DNS[pc.DNS]
-
-		// Advance the cache with every DNS response completed before this
-		// connection's lookup was issued.
-		for dnsCursor < len(a.DS.DNS) && a.DS.DNS[dnsCursor].TS < d.QueryTS {
-			rec := &a.DS.DNS[dnsCursor]
-			dnsCursor++
-			if len(rec.Answers) == 0 {
-				continue
-			}
-			k := houseNameKey{house: rec.Client, name: rec.Query}
-			exp := rec.ExpiresAt()
-			if prev, ok := cache[k]; !ok || exp > prev.expires {
-				cache[k] = cover{expires: exp}
-			}
-		}
-
-		if pc.Class == ClassSC {
-			out.SCTotal++
-		} else {
-			out.RTotal++
-		}
-		k := houseNameKey{house: conn.Orig, name: d.Query}
-		if cov, ok := cache[k]; ok && d.QueryTS < cov.expires {
-			out.Moved++
-			if pc.Class == ClassSC {
-				out.SCBenefit++
-			} else {
-				out.RBenefit++
-			}
-		}
+	var scMoved, rMoved int
+	for _, p := range parts {
+		out.Moved += p.moved
+		out.SCTotal += p.scTotal
+		out.RTotal += p.rTotal
+		scMoved += p.scMoved
+		rMoved += p.rMoved
 	}
-
 	if len(a.Paired) > 0 {
 		out.MovedFraction = float64(out.Moved) / float64(len(a.Paired))
 	}
 	if out.SCTotal > 0 {
-		out.SCBenefit /= float64(out.SCTotal)
+		out.SCBenefit = float64(scMoved) / float64(out.SCTotal)
 	}
 	if out.RTotal > 0 {
-		out.RBenefit /= float64(out.RTotal)
+		out.RBenefit = float64(rMoved) / float64(out.RTotal)
+	}
+	return out
+}
+
+// wholeHouseShard replays one house. cache[name] is the expiry time of
+// the freshest record a whole-house cache would hold; we walk the
+// house's connections in time order, advancing a cursor over the house's
+// own DNS records, so the cache reflects exactly the lookups that
+// completed before each connection's own lookup started.
+func (a *Analysis) wholeHouseShard(shardID int) (out houseTally) {
+	sh := &a.shards[shardID]
+	cache := make(map[string]time.Duration) // name -> expiry
+	dnsCursor := 0
+
+	for _, ci := range sh.conns {
+		pc := &a.Paired[ci]
+		if pc.Class != ClassSC && pc.Class != ClassR {
+			continue
+		}
+		d := &a.DS.DNS[pc.DNS]
+
+		// Advance the cache with every DNS response completed before this
+		// connection's lookup was issued.
+		for dnsCursor < len(sh.dns) && a.DS.DNS[sh.dns[dnsCursor]].TS < d.QueryTS {
+			rec := &a.DS.DNS[sh.dns[dnsCursor]]
+			dnsCursor++
+			if len(rec.Answers) == 0 {
+				continue
+			}
+			if prev, ok := cache[rec.Query]; !ok || rec.ExpiresAt() > prev {
+				cache[rec.Query] = rec.ExpiresAt()
+			}
+		}
+
+		if pc.Class == ClassSC {
+			out.scTotal++
+		} else {
+			out.rTotal++
+		}
+		if exp, ok := cache[d.Query]; ok && d.QueryTS < exp {
+			out.moved++
+			if pc.Class == ClassSC {
+				out.scMoved++
+			} else {
+				out.rMoved++
+			}
+		}
 	}
 	return out
 }

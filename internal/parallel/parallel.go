@@ -1,0 +1,164 @@
+// Package parallel provides the concurrency building blocks behind the
+// analysis pipeline: a bounded worker pool with cooperative cancellation
+// (ForEach / Map), a deterministic sharder that partitions index ranges
+// by key (ShardBy), and contiguous chunking for order-preserving merges
+// (Chunks).
+//
+// Determinism is the package's contract. ShardBy orders shards by first
+// appearance, so the same input always yields the same shard IDs; Map
+// returns results positionally, so merging in index order reproduces the
+// sequential result no matter how the scheduler interleaved the workers.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: n itself when positive,
+// otherwise GOMAXPROCS.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach invokes fn(i) for every i in [0, n) using up to workers
+// goroutines (0 means GOMAXPROCS). It returns the first error any fn
+// returns, or the context's error if ctx is cancelled; remaining items
+// are skipped in either case. With one worker the items run in index
+// order on the calling goroutine.
+func ForEach(ctx context.Context, workers, n int, fn func(int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Map applies fn to every index in [0, n) with up to workers goroutines
+// and returns the results in index order, so callers can merge them
+// deterministically. On error (or cancellation) the partial results are
+// discarded and the first error is returned.
+func Map[T any](ctx context.Context, workers, n int, fn func(int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(ctx, workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Range is a half-open index interval [Lo, Hi).
+type Range struct{ Lo, Hi int }
+
+// Chunks splits [0, n) into at most parts contiguous ranges of
+// near-equal size (never empty). Merging per-chunk results in slice
+// order reproduces a sequential left-to-right pass exactly.
+func Chunks(n, parts int) []Range {
+	if n <= 0 {
+		return nil
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > n {
+		parts = n
+	}
+	out := make([]Range, 0, parts)
+	lo := 0
+	for p := 0; p < parts; p++ {
+		size := (n - lo) / (parts - p)
+		out = append(out, Range{Lo: lo, Hi: lo + size})
+		lo += size
+	}
+	return out
+}
+
+// Shard is one partition produced by ShardBy: the shared key and the
+// member indices in ascending order.
+type Shard[K comparable] struct {
+	Key   K
+	Items []int32
+}
+
+// ShardBy partitions the indices [0, n) by key(i). Shards are ordered by
+// the first appearance of their key, and each shard's Items are
+// ascending, so the result — and therefore any shard-ID-derived state
+// such as per-shard RNG streams — is a deterministic function of the
+// input alone.
+func ShardBy[K comparable](n int, key func(int) K) []Shard[K] {
+	pos := make(map[K]int)
+	var shards []Shard[K]
+	for i := 0; i < n; i++ {
+		k := key(i)
+		p, ok := pos[k]
+		if !ok {
+			p = len(shards)
+			pos[k] = p
+			shards = append(shards, Shard[K]{Key: k})
+		}
+		shards[p].Items = append(shards[p].Items, int32(i))
+	}
+	return shards
+}

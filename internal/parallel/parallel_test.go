@@ -1,0 +1,174 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachVisitsEveryIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 0} {
+		n := 123
+		seen := make([]atomic.Int32, n)
+		err := ForEach(context.Background(), workers, n, func(i int) error {
+			seen[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range seen {
+			if got := seen[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(context.Background(), 4, 0, func(int) error {
+		t.Fatal("fn called for empty range")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachPropagatesFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		err := ForEach(context.Background(), workers, 100, func(i int) error {
+			if i == 17 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want %v", workers, err, boom)
+		}
+	}
+}
+
+func TestForEachCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls atomic.Int32
+	err := ForEach(ctx, 4, 1000, func(int) error {
+		calls.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// A pre-cancelled context may let a few in-flight items through, but
+	// must not run anywhere near the full range.
+	if calls.Load() > 8 {
+		t.Fatalf("%d items ran under a cancelled context", calls.Load())
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, max atomic.Int32
+	err := ForEach(context.Background(), workers, 200, func(int) error {
+		c := cur.Add(1)
+		for {
+			m := max.Load()
+			if c <= m || max.CompareAndSwap(m, c) {
+				break
+			}
+		}
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max.Load() > workers {
+		t.Fatalf("observed %d concurrent workers, limit %d", max.Load(), workers)
+	}
+}
+
+func TestMapOrdersResults(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		out, err := Map(context.Background(), workers, 50, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapErrorDiscardsResults(t *testing.T) {
+	boom := errors.New("boom")
+	out, err := Map(context.Background(), 4, 10, func(i int) (int, error) {
+		if i == 3 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) || out != nil {
+		t.Fatalf("got (%v, %v), want (nil, boom)", out, err)
+	}
+}
+
+func TestChunksCoverContiguously(t *testing.T) {
+	for _, tc := range []struct{ n, parts int }{
+		{10, 3}, {3, 10}, {1, 1}, {100, 7}, {0, 4},
+	} {
+		chunks := Chunks(tc.n, tc.parts)
+		if tc.n == 0 {
+			if chunks != nil {
+				t.Fatalf("Chunks(0, %d) = %v", tc.parts, chunks)
+			}
+			continue
+		}
+		lo := 0
+		for _, c := range chunks {
+			if c.Lo != lo || c.Hi <= c.Lo {
+				t.Fatalf("Chunks(%d, %d): bad range %+v after %d", tc.n, tc.parts, c, lo)
+			}
+			lo = c.Hi
+		}
+		if lo != tc.n {
+			t.Fatalf("Chunks(%d, %d) covers [0, %d)", tc.n, tc.parts, lo)
+		}
+		if want := tc.parts; tc.n < tc.parts {
+			want = tc.n
+			if len(chunks) != want {
+				t.Fatalf("Chunks(%d, %d) has %d parts", tc.n, tc.parts, len(chunks))
+			}
+		}
+	}
+}
+
+func TestShardByDeterministicOrder(t *testing.T) {
+	keys := []string{"b", "a", "b", "c", "a", "b"}
+	shards := ShardBy(len(keys), func(i int) string { return keys[i] })
+	if len(shards) != 3 {
+		t.Fatalf("got %d shards", len(shards))
+	}
+	// First-appearance order: b, a, c.
+	wantKeys := []string{"b", "a", "c"}
+	wantItems := [][]int32{{0, 2, 5}, {1, 4}, {3}}
+	for s := range shards {
+		if shards[s].Key != wantKeys[s] {
+			t.Fatalf("shard %d key %q, want %q", s, shards[s].Key, wantKeys[s])
+		}
+		if len(shards[s].Items) != len(wantItems[s]) {
+			t.Fatalf("shard %d items %v", s, shards[s].Items)
+		}
+		for j, it := range shards[s].Items {
+			if it != wantItems[s][j] {
+				t.Fatalf("shard %d items %v, want %v", s, shards[s].Items, wantItems[s])
+			}
+		}
+	}
+}
