@@ -1,10 +1,20 @@
 # Development targets for the dnscontext repository. `make check` is the
 # tier-1 gate: vet, build, and the full test suite under the race
 # detector (the parallel analysis pipeline makes -race non-optional).
+# `make fuzz` (short budget) and `make cover` are the deeper, slower
+# companions — run them before touching the trace codecs or the
+# classifier.
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-parallel
+# Per-target fuzzing budget for `make fuzz`. The corpora under
+# internal/trace/testdata/fuzz/ always replay as plain tests, so even
+# FUZZTIME=0 catches regressions.
+FUZZTIME ?= 10s
+
+FUZZ_TARGETS := FuzzReadDNS FuzzReadConns FuzzReadDNSJSON FuzzReadConnsJSON
+
+.PHONY: check vet build test race bench bench-parallel fuzz cover
 
 check: vet build race
 
@@ -19,6 +29,19 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Short-budget coverage-guided fuzzing of the trace codecs. Go allows
+# one -fuzz target per invocation, so loop.
+fuzz:
+	@for t in $(FUZZ_TARGETS); do \
+		echo "--- fuzz $$t ($(FUZZTIME))"; \
+		$(GO) test ./internal/trace -run='^$$' -fuzz="^$$t$$" -fuzztime=$(FUZZTIME) || exit 1; \
+	done
+
+# Aggregate statement coverage across all packages.
+cover:
+	$(GO) test -coverprofile=cover.out -coverpkg=./... ./...
+	$(GO) tool cover -func=cover.out | tail -1
 
 # Full paper reproduction: every table and figure as bench metrics.
 bench:

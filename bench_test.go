@@ -470,3 +470,30 @@ func BenchmarkMonitorPipeline(b *testing.B) {
 		m.Flush()
 	}
 }
+
+// BenchmarkFaultLossSweep measures trace generation plus analysis under
+// the fault-injection experiment's 1% loss cell and reports the
+// failure-adjusted headline numbers: the blocked share, the SERVFAIL
+// share, and the mean transmissions per lookup.
+func BenchmarkFaultLossSweep(b *testing.B) {
+	cfg := SmallGeneratorConfig(3)
+	cfg.Faults.Loss = 0.01
+	cfg.Faults.LocalOutages = []OutageWindow{
+		{Start: time.Hour, End: time.Hour + 30*time.Minute},
+	}
+	cfg.Faults.StaleHold = time.Hour
+	var a *Analysis
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds, _, err := Generate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a = Analyze(ds, DefaultOptions())
+	}
+	b.StopTimer()
+	fs := a.Failures()
+	b.ReportMetric(pct(a.BlockedFraction()), "blocked_pct")
+	b.ReportMetric(pct(fs.ServFailFraction()), "servfail_pct")
+	b.ReportMetric(fs.MeanAttempts(), "attempts_per_query")
+}

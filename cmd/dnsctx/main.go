@@ -15,6 +15,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"dnscontext"
@@ -34,6 +35,12 @@ func main() {
 		duration = flag.Duration("duration", 6*time.Hour, "window (with -generate)")
 		seed     = flag.Uint64("seed", 1, "seed (with -generate)")
 
+		faultLoss     = flag.Float64("fault-loss", 0, "per-transmission packet-loss probability (with -generate)")
+		faultJitter   = flag.Duration("fault-jitter", 0, "mean extra per-delivery jitter (with -generate)")
+		faultOutage   = flag.String("fault-outage", "", "local-resolver outage windows as start:dur[,start:dur...], e.g. 1h:10m (with -generate)")
+		faultTruncate = flag.Int("fault-truncate", 0, "answers-per-response UDP truncation threshold, 0 = off (with -generate)")
+		faultStale    = flag.Duration("fault-stale-hold", 0, "serve-stale window for phone/laptop stubs under resolver failure (with -generate)")
+
 		block    = flag.Duration("block-threshold", 100*time.Millisecond, "blocked-connection gap threshold")
 		scrMin   = flag.Int("scr-min-samples", 1000, "min lookups for a per-resolver SC/R threshold")
 		scrDef   = flag.Duration("scr-default", 5*time.Millisecond, "default SC/R duration threshold")
@@ -52,6 +59,17 @@ func main() {
 		cfg.Houses = *houses
 		cfg.Duration = *duration
 		cfg.Seed = *seed
+		cfg.Faults.Loss = *faultLoss
+		cfg.Faults.ExtraJitter = *faultJitter
+		cfg.Faults.TruncateOver = *faultTruncate
+		cfg.Faults.StaleHold = *faultStale
+		if *faultOutage != "" {
+			windows, err := parseOutages(*faultOutage)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg.Faults.LocalOutages = windows
+		}
 		var err error
 		var eco *dnscontext.Ecosystem
 		ds, eco, err = dnscontext.Generate(cfg)
@@ -108,6 +126,28 @@ func main() {
 		}
 		log.Printf("figure data written to %s", *figures)
 	}
+}
+
+// parseOutages parses "start:dur[,start:dur...]" into outage windows,
+// e.g. "1h:10m,3h30m:5m".
+func parseOutages(s string) ([]dnscontext.OutageWindow, error) {
+	var out []dnscontext.OutageWindow
+	for _, part := range strings.Split(s, ",") {
+		startStr, durStr, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad -fault-outage entry %q, want start:dur", part)
+		}
+		start, err := time.ParseDuration(startStr)
+		if err != nil {
+			return nil, fmt.Errorf("bad -fault-outage start in %q: %v", part, err)
+		}
+		dur, err := time.ParseDuration(durStr)
+		if err != nil {
+			return nil, fmt.Errorf("bad -fault-outage duration in %q: %v", part, err)
+		}
+		out = append(out, dnscontext.OutageWindow{Start: start, End: start + dur})
+	}
+	return out, nil
 }
 
 func readFile[T any](path string, read func(io.Reader) ([]T, error)) ([]T, error) {

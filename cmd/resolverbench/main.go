@@ -6,6 +6,12 @@
 // Usage:
 //
 //	resolverbench -houses 50 -duration 12h
+//	resolverbench -loss-sweep -houses 20 -duration 4h
+//
+// With -loss-sweep the command instead runs the fault-injection
+// experiment: the same workload under increasing packet loss, with and
+// without a scheduled local-resolver outage, reporting the
+// failure-adjusted blocking distribution for each cell.
 package main
 
 import (
@@ -24,11 +30,17 @@ func main() {
 	log.SetPrefix("resolverbench: ")
 
 	var (
-		houses   = flag.Int("houses", 30, "houses")
-		duration = flag.Duration("duration", 8*time.Hour, "window")
-		seed     = flag.Uint64("seed", 1, "seed")
+		houses    = flag.Int("houses", 30, "houses")
+		duration  = flag.Duration("duration", 8*time.Hour, "window")
+		seed      = flag.Uint64("seed", 1, "seed")
+		lossSweep = flag.Bool("loss-sweep", false, "run the fault-injection loss sweep instead of the platform comparison")
 	)
 	flag.Parse()
+
+	if *lossSweep {
+		runLossSweep(*houses, *duration, *seed)
+		return
+	}
 
 	cfg := dnscontext.DefaultGeneratorConfig()
 	cfg.Houses = *houses
@@ -94,5 +106,46 @@ func main() {
 			Title:  "Fig 3 (bottom). CDF of throughput by platform (bps)",
 			XLabel: "bps", LogX: true, XMin: 100,
 		}, tCurves...))
+	}
+}
+
+// sweepLosses are the loss rates of the fault-injection experiment:
+// pristine, 0.1%, 1%, and 5% per-transmission loss.
+var sweepLosses = []float64{0, 0.001, 0.01, 0.05}
+
+// runLossSweep generates the same workload under each (loss, outage)
+// cell and reports the failure-adjusted blocking distribution: the
+// N/LC/P/SC/R split, the blocked share, and the fault-path activity.
+func runLossSweep(houses int, duration time.Duration, seed uint64) {
+	fmt.Printf("Fault-injection loss sweep (%d houses, %v, seed %d)\n", houses, duration, seed)
+	fmt.Printf("outage cells drop the Local platform for 30m starting 1h into the window\n\n")
+	fmt.Printf("%-7s %-7s %6s %6s %6s %6s %6s %9s %9s %9s %8s\n",
+		"loss", "outage", "N%", "LC%", "P%", "SC%", "R%", "blocked%", "servfail%", "retried%", "att/q")
+	for _, outage := range []bool{false, true} {
+		for _, loss := range sweepLosses {
+			cfg := dnscontext.DefaultGeneratorConfig()
+			cfg.Houses = houses
+			cfg.Duration = duration
+			cfg.Warmup = duration / 2
+			cfg.Seed = seed
+			cfg.Faults.Loss = loss
+			if outage {
+				cfg.Faults.LocalOutages = []dnscontext.OutageWindow{{Start: time.Hour, End: time.Hour + 30*time.Minute}}
+				cfg.Faults.StaleHold = time.Hour
+			}
+			ds, _, err := dnscontext.Generate(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			a := dnscontext.Analyze(ds, dnscontext.DefaultOptions())
+			fs := a.Failures()
+			fmt.Printf("%-7s %-7v %6.1f %6.1f %6.1f %6.1f %6.1f %9.1f %9.2f %9.2f %8.3f\n",
+				fmt.Sprintf("%.1f%%", 100*loss), outage,
+				100*a.Fraction(dnscontext.ClassN), 100*a.Fraction(dnscontext.ClassLC),
+				100*a.Fraction(dnscontext.ClassP), 100*a.Fraction(dnscontext.ClassSC),
+				100*a.Fraction(dnscontext.ClassR),
+				100*a.BlockedFraction(), 100*fs.ServFailFraction(),
+				100*fs.RetriedFraction(), fs.MeanAttempts())
+		}
 	}
 }

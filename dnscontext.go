@@ -46,6 +46,7 @@ import (
 	"dnscontext/internal/core"
 	"dnscontext/internal/households"
 	"dnscontext/internal/monitor"
+	"dnscontext/internal/netsim"
 	"dnscontext/internal/resolver"
 	"dnscontext/internal/trace"
 )
@@ -82,7 +83,29 @@ type (
 	// PlatformID identifies a resolver platform (Local, Google, OpenDNS,
 	// Cloudflare).
 	PlatformID = resolver.PlatformID
+	// FaultsConfig injects packet loss, jitter, resolver outages, and UDP
+	// truncation into the generator's resolution path. The zero value is
+	// a pristine network and reproduces fault-free runs bit for bit.
+	FaultsConfig = households.FaultsConfig
+	// FaultProfile is the per-link fault model (loss, jitter, outage
+	// windows, truncation threshold) used by the network simulator.
+	FaultProfile = netsim.FaultProfile
+	// OutageWindow is a half-open virtual-time interval during which a
+	// faulted link drops every packet.
+	OutageWindow = netsim.Window
+	// RetryPolicy is the client-side timeout/retry/backoff ladder a
+	// device applies to its lookups.
+	RetryPolicy = resolver.RetryPolicy
+	// FailureStats summarizes fault-path activity (retries, SERVFAILs,
+	// TCP fallbacks) in an analyzed trace; see Analysis.Failures.
+	FailureStats = core.FailureStats
 )
+
+// Retry policy presets: the resolv.conf-style default, the aggressive
+// Android/Bionic ladder, and single-shot IoT firmware.
+func DefaultRetryPolicy() RetryPolicy { return resolver.DefaultRetryPolicy() }
+func AndroidRetryPolicy() RetryPolicy { return resolver.AndroidRetryPolicy() }
+func IoTRetryPolicy() RetryPolicy     { return resolver.IoTRetryPolicy() }
 
 // Resolver platform identifiers.
 const (

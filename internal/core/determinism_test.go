@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dnscontext/internal/households"
+	"dnscontext/internal/netsim"
 	"dnscontext/internal/trace"
 )
 
@@ -107,6 +108,86 @@ func TestDownstreamDeterministicAcrossWorkers(t *testing.T) {
 		if !reflect.DeepEqual(grid, refGrid) {
 			t.Fatalf("workers=%d: refresh grid differs: %+v vs %+v", workers, grid, refGrid)
 		}
+	}
+}
+
+// faultedTrace generates a small trace with every fault knob nonzero, so
+// the retry/backoff/outage paths all draw from the RNG streams.
+func faultedTrace(t *testing.T) *trace.Dataset {
+	t.Helper()
+	cfg := households.SmallConfig(7)
+	cfg.Houses = 8
+	cfg.Duration = time.Hour
+	cfg.Warmup = 30 * time.Minute
+	cfg.Faults.Loss = 0.02
+	cfg.Faults.ExtraJitter = 2 * time.Millisecond
+	cfg.Faults.TruncateOver = 6
+	cfg.Faults.StaleHold = time.Hour
+	cfg.Faults.LocalOutages = []netsim.Window{
+		{Start: 10 * time.Minute, End: 20 * time.Minute},
+	}
+	ds, _, err := households.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// TestFaultedAnalysisDeterministicAcrossWorkers extends the determinism
+// gate to fault-injected traces: generation under a nonzero FaultProfile
+// must be repeatable, and the analysis — including the failure tallies,
+// which sum per-shard — must be bit-identical for every worker count.
+func TestFaultedAnalysisDeterministicAcrossWorkers(t *testing.T) {
+	ds := faultedTrace(t)
+	ds2 := faultedTrace(t)
+	if !reflect.DeepEqual(ds.DNS, ds2.DNS) || !reflect.DeepEqual(ds.Conns, ds2.Conns) {
+		t.Fatal("two generations with identical faulted config differ")
+	}
+
+	opts := DefaultOptions()
+	opts.SCRMinSamples = 50
+	opts.Workers = 1
+	ref := analyzeCopy(ds, opts)
+	refFS := ref.Failures()
+	if !refFS.HasFailures() {
+		t.Fatal("faulted trace produced no retries/servfails; fault paths untested")
+	}
+
+	for _, workers := range []int{2, 8} {
+		opts.Workers = workers
+		got := analyzeCopy(ds, opts)
+		if !reflect.DeepEqual(got.Paired, ref.Paired) {
+			t.Fatalf("workers=%d: Paired differs under faults", workers)
+		}
+		if !reflect.DeepEqual(got.Thresholds, ref.Thresholds) {
+			t.Fatalf("workers=%d: Thresholds differ under faults", workers)
+		}
+		if !reflect.DeepEqual(got.Table2(), ref.Table2()) {
+			t.Fatalf("workers=%d: Table 2 differs under faults", workers)
+		}
+		if fs := got.Failures(); fs != refFS {
+			t.Fatalf("workers=%d: failure stats %+v != %+v", workers, fs, refFS)
+		}
+	}
+}
+
+// TestZeroFaultConfigMatchesUnconfigured is the zero-cost invariant at
+// the generator level: a Config with an explicitly zero FaultsConfig
+// must yield the byte-identical dataset of one that never mentions
+// faults.
+func TestZeroFaultConfigMatchesUnconfigured(t *testing.T) {
+	ref := determinismTrace(t)
+	cfg := households.SmallConfig(7)
+	cfg.Houses = 8
+	cfg.Duration = time.Hour
+	cfg.Warmup = 30 * time.Minute
+	cfg.Faults = households.FaultsConfig{}
+	ds, _, err := households.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ds.DNS, ref.DNS) || !reflect.DeepEqual(ds.Conns, ref.Conns) {
+		t.Fatal("zero FaultsConfig changed the generated dataset")
 	}
 }
 

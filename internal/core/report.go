@@ -152,6 +152,16 @@ func (a *Analysis) Report(w io.Writer, profiles []resolver.PlatformProfile) erro
 	fmt.Fprintf(tw, "connectivitycheck share of Google SC+R conns: %.1f%% (paper: 23.5%%), other platforms: %.1f%% (paper: 0.3%%)\n\n",
 		100*rp.GoogleCCFraction, 100*rp.NonGoogleCCFraction)
 
+	// --- Fault injection (only for traces that show failure activity) ---
+	if fs := a.Failures(); fs.HasFailures() {
+		fmt.Fprintf(tw, "--- Fault injection: failure-adjusted view ---\n")
+		fmt.Fprintf(tw, "lookups: %d   servfail: %.2f%%   retried: %.2f%%   tcp-fallback: %.2f%%   mean attempts: %.3f\n",
+			fs.Lookups, 100*fs.ServFailFraction(), 100*fs.RetriedFraction(),
+			100*fs.TCPFallbackFraction(), fs.MeanAttempts())
+		fmt.Fprintf(tw, "blocked (SC+R) under faults: %.1f%% — retransmission delay inflates lookup durations,\n", 100*a.BlockedFraction())
+		fmt.Fprintf(tw, "shifting the SC/R split and the blocking distribution relative to a fault-free run\n\n")
+	}
+
 	// --- §8 ---
 	wh := a.WholeHouse()
 	fmt.Fprintf(tw, "--- Section 8: possible improvements ---\n")

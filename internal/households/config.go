@@ -16,8 +16,39 @@ package households
 import (
 	"time"
 
+	"dnscontext/internal/netsim"
 	"dnscontext/internal/zonedb"
 )
+
+// FaultsConfig injects failures into every client<->resolver path. The
+// zero value is a pristine network and reproduces fault-free runs bit for
+// bit (the fault hooks consume no randomness when disabled).
+type FaultsConfig struct {
+	// Loss is the per-transmission drop probability, applied independently
+	// to the query and the response of every attempt.
+	Loss float64
+	// ExtraJitter adds an exponential jitter term (with this mean) to
+	// every delivery, modeling congested access links.
+	ExtraJitter time.Duration
+	// LocalOutages schedules windows during which the Local (ISP)
+	// resolver platform drops everything — the "resolver outage" scenario.
+	// Times are relative to the observation window start (warmup shifting
+	// is handled internally).
+	LocalOutages []netsim.Window
+	// TruncateOver marks responses with more than this many answers as
+	// truncated over UDP, forcing a TCP retry. Zero disables truncation.
+	TruncateOver int
+	// StaleHold enables RFC 8767 serve-stale on phone and laptop stubs:
+	// when the upstream resolver times out, a device may fall back to an
+	// expired cached record retained up to this long past expiry.
+	StaleHold time.Duration
+}
+
+// IsZero reports whether the configuration injects no faults at all.
+func (f FaultsConfig) IsZero() bool {
+	return f.Loss <= 0 && f.ExtraJitter <= 0 && len(f.LocalOutages) == 0 &&
+		f.TruncateOver <= 0 && f.StaleHold <= 0
+}
 
 // Config parameterizes a generation run.
 type Config struct {
@@ -131,6 +162,11 @@ type Config struct {
 	// RevisitProb is the chance a page view targets the working set
 	// rather than a fresh popularity draw.
 	RevisitProb float64
+
+	// Faults injects packet loss, jitter, outages, and truncation into
+	// the resolution path. The zero value reproduces fault-free behavior
+	// exactly.
+	Faults FaultsConfig
 }
 
 // DefaultConfig returns the calibrated configuration used for the

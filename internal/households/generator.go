@@ -72,9 +72,15 @@ func Generate(cfg Config) (*trace.Dataset, *Ecosystem, error) {
 		{"SharedVisitProb", cfg.SharedVisitProb},
 		{"AppResolveAheadProb", cfg.AppResolveAheadProb},
 		{"EncryptedDNSProb", cfg.EncryptedDNSProb},
+		{"Faults.Loss", cfg.Faults.Loss},
 	} {
 		if p.v < 0 || p.v > 1 {
 			return nil, nil, fmt.Errorf("households: %s = %v outside [0, 1]", p.name, p.v)
+		}
+	}
+	for i, w := range cfg.Faults.LocalOutages {
+		if w.Start < 0 || w.End <= w.Start {
+			return nil, nil, fmt.Errorf("households: Faults.LocalOutages[%d] = %v..%v not a valid window", i, w.Start, w.End)
 		}
 	}
 	g := &Generator{
@@ -93,6 +99,21 @@ func Generate(cfg Config) (*trace.Dataset, *Ecosystem, error) {
 	g.zones = zones
 	g.auth = resolver.NewAuthority(zones)
 	g.profiles = resolver.DefaultProfiles()
+	if !cfg.Faults.IsZero() {
+		for i := range g.profiles {
+			g.profiles[i].Faults.Loss = cfg.Faults.Loss
+			g.profiles[i].Faults.ExtraJitter = cfg.Faults.ExtraJitter
+			g.profiles[i].Faults.TruncateOver = cfg.Faults.TruncateOver
+			if g.profiles[i].ID == resolver.PlatformLocal {
+				// Outage windows are specified relative to the observation
+				// window; the simulator clock starts Warmup earlier.
+				for _, w := range cfg.Faults.LocalOutages {
+					g.profiles[i].Faults.Outages = append(g.profiles[i].Faults.Outages,
+						netsim.Window{Start: w.Start + cfg.Warmup, End: w.End + cfg.Warmup})
+				}
+			}
+		}
+	}
 	g.platforms = make(map[resolver.PlatformID]*resolver.Recursive, len(g.profiles))
 	for _, p := range g.profiles {
 		g.platforms[p.ID] = resolver.NewRecursive(p, g.auth, g.rng.Split())
@@ -173,7 +194,7 @@ func (g *Generator) lookup(d *device, now time.Duration, host string) lookupOutc
 	}
 	pid := d.pickPlatform(g.rng)
 	rec := g.platforms[pid]
-	res := rec.Lookup(now, host)
+	res := rec.LookupWith(now, host, d.retry)
 	done := now + res.Duration
 
 	if d.dot {
@@ -211,9 +232,25 @@ func (g *Generator) lookup(d *device, now time.Duration, host string) lookupOutc
 		QType:    uint16(1),
 		RCode:    res.RCode,
 		Answers:  res.Answers,
+		Retries:  uint8(res.Retries()),
+		TC:       res.TCPFallback,
 	})
 	if len(res.Answers) > 0 {
 		d.stub.Put(done, host, res.Answers)
+	}
+	if res.ServFail {
+		// The resolver is unreachable; a serve-stale stub (RFC 8767) falls
+		// back to an expired record rather than failing the application.
+		if sl, ok := d.stub.GetStale(done, host); ok {
+			return lookupOutcome{
+				ready:    done,
+				answers:  sl.Answers,
+				wire:     true,
+				platform: pid,
+				expired:  true,
+				rcode:    res.RCode,
+			}
+		}
 	}
 	// Dual-stack clients issue a companion AAAA query; our namespace is
 	// v4-only, so the response is empty and the transaction never pairs
@@ -623,11 +660,12 @@ func (g *Generator) connForVia(d *device, now time.Duration, name *zonedb.Name, 
 		g.connFor(d, now, name)
 		return
 	}
-	res := rec.Lookup(now, name.Host)
+	res := rec.LookupWith(now, name.Host, d.retry)
 	done := now + res.Duration
 	g.ds.DNS = append(g.ds.DNS, trace.DNSRecord{
 		QueryTS: now, TS: done, Client: d.house.addr, Resolver: res.Resolver,
 		ID: d.house.dnsID(), Query: name.Host, QType: 1, RCode: res.RCode, Answers: res.Answers,
+		Retries: uint8(res.Retries()), TC: res.TCPFallback,
 	})
 	if len(res.Answers) == 0 {
 		return

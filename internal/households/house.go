@@ -26,6 +26,10 @@ type device struct {
 	house *house
 	kind  deviceKind
 	stub  *resolver.Stub
+	// retry is the kind-specific failure handling for wire lookups:
+	// Android phones retry hard across servers, laptops follow the
+	// resolv.conf ladder, IoT gear fires once and gives up.
+	retry resolver.RetryPolicy
 	// dot marks a device resolving over encrypted DNS (DoT): its lookups
 	// are invisible to the monitor except as TCP/853 connections.
 	dot bool
@@ -133,6 +137,21 @@ func (g *Generator) buildDevice(h *house, kind deviceKind) *device {
 			g.cfg.ViolationHoldMedian.Seconds(), 1.5).Sample(r) * float64(time.Second))
 	}
 	d.stub = resolver.NewStub(512, hold)
+	// Kind-specific retry behavior (no RNG: zero-fault runs must not
+	// consume extra randomness here).
+	switch kind {
+	case kindPhone:
+		d.retry = resolver.AndroidRetryPolicy()
+	case kindIoT:
+		d.retry = resolver.IoTRetryPolicy()
+	default:
+		d.retry = resolver.DefaultRetryPolicy()
+	}
+	if g.cfg.Faults.StaleHold > 0 && (kind == kindPhone || kind == kindLaptop) {
+		// RFC 8767 serve-stale: phones and laptops fall back to expired
+		// records when the resolver is unreachable; dumb gear does not.
+		d.stub.StaleHold = g.cfg.Faults.StaleHold
+	}
 	if kind == kindPhone || kind == kindLaptop {
 		d.dot = r.Bool(g.cfg.EncryptedDNSProb)
 	}

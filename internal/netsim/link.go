@@ -45,3 +45,14 @@ func (l Link) Delay(r *stats.RNG) time.Duration {
 func (l Link) RTT(r *stats.RNG) time.Duration {
 	return l.Delay(r) + l.Delay(r)
 }
+
+// DeliverUnder samples one delivery attempt at virtual time t under fault
+// profile f: the one-way delay (including any fault-injected extra
+// jitter) and whether the packet was lost. The loss draw happens after
+// the delay draw so that a zero profile consumes exactly the randomness
+// Delay would — lost packets still "use" a delay, keeping RNG streams
+// aligned across fault configurations of the same run length.
+func (l Link) DeliverUnder(t time.Duration, f FaultProfile, r *stats.RNG) (d time.Duration, lost bool) {
+	d = l.Delay(r) + f.Jitter(r)
+	return d, f.Lost(t, r)
+}

@@ -59,6 +59,8 @@ func (s *Sim) Now() time.Duration { return s.now }
 func (s *Sim) Events() uint64 { return s.events }
 
 // Pending returns the number of scheduled-but-unexecuted events.
+// Cancelled events still occupy their slot until their time comes up, so
+// the count is an upper bound while cancellations are in flight.
 func (s *Sim) Pending() int { return len(s.queue) }
 
 // At schedules fn to run at absolute virtual time at. Scheduling in the
@@ -81,24 +83,64 @@ func (s *Sim) After(delay time.Duration, fn Event) {
 	s.At(s.now+delay, fn)
 }
 
-// Step executes the single earliest pending event. It reports whether an
-// event was executed.
-func (s *Sim) Step() bool {
-	if len(s.queue) == 0 {
+// Handle identifies a scheduled event so it can be cancelled — the
+// primitive timeout modelling needs: schedule a deadline, cancel it when
+// the awaited response arrives first.
+type Handle struct {
+	it *item
+}
+
+// Cancel withdraws the event. It reports whether the event was still
+// pending; cancelling an executed or already-cancelled event is a no-op.
+// The queue slot is reclaimed lazily when the event's time comes up.
+func (h *Handle) Cancel() bool {
+	if h == nil || h.it == nil || h.it.fn == nil {
 		return false
 	}
-	it := heap.Pop(&s.queue).(*item)
-	s.now = it.at
-	s.events++
-	it.fn(s.now)
+	h.it.fn = nil
 	return true
+}
+
+// Schedule is At returning a cancellable Handle. Cancelled events do not
+// execute, do not advance the clock, and do not count toward Events().
+func (s *Sim) Schedule(at time.Duration, fn Event) *Handle {
+	if at < s.now {
+		panic(fmt.Sprintf("netsim: scheduling event at %v, before now %v", at, s.now))
+	}
+	s.seq++
+	it := &item{at: at, seq: s.seq, fn: fn}
+	heap.Push(&s.queue, it)
+	return &Handle{it: it}
+}
+
+// Step executes the single earliest pending event, discarding cancelled
+// ones along the way. It reports whether an event was executed.
+func (s *Sim) Step() bool {
+	for len(s.queue) > 0 {
+		it := heap.Pop(&s.queue).(*item)
+		if it.fn == nil {
+			continue // cancelled
+		}
+		s.now = it.at
+		s.events++
+		it.fn(s.now)
+		return true
+	}
+	return false
 }
 
 // RunUntil executes events in order until the queue is empty or the next
 // event is later than end. The clock finishes at end (or at the last
 // executed event if the queue drains first and that is later).
 func (s *Sim) RunUntil(end time.Duration) {
-	for len(s.queue) > 0 && s.queue[0].at <= end {
+	for len(s.queue) > 0 {
+		if s.queue[0].fn == nil {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if s.queue[0].at > end {
+			break
+		}
 		s.Step()
 	}
 	if s.now < end {

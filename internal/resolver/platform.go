@@ -59,6 +59,11 @@ type PlatformProfile struct {
 	// simulation does not replay that traffic; instead, a missed name is
 	// externally warm with probability 1 − exp(−ExternalQPS·share·TTL).
 	ExternalQPS float64
+	// Faults injects failures into the client<->resolver path: packet
+	// loss, extra jitter, scheduled outage windows, and UDP truncation.
+	// The zero value (the default profiles) is a pristine network and
+	// reproduces pre-fault behavior bit for bit.
+	Faults netsim.FaultProfile
 }
 
 // DefaultProfiles returns the calibrated platform set. RTTs follow the

@@ -9,19 +9,45 @@ import (
 	"dnscontext/internal/trace"
 )
 
+// RCodeServFail is the SERVFAIL response code a client synthesizes when
+// every transmission attempt times out — the giveup outcome of the
+// retry ladder.
+const RCodeServFail uint8 = 2
+
 // Result is the client-observed outcome of one recursive lookup.
 type Result struct {
-	// Duration is the total client-observed lookup time (network RTT plus
-	// any authoritative iteration the resolver performed).
+	// Duration is the total client-observed lookup time: network RTT,
+	// any authoritative iteration the resolver performed, plus — under
+	// fault injection — every timeout and backoff wait spent on lost
+	// transmissions and any TCP-fallback exchange.
 	Duration time.Duration
 	// FromCache is true when the shared resolver answered from its cache
 	// (the paper's SC case); false means authoritative servers were
 	// contacted (the R case).
 	FromCache bool
-	// Resolver is the platform address that served the query.
+	// Resolver is the platform address that served the query (or, for
+	// giveups, the last address tried).
 	Resolver netip.Addr
 	Answers  []trace.Answer
 	RCode    uint8
+	// Attempts is the number of transmissions the client made (1 = no
+	// retransmission needed).
+	Attempts int
+	// TCPFallback is true when the UDP response was truncated and the
+	// answer was obtained over a follow-up TCP exchange.
+	TCPFallback bool
+	// ServFail is true when every attempt was lost and the client gave
+	// up; Duration then covers the full timeout ladder and RCode is
+	// RCodeServFail.
+	ServFail bool
+}
+
+// Retries is the number of retransmissions beyond the first attempt.
+func (r *Result) Retries() int {
+	if r.Attempts <= 1 {
+		return 0
+	}
+	return r.Attempts - 1
 }
 
 // Recursive is one resolver platform: a set of anycast frontends, each
@@ -34,6 +60,10 @@ type Recursive struct {
 
 	queries uint64
 	hits    uint64
+
+	retries      uint64
+	servfails    uint64
+	tcpFallbacks uint64
 }
 
 // NewRecursive builds a platform instance.
@@ -49,7 +79,9 @@ func NewRecursive(profile PlatformProfile, auth *Authority, rng *stats.RNG) *Rec
 	return &Recursive{Profile: profile, parts: parts, auth: auth, rng: rng}
 }
 
-// HitRate returns the platform's cumulative shared-cache hit rate.
+// HitRate returns the platform's cumulative shared-cache hit rate. Hits
+// are counted at the frontend: a cached answer whose response packet is
+// subsequently lost still counts, because the cache did serve it.
 func (rr *Recursive) HitRate() float64 {
 	if rr.queries == 0 {
 		return 0
@@ -57,58 +89,138 @@ func (rr *Recursive) HitRate() float64 {
 	return float64(rr.hits) / float64(rr.queries)
 }
 
-// Lookup resolves host for a client at virtual time now. The returned
-// Result carries everything the generator needs to emit the dns.log record
-// and to decide when the answer is available to the application.
-func (rr *Recursive) Lookup(now time.Duration, host string) Result {
-	rr.queries++
-	// Pick the frontend: clients hash to frontends per flow in reality;
-	// per-query random choice models load-balanced anycast, which is what
-	// de-correlates Google's caches.
-	part := rr.parts[rr.rng.Intn(len(rr.parts))]
-	// The query reaches the frontend after one one-way delay; the answer
-	// returns after another.
-	owdOut := rr.Profile.Link.Delay(rr.rng)
-	owdBack := rr.Profile.Link.Delay(rr.rng)
-	arrival := now + owdOut
+// FailureCounters reports the platform's cumulative fault-path activity:
+// retransmissions, client giveups, and TCP fallbacks after truncation.
+func (rr *Recursive) FailureCounters() (retries, servfails, tcpFallbacks uint64) {
+	return rr.retries, rr.servfails, rr.tcpFallbacks
+}
 
-	res := Result{Resolver: rr.Profile.Addrs[rr.rng.Intn(len(rr.Profile.Addrs))]}
-	if answers, rcode, ok := part.Get(arrival, host); ok {
-		rr.hits++
-		res.FromCache = true
+// Lookup resolves host with the default retry policy. With a zero fault
+// profile this is exactly the pre-fault lookup path.
+func (rr *Recursive) Lookup(now time.Duration, host string) Result {
+	return rr.LookupWith(now, host, DefaultRetryPolicy())
+}
+
+// LookupWith resolves host for a client at virtual time now under the
+// given retry policy. The returned Result carries everything the
+// generator needs to emit the dns.log record and to decide when (and
+// whether) the answer is available to the application.
+//
+// The failure model: each attempt sends the query over the platform link
+// (which may drop it — random loss or a scheduled outage), the frontend
+// answers (shared cache, externally-warm, or authoritative iteration),
+// and the response crosses the link back (which may drop it too). A lost
+// transmission in either direction costs the client the full per-attempt
+// timeout; the next attempt backs off exponentially (bounded) and, under
+// RotateServers, moves to the platform's next anycast address. When every
+// attempt is lost the client synthesizes SERVFAIL. Responses carrying
+// more answers than the fault profile's truncation threshold arrive
+// truncated over UDP and are re-fetched via TCP (handshake plus
+// exchange). With a zero FaultProfile every branch collapses to the
+// single-attempt path and consumes the exact RNG stream of the pre-fault
+// implementation, keeping historical runs bit-identical.
+func (rr *Recursive) LookupWith(now time.Duration, host string, rp RetryPolicy) Result {
+	rr.queries++
+	faults := rr.Profile.Faults
+	timeout := rp.Timeout
+	maxAttempts := rp.attempts()
+	var elapsed time.Duration
+	var res Result
+	addrIdx := 0
+
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		res.Attempts = attempt + 1
+		sendAt := now + elapsed
+		// Pick the frontend: clients hash to frontends per flow in
+		// reality; per-query random choice models load-balanced anycast,
+		// which is what de-correlates Google's caches. Retries re-draw —
+		// the anycast route may shift under failure.
+		part := rr.parts[rr.rng.Intn(len(rr.parts))]
+		// The query reaches the frontend after one one-way delay; the
+		// answer returns after another. Both are sampled up front so the
+		// zero-fault draw order matches the pre-fault implementation.
+		owdOut, lostOut := rr.Profile.Link.DeliverUnder(sendAt, faults, rr.rng)
+		owdBack, lostBack := rr.Profile.Link.DeliverUnder(sendAt+owdOut, faults, rr.rng)
+		if attempt == 0 {
+			addrIdx = rr.rng.Intn(len(rr.Profile.Addrs))
+		} else if rp.RotateServers {
+			addrIdx = (addrIdx + 1) % len(rr.Profile.Addrs)
+		}
+		res.Resolver = rr.Profile.Addrs[addrIdx]
+
+		if lostOut {
+			// The query never arrived; the client waits out the timeout.
+			elapsed += timeout
+			timeout = rp.next(timeout)
+			rr.retries++
+			continue
+		}
+		arrival := sendAt + owdOut
+		answers, rcode, fromCache, iterate := rr.answerAt(part, arrival, host)
+		if lostBack {
+			// The response was lost on the way back. The frontend cache
+			// is warm now, so a retry may turn an R into an SC — exactly
+			// the ambiguity loss injects into the passive analysis.
+			elapsed += timeout
+			timeout = rp.next(timeout)
+			rr.retries++
+			continue
+		}
+
+		res.FromCache = fromCache
 		res.Answers = answers
 		res.RCode = rcode
-		res.Duration = owdOut + owdBack
+		res.Duration = elapsed + owdOut + iterate + owdBack
+		if faults.Truncated(len(answers)) {
+			// UDP truncation: the client re-asks over TCP — one handshake
+			// round trip plus the query/response exchange.
+			res.TCPFallback = true
+			rr.tcpFallbacks++
+			res.Duration += rr.Profile.Link.RTT(rr.rng) + rr.Profile.Link.RTT(rr.rng)
+		}
 		return res
+	}
+
+	// Every attempt lost: the client gives up with a synthesized
+	// SERVFAIL after the full timeout ladder.
+	res.ServFail = true
+	res.RCode = RCodeServFail
+	res.Duration = elapsed
+	rr.servfails++
+	return res
+}
+
+// answerAt resolves host at one frontend at virtual time arrival,
+// returning the answers, rcode, whether the shared cache (or external
+// warmth) served them, and the extra iteration delay the frontend spent
+// on a miss. Cache state is updated as a side effect, so a lost response
+// still warms the frontend.
+func (rr *Recursive) answerAt(part *Cache, arrival time.Duration, host string) (answers []trace.Answer, rcode uint8, fromCache bool, iterate time.Duration) {
+	if answers, rcode, ok := part.Get(arrival, host); ok {
+		rr.hits++
+		return answers, rcode, true, 0
 	}
 
 	// The frontend also serves clients outside the simulation; a popular
 	// name missed here may well be warm because someone else just asked.
 	if ans, ok := rr.externallyWarm(host); ok {
 		rr.hits++
-		res.FromCache = true
-		res.Answers = ans
-		res.Duration = owdOut + owdBack
 		// Seed the partition so subsequent in-simulation queries hit it
 		// organically.
 		part.Put(arrival, host, ans, 0, 0)
-		return res
+		return ans, 0, true, 0
 	}
 
 	// Cache miss: iterate to the authoritative servers.
 	authRes := rr.auth.Resolve(host, rr.rng)
-	iterate := authRes.Delay + rr.Profile.AuthExtra.Delay(rr.rng)
+	iterate = authRes.Delay + rr.Profile.AuthExtra.Delay(rr.rng)
 	done := arrival + iterate
 	negTTL := time.Duration(0)
 	if len(authRes.Answers) == 0 {
 		negTTL = rr.auth.NegTTL
 	}
 	part.Put(done, host, authRes.Answers, authRes.RCode, negTTL)
-
-	res.Answers = authRes.Answers
-	res.RCode = authRes.RCode
-	res.Duration = owdOut + iterate + owdBack
-	return res
+	return authRes.Answers, authRes.RCode, false, iterate
 }
 
 // externallyWarm models the platform's other clients (see

@@ -1,0 +1,82 @@
+package resolver
+
+import "time"
+
+// RetryPolicy is the client-side failure handling for one query: how long
+// to wait for a response, how many times to retry, how the timeout grows,
+// and whether retries rotate across the platform's anycast addresses.
+// This is the standard resilient-measurement ladder (ZDNS, resolv.conf)
+// adapted to the simulator: timeouts and backoff waits are charged to the
+// lookup's client-observed duration instead of wall-clock sleeps.
+type RetryPolicy struct {
+	// Timeout is how long the client waits for the first response.
+	Timeout time.Duration
+	// MaxRetries is the number of additional attempts after the first.
+	MaxRetries int
+	// Backoff multiplies the timeout after each failed attempt (bounded
+	// exponential backoff). Values below 1 are treated as 1 (flat).
+	Backoff float64
+	// MaxTimeout caps the per-attempt timeout after backoff. Zero means
+	// uncapped.
+	MaxTimeout time.Duration
+	// RotateServers advances to the platform's next anycast address on
+	// each retry instead of re-asking the same frontend.
+	RotateServers bool
+}
+
+// attempts is the total number of transmission attempts the policy allows.
+func (p RetryPolicy) attempts() int {
+	if p.MaxRetries < 0 {
+		return 1
+	}
+	return 1 + p.MaxRetries
+}
+
+// next returns the timeout for the attempt after one that timed out.
+func (p RetryPolicy) next(cur time.Duration) time.Duration {
+	f := p.Backoff
+	if f < 1 {
+		f = 1
+	}
+	d := time.Duration(float64(cur) * f)
+	if p.MaxTimeout > 0 && d > p.MaxTimeout {
+		d = p.MaxTimeout
+	}
+	return d
+}
+
+// DefaultRetryPolicy mirrors a glibc resolv.conf stub: 3 s timeout, one
+// retry with doubled timeout, rotating across the configured servers.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		Timeout:       3 * time.Second,
+		MaxRetries:    1,
+		Backoff:       2,
+		MaxTimeout:    10 * time.Second,
+		RotateServers: true,
+	}
+}
+
+// AndroidRetryPolicy mirrors the Android/Bionic resolver: a longer 5 s
+// deadline but more attempts, rotating servers — phones try hard before
+// surfacing a failure to the app.
+func AndroidRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		Timeout:       5 * time.Second,
+		MaxRetries:    2,
+		Backoff:       1.5,
+		MaxTimeout:    15 * time.Second,
+		RotateServers: true,
+	}
+}
+
+// IoTRetryPolicy mirrors cheap embedded firmware: one shot, a short
+// timeout, no server rotation — the gear just waits for its next period.
+func IoTRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		Timeout:       2 * time.Second,
+		MaxRetries:    0,
+		Backoff:       1,
+		RotateServers: false,
+	}
+}

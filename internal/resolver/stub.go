@@ -17,6 +17,12 @@ type Stub struct {
 	// MinHold extends every entry's usable lifetime to at least MinHold
 	// past insertion. Zero means the stub honors TTLs exactly.
 	MinHold time.Duration
+	// StaleHold keeps entries around for this long past their normal
+	// eviction point so they can be served stale (RFC 8767) when the
+	// upstream resolver is unreachable. Zero disables serve-stale; Get
+	// still reports such retained entries as misses — only GetStale
+	// returns them.
+	StaleHold time.Duration
 
 	capacity int
 	entries  map[string]*list.Element
@@ -99,6 +105,11 @@ func (s *Stub) Get(now time.Duration, host string) (StubLookup, bool) {
 	}
 	e := el.Value.(*stubEntry)
 	if now >= e.holdExpiry {
+		if s.StaleHold > 0 && now < e.holdExpiry+s.StaleHold {
+			// Retained for serve-stale, but a regular lookup must still
+			// miss and go upstream; GetStale is the failure path.
+			return StubLookup{}, false
+		}
 		s.lru.Remove(el)
 		delete(s.entries, host)
 		return StubLookup{}, false
@@ -117,6 +128,34 @@ func (s *Stub) Get(now time.Duration, host string) (StubLookup, bool) {
 		out[i] = trace.Answer{Addr: a.Addr, TTL: rem}
 	}
 	return StubLookup{Answers: out, Expired: now >= e.ttlExpiry}, true
+}
+
+// GetStale returns an entry retained past its lifetime for RFC 8767
+// serve-stale: the failure path a device takes when the upstream resolver
+// times out. Answers come back with zero remaining TTL and Expired set.
+// Returns ok=false when serve-stale is disabled, the entry is unknown, or
+// the stale window itself has lapsed. Entries still inside their normal
+// lifetime are returned too — a device that just failed upstream serves
+// whatever it has.
+func (s *Stub) GetStale(now time.Duration, host string) (StubLookup, bool) {
+	el, found := s.entries[host]
+	if !found {
+		return StubLookup{}, false
+	}
+	e := el.Value.(*stubEntry)
+	if now >= e.holdExpiry {
+		if s.StaleHold <= 0 || now >= e.holdExpiry+s.StaleHold {
+			s.lru.Remove(el)
+			delete(s.entries, host)
+			return StubLookup{}, false
+		}
+		out := make([]trace.Answer, len(e.answers))
+		for i, a := range e.answers {
+			out[i] = trace.Answer{Addr: a.Addr, TTL: 0}
+		}
+		return StubLookup{Answers: out, Expired: true}, true
+	}
+	return s.Get(now, host)
 }
 
 // Forwarder is a whole-house caching forwarder: a TTL-honoring cache

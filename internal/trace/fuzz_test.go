@@ -1,0 +1,209 @@
+package trace_test
+
+// Fuzz targets for the two trace codecs (Bro-style TSV and JSONL). Each
+// target asserts the parser never panics and that serialization is a
+// fixpoint after one quantization round: parse(input) → write → parse
+// must produce records that survive a further write/parse cycle
+// unchanged. (Byte-level idempotency is deliberately not asserted for
+// the first round — timestamps quantize to microseconds on write.)
+//
+// Seed corpora live under testdata/fuzz/; run `make fuzz` for a short
+// fuzzing budget or `go test ./internal/trace -fuzz=FuzzReadDNS` for a
+// long one.
+
+import (
+	"bytes"
+	"net/netip"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"dnscontext/internal/trace"
+)
+
+// sampleDNS is a realistic record set for seeding: a paired A answer, an
+// answerless AAAA, a failed (SERVFAIL, retried) lookup, and a truncated
+// TCP-fallback lookup.
+func sampleDNS() []trace.DNSRecord {
+	return []trace.DNSRecord{
+		{
+			QueryTS: 1250 * time.Millisecond, TS: 1262 * time.Millisecond,
+			Client:   netip.MustParseAddr("10.1.0.3"),
+			Resolver: netip.MustParseAddr("8.8.8.8"),
+			ID:       17, Query: "www.example.com", QType: 1,
+			Answers: []trace.Answer{
+				{Addr: netip.MustParseAddr("203.0.113.10"), TTL: 300 * time.Second},
+				{Addr: netip.MustParseAddr("203.0.113.11"), TTL: 300 * time.Second},
+			},
+		},
+		{
+			QueryTS: 1251 * time.Millisecond, TS: 1263 * time.Millisecond,
+			Client:   netip.MustParseAddr("10.1.0.3"),
+			Resolver: netip.MustParseAddr("8.8.8.8"),
+			ID:       18, Query: "www.example.com", QType: 28,
+		},
+		{
+			QueryTS: 90 * time.Second, TS: 99 * time.Second,
+			Client:   netip.MustParseAddr("10.1.0.7"),
+			Resolver: netip.MustParseAddr("10.0.0.2"),
+			ID:       19, Query: "api.example.net", QType: 1, RCode: 2,
+			Retries: 1,
+		},
+		{
+			QueryTS: 100 * time.Second, TS: 100*time.Second + 40*time.Millisecond,
+			Client:   netip.MustParseAddr("10.1.0.7"),
+			Resolver: netip.MustParseAddr("1.1.1.1"),
+			ID:       20, Query: "cdn.example.org", QType: 1,
+			Answers: []trace.Answer{{Addr: netip.MustParseAddr("198.51.100.4"), TTL: 60 * time.Second}},
+			TC:      true,
+		},
+	}
+}
+
+func sampleConns() []trace.ConnRecord {
+	return []trace.ConnRecord{
+		{
+			TS: 1300 * time.Millisecond, Duration: 2500 * time.Millisecond, Proto: trace.TCP,
+			Orig: netip.MustParseAddr("10.1.0.3"), OrigPort: 40123,
+			Resp: netip.MustParseAddr("203.0.113.10"), RespPort: 443,
+			OrigBytes: 1822, RespBytes: 104833,
+		},
+		{
+			TS: 5 * time.Second, Duration: 0, Proto: trace.UDP,
+			Orig: netip.MustParseAddr("10.1.0.7"), OrigPort: 51000,
+			Resp: netip.MustParseAddr("192.0.2.123"), RespPort: 123,
+			OrigBytes: 48, RespBytes: 0,
+		},
+	}
+}
+
+func seedTSV[T any](f *testing.F, recs []T, write func(*bytes.Buffer, []T) error) {
+	var buf bytes.Buffer
+	if err := write(&buf, recs); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+}
+
+func FuzzReadDNS(f *testing.F) {
+	seedTSV(f, sampleDNS(), func(b *bytes.Buffer, r []trace.DNSRecord) error { return trace.WriteDNS(b, r) })
+	// Legacy 9-field line (pre-fault format).
+	f.Add("1.000000\t1.010000\t10.1.0.1\t8.8.8.8\t5\thost.example\t1\t0\t203.0.113.1/30.000000\n")
+	f.Add("#fields\theader\nnot\ta\trecord\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		recs, err := trace.ReadDNS(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := trace.WriteDNS(&buf, recs); err != nil {
+			t.Fatalf("write of parsed records failed: %v", err)
+		}
+		recs2, err := trace.ReadDNS(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read of written records failed: %v\ninput: %q\nwritten: %q", err, data, buf.String())
+		}
+		var buf2 bytes.Buffer
+		if err := trace.WriteDNS(&buf2, recs2); err != nil {
+			t.Fatalf("second write failed: %v", err)
+		}
+		recs3, err := trace.ReadDNS(bytes.NewReader(buf2.Bytes()))
+		if err != nil {
+			t.Fatalf("second re-read failed: %v", err)
+		}
+		if !reflect.DeepEqual(recs2, recs3) {
+			t.Fatalf("serialization not a fixpoint:\nfirst:  %+v\nsecond: %+v", recs2, recs3)
+		}
+	})
+}
+
+func FuzzReadConns(f *testing.F) {
+	seedTSV(f, sampleConns(), func(b *bytes.Buffer, r []trace.ConnRecord) error { return trace.WriteConns(b, r) })
+	f.Add("0.500000\t1.000000\tudp\t10.1.0.1\t50000\t203.0.113.9\t53\t64\t128\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		recs, err := trace.ReadConns(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := trace.WriteConns(&buf, recs); err != nil {
+			t.Fatalf("write of parsed records failed: %v", err)
+		}
+		recs2, err := trace.ReadConns(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read of written records failed: %v\ninput: %q\nwritten: %q", err, data, buf.String())
+		}
+		var buf2 bytes.Buffer
+		if err := trace.WriteConns(&buf2, recs2); err != nil {
+			t.Fatalf("second write failed: %v", err)
+		}
+		recs3, err := trace.ReadConns(bytes.NewReader(buf2.Bytes()))
+		if err != nil {
+			t.Fatalf("second re-read failed: %v", err)
+		}
+		if !reflect.DeepEqual(recs2, recs3) {
+			t.Fatalf("serialization not a fixpoint:\nfirst:  %+v\nsecond: %+v", recs2, recs3)
+		}
+	})
+}
+
+func FuzzReadDNSJSON(f *testing.F) {
+	var buf bytes.Buffer
+	if err := trace.WriteDNSJSON(&buf, sampleDNS()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"query_ts":1,"ts":1.01,"client":"10.1.0.1","resolver":"8.8.8.8","id":5,"query":"h.example","qtype":1,"rcode":0}` + "\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		recs, err := trace.ReadDNSJSON(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := trace.WriteDNSJSON(&out, recs); err != nil {
+			t.Fatalf("write of parsed records failed: %v", err)
+		}
+		recs2, err := trace.ReadDNSJSON(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read of written records failed: %v\ninput: %q\nwritten: %q", err, data, out.String())
+		}
+		var out2 bytes.Buffer
+		if err := trace.WriteDNSJSON(&out2, recs2); err != nil {
+			t.Fatalf("second write failed: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), out2.Bytes()) {
+			t.Fatalf("JSON serialization not a fixpoint:\nfirst:  %q\nsecond: %q", out.String(), out2.String())
+		}
+	})
+}
+
+func FuzzReadConnsJSON(f *testing.F) {
+	var buf bytes.Buffer
+	if err := trace.WriteConnsJSON(&buf, sampleConns()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"ts":0.5,"duration":1,"proto":"tcp","orig":"10.1.0.1","orig_port":50000,"resp":"203.0.113.9","resp_port":443,"orig_bytes":64,"resp_bytes":128}` + "\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		recs, err := trace.ReadConnsJSON(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := trace.WriteConnsJSON(&out, recs); err != nil {
+			t.Fatalf("write of parsed records failed: %v", err)
+		}
+		recs2, err := trace.ReadConnsJSON(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read of written records failed: %v\ninput: %q\nwritten: %q", err, data, out.String())
+		}
+		var out2 bytes.Buffer
+		if err := trace.WriteConnsJSON(&out2, recs2); err != nil {
+			t.Fatalf("second write failed: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), out2.Bytes()) {
+			t.Fatalf("JSON serialization not a fixpoint:\nfirst:  %q\nsecond: %q", out.String(), out2.String())
+		}
+	})
+}

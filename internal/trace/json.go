@@ -24,6 +24,8 @@ type dnsJSON struct {
 	QType    uint16       `json:"qtype"`
 	RCode    uint8        `json:"rcode"`
 	Answers  []answerJSON `json:"answers,omitempty"`
+	Retries  uint8        `json:"retries,omitempty"`
+	TC       bool         `json:"tc,omitempty"`
 }
 
 type answerJSON struct {
@@ -53,6 +55,7 @@ func WriteDNSJSON(w io.Writer, recs []DNSRecord) error {
 			QueryTS: d.QueryTS.Seconds(), TS: d.TS.Seconds(),
 			Client: d.Client.String(), Resolver: d.Resolver.String(),
 			ID: d.ID, Query: d.Query, QType: d.QType, RCode: d.RCode,
+			Retries: d.Retries, TC: d.TC,
 		}
 		for _, a := range d.Answers {
 			j.Answers = append(j.Answers, answerJSON{Addr: a.Addr.String(), TTL: a.TTL.Seconds()})
@@ -74,10 +77,16 @@ func ReadDNSJSON(r io.Reader) ([]DNSRecord, error) {
 			return nil, fmt.Errorf("trace: dns json record %d: %w", line, err)
 		}
 		d := DNSRecord{
-			QueryTS: secsDur(j.QueryTS), TS: secsDur(j.TS),
 			ID: j.ID, Query: j.Query, QType: j.QType, RCode: j.RCode,
+			Retries: j.Retries, TC: j.TC,
 		}
 		var err error
+		if d.QueryTS, err = secsDur(j.QueryTS); err != nil {
+			return nil, fmt.Errorf("trace: dns json record %d query_ts: %w", line, err)
+		}
+		if d.TS, err = secsDur(j.TS); err != nil {
+			return nil, fmt.Errorf("trace: dns json record %d ts: %w", line, err)
+		}
 		if d.Client, err = netip.ParseAddr(j.Client); err != nil {
 			return nil, fmt.Errorf("trace: dns json record %d client: %w", line, err)
 		}
@@ -89,7 +98,11 @@ func ReadDNSJSON(r io.Reader) ([]DNSRecord, error) {
 			if err != nil {
 				return nil, fmt.Errorf("trace: dns json record %d answer: %w", line, err)
 			}
-			d.Answers = append(d.Answers, Answer{Addr: addr, TTL: secsDur(aj.TTL)})
+			ttl, err := secsDur(aj.TTL)
+			if err != nil {
+				return nil, fmt.Errorf("trace: dns json record %d answer ttl: %w", line, err)
+			}
+			d.Answers = append(d.Answers, Answer{Addr: addr, TTL: ttl})
 		}
 		out = append(out, d)
 	}
@@ -125,11 +138,16 @@ func ReadConnsJSON(r io.Reader) ([]ConnRecord, error) {
 			return nil, fmt.Errorf("trace: conn json record %d: %w", line, err)
 		}
 		c := ConnRecord{
-			TS: secsDur(j.TS), Duration: secsDur(j.Duration),
 			OrigPort: j.OrigPort, RespPort: j.RespPort,
 			OrigBytes: j.OrigBytes, RespBytes: j.RespBytes,
 		}
 		var err error
+		if c.TS, err = secsDur(j.TS); err != nil {
+			return nil, fmt.Errorf("trace: conn json record %d ts: %w", line, err)
+		}
+		if c.Duration, err = secsDur(j.Duration); err != nil {
+			return nil, fmt.Errorf("trace: conn json record %d duration: %w", line, err)
+		}
 		if c.Proto, err = ParseProto(j.Proto); err != nil {
 			return nil, fmt.Errorf("trace: conn json record %d: %w", line, err)
 		}
@@ -144,7 +162,12 @@ func ReadConnsJSON(r io.Reader) ([]ConnRecord, error) {
 	return out, nil
 }
 
-func secsDur(s float64) time.Duration {
+func secsDur(s float64) (time.Duration, error) {
+	// Same range discipline as parseSecs: NaN/Inf/overflow would make the
+	// float→int64 conversion undefined, so reject them.
+	if math.IsNaN(s) || math.IsInf(s, 0) || s > maxSecs || s < -maxSecs {
+		return 0, fmt.Errorf("trace: timestamp %v out of range", s)
+	}
 	// Round, not truncate — see parseSecs in tsv.go.
-	return time.Duration(math.Round(s * float64(time.Second)))
+	return time.Duration(math.Round(s * float64(time.Second))), nil
 }

@@ -70,6 +70,13 @@ type DNSRecord struct {
 	QType    uint16
 	RCode    uint8
 	Answers  []Answer
+	// Retries counts retransmissions beyond the first attempt (0 in a
+	// healthy network, and for records reconstructed by a monitor that
+	// pairs only the final query/response exchange).
+	Retries uint8
+	// TC is true when the UDP response was truncated and the transaction
+	// completed over TCP.
+	TC bool
 }
 
 // Duration is the client-observed lookup time.

@@ -16,7 +16,7 @@ import (
 // (with fractional part) since the window start.
 
 const (
-	dnsFields  = "#fields\tquery_ts\tts\tclient\tresolver\tid\tquery\tqtype\trcode\tanswers"
+	dnsFields  = "#fields\tquery_ts\tts\tclient\tresolver\tid\tquery\tqtype\trcode\tanswers\tretries\ttc"
 	connFields = "#fields\tts\tduration\tproto\torig\torig_port\tresp\tresp_port\torig_bytes\tresp_bytes"
 )
 
@@ -24,10 +24,20 @@ func secs(d time.Duration) string {
 	return strconv.FormatFloat(d.Seconds(), 'f', 6, 64)
 }
 
+// maxSecs bounds parsed timestamps (in seconds). It sits safely below
+// the int64-nanosecond limit (~9.22e9 s) so the float→Duration
+// conversion can never overflow, with margin for float rounding.
+const maxSecs = 9.2e9
+
 func parseSecs(s string) (time.Duration, error) {
 	f, err := strconv.ParseFloat(s, 64)
 	if err != nil {
 		return 0, err
+	}
+	// Reject non-finite and overflowing values explicitly: converting
+	// such floats to int64 is undefined, and no real trace carries them.
+	if math.IsNaN(f) || math.IsInf(f, 0) || f > maxSecs || f < -maxSecs {
+		return 0, fmt.Errorf("trace: timestamp %q out of range", s)
 	}
 	// Round rather than truncate: the fractional-seconds encoding is
 	// microsecond-precise, and f*1e9 lands a hair under whole nanosecond
@@ -51,9 +61,13 @@ func WriteDNS(w io.Writer, recs []DNSRecord) error {
 		if ans == "" {
 			ans = "-"
 		}
-		if _, err := fmt.Fprintf(bw, "%s\t%s\t%s\t%s\t%d\t%s\t%d\t%d\t%s\n",
+		tc := "F"
+		if d.TC {
+			tc = "T"
+		}
+		if _, err := fmt.Fprintf(bw, "%s\t%s\t%s\t%s\t%d\t%s\t%d\t%d\t%s\t%d\t%s\n",
 			secs(d.QueryTS), secs(d.TS), d.Client, d.Resolver, d.ID,
-			d.Query, d.QType, d.RCode, ans); err != nil {
+			d.Query, d.QType, d.RCode, ans, d.Retries, tc); err != nil {
 			return err
 		}
 	}
@@ -73,8 +87,10 @@ func ReadDNS(r io.Reader) ([]DNSRecord, error) {
 			continue
 		}
 		f := strings.Split(line, "\t")
-		if len(f) != 9 {
-			return nil, fmt.Errorf("trace: dns line %d: %d fields, want 9", lineNo, len(f))
+		// 9 fields is the pre-fault format (no retries/tc columns);
+		// accept it so existing trace files keep loading.
+		if len(f) != 9 && len(f) != 11 {
+			return nil, fmt.Errorf("trace: dns line %d: %d fields, want 9 or 11", lineNo, len(f))
 		}
 		var d DNSRecord
 		var err error
@@ -116,10 +132,31 @@ func ReadDNS(r io.Reader) ([]DNSRecord, error) {
 				if a.Addr, err = netip.ParseAddr(addr); err != nil {
 					return nil, fmt.Errorf("trace: dns line %d answer addr: %w", lineNo, err)
 				}
+				// Zone identifiers may contain commas, which would corrupt
+				// the comma-joined answers field on the next write; no DNS
+				// answer legitimately carries one.
+				if a.Addr.Zone() != "" {
+					return nil, fmt.Errorf("trace: dns line %d answer addr %q has a zone", lineNo, addr)
+				}
 				if a.TTL, err = parseSecs(ttlStr); err != nil {
 					return nil, fmt.Errorf("trace: dns line %d answer ttl: %w", lineNo, err)
 				}
 				d.Answers = append(d.Answers, a)
+			}
+		}
+		if len(f) == 11 {
+			rt, err := strconv.ParseUint(f[9], 10, 8)
+			if err != nil {
+				return nil, fmt.Errorf("trace: dns line %d retries: %w", lineNo, err)
+			}
+			d.Retries = uint8(rt)
+			switch f[10] {
+			case "T":
+				d.TC = true
+			case "F":
+				d.TC = false
+			default:
+				return nil, fmt.Errorf("trace: dns line %d tc: %q, want T or F", lineNo, f[10])
 			}
 		}
 		out = append(out, d)
