@@ -1,9 +1,10 @@
 # Development targets for the dnscontext repository. `make check` is the
-# tier-1 gate: vet, build, and the full test suite under the race
-# detector (the parallel analysis pipeline makes -race non-optional).
-# `make fuzz` (short budget) and `make cover` are the deeper, slower
-# companions — run them before touching the trace codecs or the
-# classifier.
+# tier-1 gate: vet, build, the full test suite under the race detector
+# (the parallel analysis pipeline makes -race non-optional), and the
+# observability determinism proof (seeded runs must stay bit-identical
+# with metrics/tracing on or off). `make fuzz` (short budget) and
+# `make cover` are the deeper, slower companions — run them before
+# touching the trace codecs or the classifier.
 
 GO ?= go
 
@@ -14,9 +15,9 @@ FUZZTIME ?= 10s
 
 FUZZ_TARGETS := FuzzReadDNS FuzzReadConns FuzzReadDNSJSON FuzzReadConnsJSON
 
-.PHONY: check vet build test race bench bench-parallel fuzz cover
+.PHONY: check vet build test race obs-determinism bench bench-all bench-parallel fuzz cover
 
-check: vet build race
+check: vet build race obs-determinism
 
 vet:
 	$(GO) vet ./...
@@ -29,6 +30,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Bit-identical outputs with observability on vs. off, across worker
+# counts. Cheap enough to gate every check; also covered by `race`, but
+# a named target keeps the invariant visible.
+obs-determinism:
+	$(GO) test ./internal/obs -run='TestObservabilityDeterminism|TestObservedSnapshotsAreDeterministic' -count=1
 
 # Short-budget coverage-guided fuzzing of the trace codecs. Go allows
 # one -fuzz target per invocation, so loop.
@@ -43,8 +50,16 @@ cover:
 	$(GO) test -coverprofile=cover.out -coverpkg=./... ./...
 	$(GO) tool cover -func=cover.out | tail -1
 
-# Full paper reproduction: every table and figure as bench metrics.
+# Machine-readable benchmark record: the headline benchmarks rendered as
+# JSON (name, ns/op, allocs/op, and custom metrics like speedup_x) into
+# BENCH_PR3.json via cmd/benchjson.
 bench:
+	$(GO) test -bench='BenchmarkAnalyzeParallel$$|BenchmarkFaultLossSweep$$' \
+		-benchmem -benchtime=3x -run='^$$' | $(GO) run ./cmd/benchjson > BENCH_PR3.json
+	@cat BENCH_PR3.json
+
+# Full paper reproduction: every table and figure as bench metrics.
+bench-all:
 	$(GO) test -bench=. -benchmem -run='^$$'
 
 # Scaling record: the sharded pipeline vs. its 1-worker baseline.

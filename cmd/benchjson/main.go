@@ -1,0 +1,98 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON array on stdout, one object per benchmark result
+// line. Standard metrics (ns/op, B/op, allocs/op) get dedicated fields;
+// any custom metric a benchmark reports (e.g. speedup_x from
+// BenchmarkAnalyzeParallel) is carried in the "metrics" map.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -run='^$' | benchjson > BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark line. Zero-valued standard fields are omitted
+// so results without -benchmem stay compact.
+type result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op,omitempty"`
+	BytesPerOp float64            `json:"bytes_per_op,omitempty"`
+	AllocsOp   float64            `json:"allocs_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+
+	var results []result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		r, ok := parseLine(line)
+		if !ok {
+			log.Printf("skipping malformed line: %s", line)
+			continue
+		}
+		results = append(results, r)
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if results == nil {
+		results = []result{}
+	}
+	if err := enc.Encode(results); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d results\n", len(results))
+}
+
+// parseLine parses one result line: a name, an iteration count, then
+// value-unit pairs ("123.4 ns/op", "8 allocs/op", "3.92 speedup_x").
+func parseLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Name: fields[0], Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsOp = v
+		default:
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[unit] = v
+		}
+	}
+	return r, true
+}

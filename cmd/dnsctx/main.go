@@ -15,6 +15,8 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -48,8 +50,41 @@ func main() {
 		format   = flag.String("format", "tsv", "log input format: tsv or json")
 		figures  = flag.String("figures", "", "also export per-figure CSV data into this directory")
 		perHouse = flag.Bool("per-house", false, "append a per-house breakdown to the report")
+
+		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics and /metrics.json on this address (e.g. :9090)")
+		withPprof    = flag.Bool("pprof", false, "also mount /debug/pprof on the metrics server")
+		hold         = flag.Duration("hold", 0, "keep the metrics server up this long after the report (with -metrics-addr)")
+		timeline     = flag.Bool("timeline", false, "print the analysis phase timeline after the report")
+		timelineJSON = flag.String("timeline-json", "", "write the analysis timeline as JSON to this file")
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	var reg *dnscontext.MetricsRegistry
+	var srv *dnscontext.MetricsServer
+	if *metricsAddr != "" {
+		reg = dnscontext.NewMetricsRegistry()
+		var err error
+		srv, err = dnscontext.ServeMetrics(*metricsAddr, reg, *withPprof)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		log.Printf("metrics at http://%s/metrics", srv.Addr())
+	}
 
 	var ds *dnscontext.Dataset
 	profiles := dnscontext.DefaultProfiles()
@@ -63,6 +98,7 @@ func main() {
 		cfg.Faults.ExtraJitter = *faultJitter
 		cfg.Faults.TruncateOver = *faultTruncate
 		cfg.Faults.StaleHold = *faultStale
+		cfg.Metrics = reg
 		if *faultOutage != "" {
 			windows, err := parseOutages(*faultOutage)
 			if err != nil {
@@ -105,10 +141,38 @@ func main() {
 	if *randPair {
 		opts.Pairing = dnscontext.PairRandom
 	}
+	opts.Metrics = reg
+	var tr *dnscontext.Tracer
+	if *timeline || *timelineJSON != "" {
+		tr = dnscontext.NewTracer()
+		opts.Trace = tr
+	}
 
 	a := dnscontext.Analyze(ds, opts)
 	if err := a.Report(os.Stdout, profiles); err != nil {
 		log.Fatal(err)
+	}
+	if tr != nil {
+		tl := tr.Timeline()
+		if *timeline {
+			fmt.Println()
+			if err := tl.WriteText(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *timelineJSON != "" {
+			f, err := os.Create(*timelineJSON)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := tl.WriteJSON(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("timeline written to %s", *timelineJSON)
+		}
 	}
 	if *perHouse {
 		houses := a.PerHouse(profiles)
@@ -125,6 +189,23 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("figure data written to %s", *figures)
+	}
+	if srv != nil && *hold > 0 {
+		log.Printf("holding metrics server at http://%s/metrics for %v", srv.Addr(), *hold)
+		time.Sleep(*hold)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC() // materialize the final live set
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 
 	"dnscontext/internal/dnsserver"
 	"dnscontext/internal/dnswire"
+	"dnscontext/internal/obs"
 	"dnscontext/internal/stats"
 	"dnscontext/internal/zonedb"
 )
@@ -33,6 +34,9 @@ func main() {
 		query  = flag.String("query", "", "query this name instead of serving")
 		qtype  = flag.String("qtype", "A", "query type: A or AAAA")
 		server = flag.String("server", "127.0.0.1:5355", "server to query (with -query)")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /metrics.json on this address (e.g. :9090)")
+		withPprof   = flag.Bool("pprof", false, "also mount /debug/pprof on the metrics server")
 	)
 	flag.Parse()
 
@@ -60,6 +64,14 @@ func main() {
 	bound, err := srv.Start(*addr)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *metricsAddr != "" {
+		ms, err := obs.Serve(*metricsAddr, srv.Metrics(), *withPprof)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ms.Close()
+		fmt.Fprintf(os.Stderr, "metrics at http://%s/metrics\n", ms.Addr())
 	}
 	fmt.Fprintf(os.Stderr, "serving %d names (+%s) on %s; e.g. -query %s\n",
 		zones.Size(), zones.ConnectivityCheck.Host, bound, zones.ByRank(0).Host)

@@ -30,15 +30,28 @@ func main() {
 	log.SetPrefix("resolverbench: ")
 
 	var (
-		houses    = flag.Int("houses", 30, "houses")
-		duration  = flag.Duration("duration", 8*time.Hour, "window")
-		seed      = flag.Uint64("seed", 1, "seed")
-		lossSweep = flag.Bool("loss-sweep", false, "run the fault-injection loss sweep instead of the platform comparison")
+		houses      = flag.Int("houses", 30, "houses")
+		duration    = flag.Duration("duration", 8*time.Hour, "window")
+		seed        = flag.Uint64("seed", 1, "seed")
+		lossSweep   = flag.Bool("loss-sweep", false, "run the fault-injection loss sweep instead of the platform comparison")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /metrics.json on this address (e.g. :9090)")
+		withPprof   = flag.Bool("pprof", false, "also mount /debug/pprof on the metrics server")
 	)
 	flag.Parse()
 
+	var reg *dnscontext.MetricsRegistry
+	if *metricsAddr != "" {
+		reg = dnscontext.NewMetricsRegistry()
+		srv, err := dnscontext.ServeMetrics(*metricsAddr, reg, *withPprof)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		log.Printf("metrics at http://%s/metrics", srv.Addr())
+	}
+
 	if *lossSweep {
-		runLossSweep(*houses, *duration, *seed)
+		runLossSweep(*houses, *duration, *seed, reg)
 		return
 	}
 
@@ -46,6 +59,7 @@ func main() {
 	cfg.Houses = *houses
 	cfg.Duration = *duration
 	cfg.Seed = *seed
+	cfg.Metrics = reg
 	// Cloudflare houses are rare (3.8%); force a few so the comparison
 	// has data for all four platforms at small scales.
 	if *houses < 80 {
@@ -116,7 +130,7 @@ var sweepLosses = []float64{0, 0.001, 0.01, 0.05}
 // runLossSweep generates the same workload under each (loss, outage)
 // cell and reports the failure-adjusted blocking distribution: the
 // N/LC/P/SC/R split, the blocked share, and the fault-path activity.
-func runLossSweep(houses int, duration time.Duration, seed uint64) {
+func runLossSweep(houses int, duration time.Duration, seed uint64, reg *dnscontext.MetricsRegistry) {
 	fmt.Printf("Fault-injection loss sweep (%d houses, %v, seed %d)\n", houses, duration, seed)
 	fmt.Printf("outage cells drop the Local platform for 30m starting 1h into the window\n\n")
 	fmt.Printf("%-7s %-7s %6s %6s %6s %6s %6s %9s %9s %9s %8s\n",
@@ -128,6 +142,7 @@ func runLossSweep(houses int, duration time.Duration, seed uint64) {
 			cfg.Duration = duration
 			cfg.Warmup = duration / 2
 			cfg.Seed = seed
+			cfg.Metrics = reg
 			cfg.Faults.Loss = loss
 			if outage {
 				cfg.Faults.LocalOutages = []dnscontext.OutageWindow{{Start: time.Hour, End: time.Hour + 30*time.Minute}}

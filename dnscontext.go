@@ -47,6 +47,7 @@ import (
 	"dnscontext/internal/households"
 	"dnscontext/internal/monitor"
 	"dnscontext/internal/netsim"
+	"dnscontext/internal/obs"
 	"dnscontext/internal/resolver"
 	"dnscontext/internal/trace"
 )
@@ -298,6 +299,51 @@ func Analyze(ds *Dataset, opts Options) *Analysis { return core.Analyze(ds, opts
 // Analyzer.AnalyzeContext.
 func AnalyzeContext(ctx context.Context, ds *Dataset, opts Options) (*Analysis, error) {
 	return core.AnalyzeContext(ctx, ds, opts)
+}
+
+// Observability types: the internal/obs subsystem. A registry collects
+// counters, gauges, and latency histograms from every instrumented layer
+// (resolver platforms, simulation engine, monitor, analyzer); a tracer
+// records the analysis pipeline's phase timeline. Both only observe —
+// seeded runs are bit-identical with observability on or off.
+type (
+	// MetricsRegistry collects metric families and renders deterministic
+	// snapshots (Prometheus text or JSON).
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is one consistent, ordered view of a registry.
+	MetricsSnapshot = obs.Snapshot
+	// Tracer records the analysis pipeline's phase/shard timeline.
+	Tracer = obs.Tracer
+	// Timeline is a finished Tracer rendering (text or JSON).
+	Timeline = obs.Timeline
+	// MetricsServer serves /metrics, /metrics.json, and optionally
+	// /debug/pprof over HTTP.
+	MetricsServer = obs.Server
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewTracer returns a tracer ready to record one analysis run.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// ServeMetrics binds addr (e.g. ":9090") and serves reg's snapshots at
+// /metrics (Prometheus text) and /metrics.json; withPprof additionally
+// mounts net/http/pprof under /debug/pprof/.
+func ServeMetrics(addr string, reg *MetricsRegistry, withPprof bool) (*MetricsServer, error) {
+	return obs.Serve(addr, reg, withPprof)
+}
+
+// WithMetrics directs the analyzer to publish its tallies into reg after
+// each run. Observation never influences results.
+func WithMetrics(reg *MetricsRegistry) AnalyzerOption {
+	return func(an *Analyzer) { an.opts.Metrics = reg }
+}
+
+// WithTracer records each run's phase timeline and shard distribution
+// into tr. A Tracer holds one run; use a fresh one per Analyze call.
+func WithTracer(tr *Tracer) AnalyzerOption {
+	return func(an *Analyzer) { an.opts.Trace = tr }
 }
 
 // DefaultProfiles returns the four calibrated resolver platform profiles.

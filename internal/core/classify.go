@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"dnscontext/internal/obs"
 	"dnscontext/internal/parallel"
 	"dnscontext/internal/stats"
 	"dnscontext/internal/trace"
@@ -36,7 +37,12 @@ func Analyze(ds *trace.Dataset, opts Options) *Analysis {
 // result is bit-identical for every Workers value and GOMAXPROCS.
 func AnalyzeContext(ctx context.Context, ds *trace.Dataset, opts Options) (*Analysis, error) {
 	opts = opts.withDefaults()
+	tr := opts.Trace
+	tr.SetWorkers(parallel.Workers(opts.Workers))
+
+	sp := tr.StartPhase("sort")
 	ds.SortByTime()
+	sp.SetItems(len(ds.Conns) + len(ds.DNS))
 	a := &Analysis{
 		Opts:       opts,
 		DS:         ds,
@@ -44,25 +50,61 @@ func AnalyzeContext(ctx context.Context, ds *trace.Dataset, opts Options) (*Anal
 		DNSUsed:    make([]bool, len(ds.DNS)),
 		Thresholds: make(map[string]time.Duration),
 	}
+	sp = tr.StartPhase("shard")
 	a.buildShards()
+	sp.SetItems(len(a.shards))
+	sp = tr.StartPhase("thresholds")
 	if err := a.deriveThresholds(ctx); err != nil {
 		return nil, analysisAborted(err)
 	}
+	sp.SetItems(len(a.Thresholds))
 
+	sp = tr.StartPhase("classify")
+	sp.SetItems(len(a.Paired))
 	counts := make([][numClasses]int, len(a.shards))
 	err := parallel.ForEach(ctx, opts.Workers, len(a.shards), func(s int) error {
+		var t0 time.Time
+		if tr != nil {
+			t0 = time.Now()
+		}
 		a.classifyShard(s, &counts[s])
+		if tr != nil {
+			tr.ShardDone(len(a.shards[s].conns), time.Since(t0))
+		}
 		return nil
 	})
 	if err != nil {
 		return nil, analysisAborted(err)
 	}
+	sp = tr.StartPhase("merge")
 	for s := range counts {
 		for c, n := range counts[s] {
 			a.classCounts[c] += n
 		}
 	}
+	sp.SetItems(len(counts))
+	sp.End()
+	a.publishMetrics(opts.Metrics)
 	return a, nil
+}
+
+// publishMetrics records the finished run's tallies with reg. It runs
+// after the pipeline completes, so the registry observes results without
+// any opportunity to influence them.
+func (a *Analysis) publishMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	byClass := reg.CounterVec("dnsctx_analyzer_connections_total",
+		"Connections classified, by DNS-information-origin class (Table 2).", "class")
+	for c := ClassN; c < numClasses; c++ {
+		byClass.With(c.String()).Add(uint64(a.classCounts[c]))
+	}
+	reg.Counter("dnsctx_analyzer_shards_total",
+		"Per-client shards the pipeline partitioned the dataset into.").
+		Add(uint64(len(a.shards)))
+	reg.Counter("dnsctx_analyzer_dns_records_total",
+		"DNS records in the analyzed dataset.").Add(uint64(len(a.DS.DNS)))
 }
 
 func analysisAborted(err error) error {

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"dnscontext/internal/obs"
 	"dnscontext/internal/parallel"
 	"dnscontext/internal/trace"
 )
@@ -92,6 +93,13 @@ type Options struct {
 	// work is sharded by originating client and each shard carries its
 	// own RNG stream seeded from Seed and the shard ID.
 	Workers int
+	// Metrics, when non-nil, receives analyzer counters (connections per
+	// class, shard count). Observation never feeds back into the pipeline,
+	// so seeded runs are bit-identical with or without a registry.
+	Metrics *obs.Registry
+	// Trace, when non-nil, records the run's phase timeline and per-shard
+	// work distribution. Same no-feedback guarantee as Metrics.
+	Trace *obs.Tracer
 }
 
 // DefaultOptions returns the paper's parameters.

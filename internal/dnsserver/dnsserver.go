@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"dnscontext/internal/dnswire"
+	"dnscontext/internal/obs"
 	"dnscontext/internal/zonedb"
 )
 
@@ -38,14 +39,32 @@ type Server struct {
 	closed bool
 	wg     sync.WaitGroup
 
-	// Queries counts requests served (including malformed ones dropped).
-	queries uint64
+	// reg backs the per-RCode response counts and error tallies; metrics
+	// fans activity into it. Every received datagram lands in exactly one
+	// bucket, so Queries() — the sum — keeps the old coarse counter's
+	// meaning.
+	reg     *obs.Registry
+	metrics srvMetrics
 }
 
-// NewServer returns a server that answers with h.
+// NewServer returns a server that answers with h, counting into a
+// private registry.
 func NewServer(h Handler) *Server {
-	return &Server{handler: h}
+	return NewServerObserved(h, nil)
 }
+
+// NewServerObserved returns a server that answers with h and records its
+// activity in reg. A nil reg falls back to a private registry — the
+// counters always exist, because Queries() is derived from them.
+func NewServerObserved(h Handler, reg *obs.Registry) *Server {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Server{handler: h, reg: reg, metrics: newSrvMetrics(reg)}
+}
+
+// Metrics returns the registry the server counts into.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
 
 // Start binds addr (e.g. "127.0.0.1:0") and serves until Close. It
 // returns the bound address, useful with port 0.
@@ -81,13 +100,14 @@ func (s *Server) serve(conn *net.UDPConn) {
 			}
 			continue
 		}
-		s.mu.Lock()
-		s.queries++
-		s.mu.Unlock()
-
 		msg, err := dnswire.Decode(buf[:n])
-		if err != nil || msg.Header.Response || len(msg.Questions) == 0 {
+		if err != nil {
+			s.metrics.decodeErrs.Inc()
 			continue // drop garbage, as real servers do
+		}
+		if msg.Header.Response || len(msg.Questions) == 0 {
+			s.metrics.dropped.Inc()
+			continue
 		}
 		resp := s.handler.Handle(msg)
 		if resp == nil {
@@ -95,18 +115,33 @@ func (s *Server) serve(conn *net.UDPConn) {
 		}
 		out, err := resp.Encode()
 		if err != nil {
+			s.metrics.encodeErrs.Inc()
 			continue
 		}
+		s.mu.Lock()
+		s.metrics.response(resp.Header.RCode).Inc()
+		s.mu.Unlock()
 		_, _ = conn.WriteToUDP(out, peer)
 	}
 }
 
-// Queries returns the number of datagrams received so far.
+// Queries returns the number of datagrams received so far: responses
+// sent plus decode errors, drops, and encode failures.
 func (s *Server) Queries() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.queries
+	return s.metrics.total()
 }
+
+// Responses returns the number of responses sent with the given RCode.
+func (s *Server) Responses(rc dnswire.RCode) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.metrics.response(rc).Value()
+}
+
+// DecodeErrors returns the number of undecodable datagrams received.
+func (s *Server) DecodeErrors() uint64 { return s.metrics.decodeErrs.Value() }
 
 // Close stops the server and waits for the serve loop to exit.
 func (s *Server) Close() error {

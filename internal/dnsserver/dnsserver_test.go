@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dnscontext/internal/dnswire"
+	"dnscontext/internal/obs"
 	"dnscontext/internal/stats"
 	"dnscontext/internal/zonedb"
 )
@@ -151,6 +152,92 @@ func TestHandlerNilMeansServFail(t *testing.T) {
 	}
 	if resp.Header.RCode != dnswire.RCodeServFail {
 		t.Fatalf("rcode %v", resp.Header.RCode)
+	}
+}
+
+func TestPerRCodeCountsOverRealUDP(t *testing.T) {
+	srv, zones, addr := startZoneServer(t)
+	c := &Client{Server: addr, Timeout: time.Second}
+
+	// Two NOERROR answers, one NXDOMAIN, and one undecodable datagram.
+	for i := 0; i < 2; i++ {
+		if _, err := c.Query(zones.ByRank(i).Host, dnswire.TypeA); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Query("definitely.not.here", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte{0xba, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	// The garbage datagram carries no response, so wait until the decode
+	// error is visible rather than racing the serve loop.
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.DecodeErrors() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if got := srv.Responses(dnswire.RCodeNoError); got != 2 {
+		t.Fatalf("NOERROR responses %d, want 2", got)
+	}
+	if got := srv.Responses(dnswire.RCodeNXDomain); got != 1 {
+		t.Fatalf("NXDOMAIN responses %d, want 1", got)
+	}
+	if got := srv.DecodeErrors(); got != 1 {
+		t.Fatalf("decode errors %d, want 1", got)
+	}
+	if got, want := srv.Queries(), uint64(4); got != want {
+		t.Fatalf("queries %d, want %d", got, want)
+	}
+
+	// The same numbers must surface through the registry snapshot, with
+	// the rcode label carrying the mnemonic.
+	var noerr, nx uint64
+	snap := srv.Metrics().Snapshot()
+	for _, fam := range snap.Families {
+		if fam.Name != "dnsctx_dnsserver_responses_total" {
+			continue
+		}
+		for _, m := range fam.Metrics {
+			switch m.Labels[0].Value {
+			case "NOERROR":
+				noerr = uint64(m.Value)
+			case "NXDOMAIN":
+				nx = uint64(m.Value)
+			}
+		}
+	}
+	if noerr != 2 || nx != 1 {
+		t.Fatalf("snapshot NOERROR=%d NXDOMAIN=%d, want 2/1", noerr, nx)
+	}
+}
+
+func TestMetricsSharedRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := NewServerObserved(HandlerFunc(func(q *dnswire.Message) *dnswire.Message {
+		return dnswire.NewResponse(q, dnswire.RCodeRefused)
+	}), reg)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot bind loopback UDP: %v", err)
+	}
+	defer srv.Close()
+	if srv.Metrics() != reg {
+		t.Fatal("server did not adopt the provided registry")
+	}
+	c := &Client{Server: addr.String(), Timeout: time.Second}
+	if _, err := c.Query("x.com", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Responses(dnswire.RCodeRefused); got != 1 {
+		t.Fatalf("REFUSED responses %d, want 1", got)
 	}
 }
 

@@ -1,0 +1,55 @@
+package dnsserver
+
+import (
+	"dnscontext/internal/dnswire"
+	"dnscontext/internal/obs"
+)
+
+// srvMetrics classifies every received datagram into exactly one bucket:
+// undecodable, decodable-but-ignored, encode failure, or a response sent
+// (counted per RCode). Queries() sums the buckets, preserving the old
+// coarse counter's meaning.
+type srvMetrics struct {
+	decodeErrs *obs.Counter
+	dropped    *obs.Counter
+	encodeErrs *obs.Counter
+	responses  *obs.CounterVec
+	// byRCode caches the per-RCode handles so the serve loop does not
+	// re-resolve labels per datagram; it also enumerates the response
+	// counters for the Queries() sum.
+	byRCode map[dnswire.RCode]*obs.Counter
+}
+
+func newSrvMetrics(reg *obs.Registry) srvMetrics {
+	return srvMetrics{
+		decodeErrs: reg.Counter("dnsctx_dnsserver_decode_errors_total",
+			"Datagrams the DNS codec could not decode."),
+		dropped: reg.Counter("dnsctx_dnsserver_dropped_total",
+			"Well-formed datagrams ignored: responses, or queries without questions."),
+		encodeErrs: reg.Counter("dnsctx_dnsserver_encode_errors_total",
+			"Responses the DNS codec could not encode."),
+		responses: reg.CounterVec("dnsctx_dnsserver_responses_total",
+			"Responses sent, by RCode.", "rcode"),
+		byRCode: make(map[dnswire.RCode]*obs.Counter),
+	}
+}
+
+// response returns the cached counter for rc, resolving it on first use.
+// Callers hold the server mutex.
+func (m *srvMetrics) response(rc dnswire.RCode) *obs.Counter {
+	c, ok := m.byRCode[rc]
+	if !ok {
+		c = m.responses.With(rc.String())
+		m.byRCode[rc] = c
+	}
+	return c
+}
+
+// total sums every bucket. Callers hold the server mutex.
+func (m *srvMetrics) total() uint64 {
+	n := m.decodeErrs.Value() + m.dropped.Value() + m.encodeErrs.Value()
+	for _, c := range m.byRCode {
+		n += c.Value()
+	}
+	return n
+}

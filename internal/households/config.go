@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"dnscontext/internal/netsim"
+	"dnscontext/internal/obs"
 	"dnscontext/internal/zonedb"
 )
 
@@ -167,6 +168,14 @@ type Config struct {
 	// the resolution path. The zero value reproduces fault-free behavior
 	// exactly.
 	Faults FaultsConfig
+
+	// Metrics, when non-nil, receives generator-side observability:
+	// per-platform resolver counters (cache hits/misses/evictions, retry
+	// and fault-path activity) and event-loop gauges from the simulation
+	// engine. Instruments only record — they never feed back into the
+	// simulation — so seeded runs are bit-identical with or without a
+	// registry.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns the calibrated configuration used for the

@@ -118,6 +118,19 @@ func Generate(cfg Config) (*trace.Dataset, *Ecosystem, error) {
 	for _, p := range g.profiles {
 		g.platforms[p.ID] = resolver.NewRecursive(p, g.auth, g.rng.Split())
 	}
+	if reg := cfg.Metrics; reg != nil {
+		for _, rec := range g.platforms {
+			rec.Instrument(reg)
+		}
+		g.sim.Observe(
+			reg.Counter("dnsctx_sim_events_total",
+				"Discrete events executed by the simulation engine."),
+			reg.Gauge("dnsctx_sim_queue_depth",
+				"Pending events in the simulator queue (sampled after each event)."),
+			reg.Gauge("dnsctx_sim_queue_depth_max",
+				"High-water mark of the simulator event queue."),
+		)
+	}
 
 	for i := 0; i < cfg.Houses; i++ {
 		h := g.buildHouse(i)

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"dnscontext/internal/dnswire"
+	"dnscontext/internal/obs"
 	"dnscontext/internal/pcap"
 	"dnscontext/internal/trace"
 )
@@ -42,6 +43,30 @@ type Monitor struct {
 	// must survive garbage.
 	DecodeErrors uint64
 	DNSParseErrs uint64
+
+	// Optional observability mirrors of the error tallies plus feed
+	// volume; nil instruments are no-ops. See Observe.
+	obsPackets    *obs.Counter
+	obsDecodeErrs *obs.Counter
+	obsParseErrs  *obs.Counter
+	obsDNSRecords *obs.Counter
+}
+
+// Observe registers the monitor's metric families with reg and mirrors
+// future activity into them: packets fed, frame decode errors, DNS parse
+// errors, and DNS records reconstructed. A nil registry is a no-op.
+func (m *Monitor) Observe(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	m.obsPackets = reg.Counter("dnsctx_monitor_packets_total",
+		"Packets fed to the passive monitor.")
+	m.obsDecodeErrs = reg.Counter("dnsctx_monitor_decode_errors_total",
+		"Frames the packet decoder rejected.")
+	m.obsParseErrs = reg.Counter("dnsctx_monitor_dns_parse_errors_total",
+		"Port-53 payloads rejected by the DNS codec (or unsolicited responses).")
+	m.obsDNSRecords = reg.Counter("dnsctx_monitor_dns_records_total",
+		"DNS transaction records reconstructed from query/response pairs.")
 }
 
 type dnsKey struct {
@@ -88,6 +113,7 @@ func (m *Monitor) FeedFrame(ts time.Duration, frame []byte) {
 	p, err := pcap.DecodePacket(time.Time{}, frame)
 	if err != nil {
 		m.DecodeErrors++
+		m.obsDecodeErrs.Inc()
 		return
 	}
 	m.Feed(ts, p)
@@ -95,6 +121,7 @@ func (m *Monitor) FeedFrame(ts time.Duration, frame []byte) {
 
 // Feed processes one decoded packet.
 func (m *Monitor) Feed(ts time.Duration, p *pcap.Packet) {
+	m.obsPackets.Inc()
 	m.expireUDP(ts)
 	switch {
 	case p.UDP != nil && (p.UDP.SrcPort == 53 || p.UDP.DstPort == 53):
@@ -110,10 +137,12 @@ func (m *Monitor) feedDNS(ts time.Duration, p *pcap.Packet) {
 	msg, err := dnswire.Decode(p.UDP.Payload)
 	if err != nil {
 		m.DNSParseErrs++
+		m.obsParseErrs.Inc()
 		return
 	}
 	if len(msg.Questions) == 0 {
 		m.DNSParseErrs++
+		m.obsParseErrs.Inc()
 		return
 	}
 	q := msg.Questions[0]
@@ -127,6 +156,7 @@ func (m *Monitor) feedDNS(ts time.Duration, p *pcap.Packet) {
 	if !ok {
 		// Unsolicited response; Bro logs these specially, we drop them.
 		m.DNSParseErrs++
+		m.obsParseErrs.Inc()
 		return
 	}
 	delete(m.pendingDNS, k)
@@ -149,6 +179,7 @@ func (m *Monitor) feedDNS(ts time.Duration, p *pcap.Packet) {
 		}
 	}
 	m.ds.DNS = append(m.ds.DNS, rec)
+	m.obsDNSRecords.Inc()
 }
 
 func (m *Monitor) feedTCP(ts time.Duration, p *pcap.Packet) {

@@ -8,6 +8,8 @@ import (
 	"container/heap"
 	"fmt"
 	"time"
+
+	"dnscontext/internal/obs"
 )
 
 // Event is a callback scheduled to run at a virtual time.
@@ -45,6 +47,24 @@ type Sim struct {
 	queue  eventQueue
 	seq    uint64
 	events uint64
+
+	// Optional observability hooks; nil instruments are no-ops, so an
+	// unobserved simulator pays one nil check per event. Instruments
+	// record event-loop activity but never influence scheduling, keeping
+	// seeded runs bit-identical with observation on or off.
+	obsEvents   *obs.Counter
+	obsDepth    *obs.Gauge
+	obsDepthMax *obs.Gauge
+}
+
+// Observe mirrors event-loop activity into the given instruments:
+// events counts executed events, depth tracks the pending-queue length
+// (sampled after each executed event), and depthMax its high-water mark.
+// Any of them may be nil.
+func (s *Sim) Observe(events *obs.Counter, depth, depthMax *obs.Gauge) {
+	s.obsEvents = events
+	s.obsDepth = depth
+	s.obsDepthMax = depthMax
 }
 
 // New returns an empty simulator with the clock at zero.
@@ -124,6 +144,10 @@ func (s *Sim) Step() bool {
 		s.now = it.at
 		s.events++
 		it.fn(s.now)
+		s.obsEvents.Inc()
+		depth := int64(len(s.queue))
+		s.obsDepth.Set(depth)
+		s.obsDepthMax.SetMax(depth)
 		return true
 	}
 	return false

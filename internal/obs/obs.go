@@ -1,0 +1,170 @@
+// Package obs is the observability layer for the whole stack: cheap
+// atomic instruments (Counter, Gauge, Timer) grouped into labeled
+// families by a Registry that produces deterministic, ordered snapshots,
+// a stage/span Tracer recording the analysis pipeline's run timeline,
+// and an exposition server speaking the Prometheus text format and JSON
+// over HTTP (with optional net/http/pprof wiring).
+//
+// Two rules govern every instrument in this package:
+//
+//  1. Disabled means free. Every mutating method is a guarded no-op on a
+//     nil receiver and allocates nothing, so hot paths hold plain
+//     instrument pointers and never branch on "is observability on".
+//  2. Observation never feeds back. Instruments record what the
+//     simulation and the analysis did; nothing reads them to make a
+//     decision. Seeded runs are therefore bit-identical with metrics
+//     enabled or disabled — a property make check verifies.
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"sync/atomic"
+
+	"dnscontext/internal/stats"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is ready to use; a nil *Counter is a no-op.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value. The zero value is ready to
+// use; a nil *Gauge is a no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by d (which may be negative).
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// SetMax raises the gauge to v if v is larger — a high-water mark.
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// timerFloor/timerBinsPerDecade/timerDecades parameterize the Timer's
+// backing stats.LogHistogram: 100 µs floor, 5 bins per decade, 7 decades
+// (100 µs .. ~17 min), matching the delay spans the simulation produces.
+const (
+	timerFloor         = 1e-4
+	timerBinsPerDecade = 5
+	timerDecades       = 7
+)
+
+// Timer is a histogram of durations (in seconds) backed by
+// stats.LogHistogram, with a running sum so exposition can emit the
+// Prometheus histogram triple (buckets, sum, count). A nil *Timer is a
+// no-op.
+type Timer struct {
+	mu   sync.Mutex
+	hist *stats.LogHistogram
+	sum  float64
+}
+
+// newTimer returns a Timer with the package's log-bucket layout.
+func newTimer() *Timer {
+	return &Timer{hist: stats.NewLogHistogram(timerFloor, timerBinsPerDecade, timerDecades)}
+}
+
+// Observe records one duration.
+func (t *Timer) Observe(d time.Duration) {
+	t.ObserveSeconds(d.Seconds())
+}
+
+// ObserveSeconds records one observation expressed in seconds.
+func (t *Timer) ObserveSeconds(s float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.hist.Add(s)
+	t.sum += s
+	t.mu.Unlock()
+}
+
+// Count returns the number of observations (0 for a nil timer).
+func (t *Timer) Count() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.hist.Total()
+}
+
+// snapshot captures the timer's state as cumulative Prometheus-style
+// buckets. Bucket i of the backing histogram covers
+// [BucketLo(i), BucketLo(i+1)); the last bucket also absorbs overflow,
+// so its upper bound is +Inf.
+func (t *Timer) snapshot() *HistSnap {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h := t.hist
+	snap := &HistSnap{Count: h.Total(), Sum: t.sum}
+	cum := h.Underflow()
+	// The floor bucket: everything below the histogram's lo.
+	snap.Buckets = append(snap.Buckets, BucketSnap{UpperBound: timerFloor, CumCount: cum})
+	n := h.NumBuckets()
+	for i := 0; i < n-1; i++ {
+		cum += h.Count(i)
+		if h.Count(i) != 0 {
+			snap.Buckets = append(snap.Buckets, BucketSnap{UpperBound: h.BucketLo(i + 1), CumCount: cum})
+		}
+	}
+	return snap
+}

@@ -1,0 +1,306 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind is the instrument type of a metric family.
+type Kind uint8
+
+// The three instrument kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String returns the Prometheus TYPE keyword for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Registry is a collection of metric families. Families are created on
+// first request and shared on subsequent requests with the same name;
+// requesting an existing name with a different kind or label set panics,
+// because two subsystems disagreeing about a metric is a programming
+// error worth failing loudly on.
+//
+// A nil *Registry is fully inert: every family accessor returns a nil
+// vec, whose With returns a nil instrument, whose methods are no-ops —
+// so call sites never need an enablement branch.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// family is one named group of metrics sharing a kind and label names.
+type family struct {
+	name   string
+	help   string
+	kind   Kind
+	labels []string
+
+	mu      sync.Mutex
+	metrics map[string]*metric
+}
+
+// metric is one labeled member of a family.
+type metric struct {
+	values  []string
+	counter *Counter
+	gauge   *Gauge
+	timer   *Timer
+}
+
+// labelKey joins label values into a map key. The separator cannot occur
+// in a label value unescaped-ambiguously for our internal label sets
+// (platform names, class symbols, RCodes), which never contain 0x1f.
+func labelKey(values []string) string {
+	return strings.Join(values, "\x1f")
+}
+
+// getFamily returns the named family, creating it on first use and
+// validating kind and label names against any existing registration.
+func (r *Registry) getFamily(name, help string, kind Kind, labels []string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind {
+			panic(fmt.Sprintf("obs: %s re-registered as %v, was %v", name, kind, f.kind))
+		}
+		if len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: %s re-registered with labels %v, was %v", name, labels, f.labels))
+		}
+		for i := range labels {
+			if f.labels[i] != labels[i] {
+				panic(fmt.Sprintf("obs: %s re-registered with labels %v, was %v", name, labels, f.labels))
+			}
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind, labels: labels, metrics: make(map[string]*metric)}
+	r.families[name] = f
+	return f
+}
+
+// get returns the family member for the given label values, creating it
+// on first use.
+func (f *family) get(values ...string) *metric {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: %s expects %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := labelKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.metrics[key]; ok {
+		return m
+	}
+	m := &metric{values: append([]string(nil), values...)}
+	switch f.kind {
+	case KindCounter:
+		m.counter = &Counter{}
+	case KindGauge:
+		m.gauge = &Gauge{}
+	case KindHistogram:
+		m.timer = newTimer()
+	}
+	f.metrics[key] = m
+	return m
+}
+
+// CounterVec is a family of counters distinguished by label values.
+type CounterVec struct{ fam *family }
+
+// GaugeVec is a family of gauges distinguished by label values.
+type GaugeVec struct{ fam *family }
+
+// TimerVec is a family of timers distinguished by label values.
+type TimerVec struct{ fam *family }
+
+// CounterVec returns the labeled counter family with the given name,
+// creating it on first use. Nil registries return a nil vec.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{fam: r.getFamily(name, help, KindCounter, labels)}
+}
+
+// GaugeVec returns the labeled gauge family with the given name.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{fam: r.getFamily(name, help, KindGauge, labels)}
+}
+
+// TimerVec returns the labeled timer family with the given name.
+func (r *Registry) TimerVec(name, help string, labels ...string) *TimerVec {
+	if r == nil {
+		return nil
+	}
+	return &TimerVec{fam: r.getFamily(name, help, KindHistogram, labels)}
+}
+
+// Counter returns the unlabeled counter with the given name.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.getFamily(name, help, KindCounter, nil).get().counter
+}
+
+// Gauge returns the unlabeled gauge with the given name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.getFamily(name, help, KindGauge, nil).get().gauge
+}
+
+// Timer returns the unlabeled timer with the given name.
+func (r *Registry) Timer(name, help string) *Timer {
+	if r == nil {
+		return nil
+	}
+	return r.getFamily(name, help, KindHistogram, nil).get().timer
+}
+
+// With resolves one labeled counter. Resolve once at setup and keep the
+// handle: the returned *Counter is the hot-path instrument, With itself
+// takes the family lock.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.fam.get(values...).counter
+}
+
+// With resolves one labeled gauge; see CounterVec.With.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.fam.get(values...).gauge
+}
+
+// With resolves one labeled timer; see CounterVec.With.
+func (v *TimerVec) With(values ...string) *Timer {
+	if v == nil {
+		return nil
+	}
+	return v.fam.get(values...).timer
+}
+
+// Label is one name=value pair on a metric.
+type Label struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// BucketSnap is one cumulative histogram bucket: the count of
+// observations at or below UpperBound.
+type BucketSnap struct {
+	UpperBound float64 `json:"le"`
+	CumCount   uint64  `json:"count"`
+}
+
+// HistSnap is the state of one histogram: cumulative buckets plus the
+// Prometheus sum/count pair.
+type HistSnap struct {
+	Count   uint64       `json:"count"`
+	Sum     float64      `json:"sum"`
+	Buckets []BucketSnap `json:"buckets"`
+}
+
+// MetricSnap is the state of one labeled metric.
+type MetricSnap struct {
+	Labels []Label   `json:"labels,omitempty"`
+	Value  float64   `json:"value"`
+	Hist   *HistSnap `json:"histogram,omitempty"`
+}
+
+// FamilySnap is the state of one metric family.
+type FamilySnap struct {
+	Name    string       `json:"name"`
+	Help    string       `json:"help"`
+	Kind    string       `json:"kind"`
+	Metrics []MetricSnap `json:"metrics"`
+}
+
+// Snapshot is a point-in-time copy of a registry's state, deterministic
+// for a deterministic sequence of instrument operations: families are
+// ordered by name and metrics by label values, independent of
+// registration or map iteration order.
+type Snapshot struct {
+	Families []FamilySnap `json:"families"`
+}
+
+// Snapshot captures the registry. A nil registry yields an empty
+// snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var snap Snapshot
+	for _, f := range fams {
+		snap.Families = append(snap.Families, f.snapshot())
+	}
+	return snap
+}
+
+func (f *family) snapshot() FamilySnap {
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.metrics))
+	for k := range f.metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	members := make([]*metric, 0, len(keys))
+	for _, k := range keys {
+		members = append(members, f.metrics[k])
+	}
+	f.mu.Unlock()
+
+	fs := FamilySnap{Name: f.name, Help: f.help, Kind: f.kind.String()}
+	for _, m := range members {
+		ms := MetricSnap{}
+		for i, v := range m.values {
+			ms.Labels = append(ms.Labels, Label{Name: f.labels[i], Value: v})
+		}
+		switch f.kind {
+		case KindCounter:
+			ms.Value = float64(m.counter.Value())
+		case KindGauge:
+			ms.Value = float64(m.gauge.Value())
+		case KindHistogram:
+			ms.Hist = m.timer.snapshot()
+		}
+		fs.Metrics = append(fs.Metrics, ms)
+	}
+	return fs
+}

@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	g.SetMax(2)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("SetMax lowered gauge to %d", got)
+	}
+	g.SetMax(9)
+	if got := g.Value(); got != 9 {
+		t.Fatalf("SetMax = %d, want 9", got)
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Fatal("nil counter has a value")
+	}
+	var g *Gauge
+	g.Set(1)
+	g.Add(1)
+	g.SetMax(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge has a value")
+	}
+	var tm *Timer
+	tm.Observe(time.Second)
+	tm.ObserveSeconds(1)
+	if tm.Count() != 0 {
+		t.Fatal("nil timer has observations")
+	}
+	if tm.snapshot() != nil {
+		t.Fatal("nil timer snapshots")
+	}
+	var tr *Tracer
+	tr.SetWorkers(4)
+	sp := tr.StartPhase("x")
+	sp.SetItems(1)
+	sp.End()
+	tr.ShardDone(1, time.Second)
+	if tl := tr.Timeline(); len(tl.Phases) != 0 {
+		t.Fatal("nil tracer recorded phases")
+	}
+}
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	if r.Counter("a", "") != nil {
+		t.Fatal("nil registry returned a counter")
+	}
+	if r.Gauge("a", "") != nil {
+		t.Fatal("nil registry returned a gauge")
+	}
+	if r.Timer("a", "") != nil {
+		t.Fatal("nil registry returned a timer")
+	}
+	if r.CounterVec("a", "", "l").With("v") != nil {
+		t.Fatal("nil CounterVec resolved")
+	}
+	if r.GaugeVec("a", "", "l").With("v") != nil {
+		t.Fatal("nil GaugeVec resolved")
+	}
+	if r.TimerVec("a", "", "l").With("v") != nil {
+		t.Fatal("nil TimerVec resolved")
+	}
+	if snap := r.Snapshot(); len(snap.Families) != 0 {
+		t.Fatal("nil registry snapshot non-empty")
+	}
+}
+
+func TestRegistrySharesFamilies(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("requests_total", "requests")
+	b := r.Counter("requests_total", "requests")
+	if a != b {
+		t.Fatal("same name yielded distinct counters")
+	}
+	v1 := r.CounterVec("hits_total", "hits", "platform")
+	v2 := r.CounterVec("hits_total", "hits", "platform")
+	if v1.With("Google") != v2.With("Google") {
+		t.Fatal("same family+labels yielded distinct counters")
+	}
+	if v1.With("Google") == v1.With("Local") {
+		t.Fatal("distinct label values share a counter")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	mustPanic(t, func() { r.Gauge("x_total", "") })
+	mustPanic(t, func() { r.CounterVec("x_total", "", "label") })
+	v := r.CounterVec("y_total", "", "a", "b")
+	mustPanic(t, func() { v.With("only-one") })
+}
+
+func mustPanic(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	fn()
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	r := NewRegistry()
+	// Register out of name order, populate out of label order.
+	r.Counter("zzz_total", "z").Add(1)
+	vec := r.CounterVec("aaa_total", "a", "k")
+	vec.With("m").Add(2)
+	vec.With("a").Add(1)
+	vec.With("z").Add(3)
+	r.Gauge("mmm", "m").Set(-4)
+
+	snap := r.Snapshot()
+	var names []string
+	for _, f := range snap.Families {
+		names = append(names, f.Name)
+	}
+	if got := strings.Join(names, ","); got != "aaa_total,mmm,zzz_total" {
+		t.Fatalf("family order %q", got)
+	}
+	var vals []string
+	for _, m := range snap.Families[0].Metrics {
+		vals = append(vals, m.Labels[0].Value)
+	}
+	if got := strings.Join(vals, ","); got != "a,m,z" {
+		t.Fatalf("metric order %q", got)
+	}
+	if snap.Families[1].Metrics[0].Value != -4 {
+		t.Fatalf("gauge value %v", snap.Families[1].Metrics[0].Value)
+	}
+
+	// Two snapshots of the same state must be identical.
+	again := r.Snapshot()
+	if len(again.Families) != len(snap.Families) {
+		t.Fatal("snapshot families differ across calls")
+	}
+}
+
+func TestTimerSnapshotBuckets(t *testing.T) {
+	r := NewRegistry()
+	tm := r.Timer("lookup_seconds", "lookup time")
+	tm.Observe(2 * time.Millisecond)
+	tm.Observe(2 * time.Millisecond)
+	tm.Observe(500 * time.Millisecond)
+	tm.ObserveSeconds(1e-6) // underflow: below the 100 µs floor
+
+	snap := r.Snapshot()
+	h := snap.Families[0].Metrics[0].Hist
+	if h == nil {
+		t.Fatal("timer produced no histogram")
+	}
+	if h.Count != 4 {
+		t.Fatalf("count %d, want 4", h.Count)
+	}
+	if h.Sum <= 0.5 || h.Sum >= 0.51 {
+		t.Fatalf("sum %v", h.Sum)
+	}
+	// Buckets must be cumulative and monotonically nondecreasing, with
+	// the last cumulative count not exceeding the total.
+	prevUB, prevCum := 0.0, uint64(0)
+	for _, b := range h.Buckets {
+		if b.UpperBound <= prevUB {
+			t.Fatalf("bucket bounds not increasing: %v after %v", b.UpperBound, prevUB)
+		}
+		if b.CumCount < prevCum {
+			t.Fatalf("cumulative counts decreased: %d after %d", b.CumCount, prevCum)
+		}
+		prevUB, prevCum = b.UpperBound, b.CumCount
+	}
+	if prevCum > h.Count {
+		t.Fatalf("last bucket %d exceeds count %d", prevCum, h.Count)
+	}
+	// The underflow observation must be in the floor bucket.
+	if h.Buckets[0].CumCount != 1 {
+		t.Fatalf("floor bucket %d, want 1", h.Buckets[0].CumCount)
+	}
+}
+
+func TestConcurrentInstrumentUse(t *testing.T) {
+	r := NewRegistry()
+	vec := r.CounterVec("ops_total", "", "worker")
+	g := r.Gauge("depth", "")
+	tm := r.Timer("op_seconds", "")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := vec.With("shared")
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				g.SetMax(int64(i))
+				tm.ObserveSeconds(0.001)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := vec.With("shared").Value(); got != 8000 {
+		t.Fatalf("counter %d, want 8000", got)
+	}
+	if got := tm.Count(); got != 8000 {
+		t.Fatalf("timer count %d, want 8000", got)
+	}
+}

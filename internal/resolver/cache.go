@@ -9,6 +9,7 @@ import (
 	"container/list"
 	"time"
 
+	"dnscontext/internal/obs"
 	"dnscontext/internal/trace"
 )
 
@@ -20,7 +21,11 @@ type Cache struct {
 	entries  map[string]*list.Element
 	lru      *list.List // front = most recently used
 
-	hits, misses, expired uint64
+	hits, misses, expired, evictions uint64
+
+	// evictCtr mirrors the eviction count into the observability layer
+	// when the owning platform is instrumented; nil is a no-op.
+	evictCtr *obs.Counter
 }
 
 type cacheEntry struct {
@@ -50,6 +55,13 @@ func (c *Cache) Stats() (hits, misses, expired uint64) {
 	return c.hits, c.misses, c.expired
 }
 
+// Evictions returns the number of entries displaced by LRU capacity
+// pressure (expiry removals are not evictions).
+func (c *Cache) Evictions() uint64 { return c.evictions }
+
+// Observe mirrors future evictions into ctr (nil detaches).
+func (c *Cache) Observe(ctr *obs.Counter) { c.evictCtr = ctr }
+
 // Put stores answers for host at time now. The entry's lifetime is the
 // minimum answer TTL. Answerless results (e.g. NXDOMAIN) may be stored
 // with an explicit negTTL.
@@ -77,6 +89,8 @@ func (c *Cache) Put(now time.Duration, host string, answers []trace.Answer, rcod
 		oldest := c.lru.Back()
 		c.lru.Remove(oldest)
 		delete(c.entries, oldest.Value.(*cacheEntry).host)
+		c.evictions++
+		c.evictCtr.Inc()
 	}
 }
 

@@ -1,0 +1,54 @@
+package resolver
+
+import (
+	"dnscontext/internal/obs"
+)
+
+// recMetrics holds one platform's pre-resolved instrument handles. It is
+// stored by value on Recursive: the zero value is all-nil instruments,
+// whose methods are guarded no-ops, so the uninstrumented hot path pays
+// a single nil check per operation and allocates nothing.
+type recMetrics struct {
+	lookups      *obs.Counter
+	hits         *obs.Counter
+	misses       *obs.Counter
+	timeouts     *obs.Counter
+	retries      *obs.Counter
+	servfails    *obs.Counter
+	tcpFallbacks *obs.Counter
+	duration     *obs.Timer
+}
+
+// Instrument registers this platform's metric families with reg and
+// resolves the per-platform handles used on the lookup path. The
+// counters observe; they never influence resolution, so seeded runs are
+// bit-identical with or without a registry (nil reg is a no-op).
+func (rr *Recursive) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	plat := rr.Profile.ID.String()
+	rr.obs = recMetrics{
+		lookups: reg.CounterVec("dnsctx_resolver_lookups_total",
+			"Lookups the platform received from simulated clients.", "platform").With(plat),
+		hits: reg.CounterVec("dnsctx_resolver_cache_hits_total",
+			"Frontend cache accesses answered from the shared cache (including externally warm entries).", "platform").With(plat),
+		misses: reg.CounterVec("dnsctx_resolver_cache_misses_total",
+			"Frontend cache accesses that required authoritative iteration.", "platform").With(plat),
+		timeouts: reg.CounterVec("dnsctx_resolver_timeouts_total",
+			"Client timeout waits caused by a lost query or response transmission.", "platform").With(plat),
+		retries: reg.CounterVec("dnsctx_resolver_retries_total",
+			"Client retransmissions beyond the first attempt.", "platform").With(plat),
+		servfails: reg.CounterVec("dnsctx_resolver_servfail_total",
+			"Lookups that exhausted the retry ladder and synthesized SERVFAIL.", "platform").With(plat),
+		tcpFallbacks: reg.CounterVec("dnsctx_resolver_tcp_fallback_total",
+			"UDP-truncated responses re-fetched over TCP.", "platform").With(plat),
+		duration: reg.TimerVec("dnsctx_resolver_lookup_seconds",
+			"Client-observed lookup duration, including retries and fallbacks.", "platform").With(plat),
+	}
+	evictions := reg.CounterVec("dnsctx_resolver_cache_evictions_total",
+		"Cache entries evicted by LRU capacity pressure.", "platform").With(plat)
+	for _, p := range rr.parts {
+		p.Observe(evictions)
+	}
+}

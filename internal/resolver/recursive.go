@@ -64,6 +64,11 @@ type Recursive struct {
 	retries      uint64
 	servfails    uint64
 	tcpFallbacks uint64
+
+	// obs carries the optional per-platform instrument handles; the zero
+	// value (all nil) makes every observation a guarded no-op. See
+	// Instrument.
+	obs recMetrics
 }
 
 // NewRecursive builds a platform instance.
@@ -121,6 +126,7 @@ func (rr *Recursive) Lookup(now time.Duration, host string) Result {
 // implementation, keeping historical runs bit-identical.
 func (rr *Recursive) LookupWith(now time.Duration, host string, rp RetryPolicy) Result {
 	rr.queries++
+	rr.obs.lookups.Inc()
 	faults := rr.Profile.Faults
 	timeout := rp.Timeout
 	maxAttempts := rp.attempts()
@@ -130,6 +136,9 @@ func (rr *Recursive) LookupWith(now time.Duration, host string, rp RetryPolicy) 
 
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		res.Attempts = attempt + 1
+		if attempt > 0 {
+			rr.obs.retries.Inc()
+		}
 		sendAt := now + elapsed
 		// Pick the frontend: clients hash to frontends per flow in
 		// reality; per-query random choice models load-balanced anycast,
@@ -153,6 +162,7 @@ func (rr *Recursive) LookupWith(now time.Duration, host string, rp RetryPolicy) 
 			elapsed += timeout
 			timeout = rp.next(timeout)
 			rr.retries++
+			rr.obs.timeouts.Inc()
 			continue
 		}
 		arrival := sendAt + owdOut
@@ -164,6 +174,7 @@ func (rr *Recursive) LookupWith(now time.Duration, host string, rp RetryPolicy) 
 			elapsed += timeout
 			timeout = rp.next(timeout)
 			rr.retries++
+			rr.obs.timeouts.Inc()
 			continue
 		}
 
@@ -176,8 +187,10 @@ func (rr *Recursive) LookupWith(now time.Duration, host string, rp RetryPolicy) 
 			// round trip plus the query/response exchange.
 			res.TCPFallback = true
 			rr.tcpFallbacks++
+			rr.obs.tcpFallbacks.Inc()
 			res.Duration += rr.Profile.Link.RTT(rr.rng) + rr.Profile.Link.RTT(rr.rng)
 		}
+		rr.obs.duration.Observe(res.Duration)
 		return res
 	}
 
@@ -187,6 +200,8 @@ func (rr *Recursive) LookupWith(now time.Duration, host string, rp RetryPolicy) 
 	res.RCode = RCodeServFail
 	res.Duration = elapsed
 	rr.servfails++
+	rr.obs.servfails.Inc()
+	rr.obs.duration.Observe(res.Duration)
 	return res
 }
 
@@ -198,6 +213,7 @@ func (rr *Recursive) LookupWith(now time.Duration, host string, rp RetryPolicy) 
 func (rr *Recursive) answerAt(part *Cache, arrival time.Duration, host string) (answers []trace.Answer, rcode uint8, fromCache bool, iterate time.Duration) {
 	if answers, rcode, ok := part.Get(arrival, host); ok {
 		rr.hits++
+		rr.obs.hits.Inc()
 		return answers, rcode, true, 0
 	}
 
@@ -205,6 +221,7 @@ func (rr *Recursive) answerAt(part *Cache, arrival time.Duration, host string) (
 	// name missed here may well be warm because someone else just asked.
 	if ans, ok := rr.externallyWarm(host); ok {
 		rr.hits++
+		rr.obs.hits.Inc()
 		// Seed the partition so subsequent in-simulation queries hit it
 		// organically.
 		part.Put(arrival, host, ans, 0, 0)
@@ -212,6 +229,7 @@ func (rr *Recursive) answerAt(part *Cache, arrival time.Duration, host string) (
 	}
 
 	// Cache miss: iterate to the authoritative servers.
+	rr.obs.misses.Inc()
 	authRes := rr.auth.Resolve(host, rr.rng)
 	iterate = authRes.Delay + rr.Profile.AuthExtra.Delay(rr.rng)
 	done := arrival + iterate

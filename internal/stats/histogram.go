@@ -39,7 +39,14 @@ func (h *LogHistogram) Add(x float64) {
 		h.under++
 		return
 	}
-	idx := int(math.Log(x/h.lo) / math.Log(h.base))
+	f := math.Log(x/h.lo) / math.Log(h.base)
+	idx := int(f)
+	// Values at exact bucket boundaries belong to the bucket they open,
+	// but log(base^i)/log(base) can land a hair under i; snap
+	// near-integer ratios up so boundary placement is exact.
+	if f-float64(idx) > 1-1e-9 {
+		idx++
+	}
 	if idx >= len(h.counts) {
 		idx = len(h.counts) - 1
 	}
@@ -48,6 +55,21 @@ func (h *LogHistogram) Add(x float64) {
 
 // Total returns the number of observations.
 func (h *LogHistogram) Total() uint64 { return h.total }
+
+// NumBuckets returns the number of finite buckets; the last bucket also
+// absorbs observations beyond the covered range.
+func (h *LogHistogram) NumBuckets() int { return len(h.counts) }
+
+// Count returns the tally of bucket i, which covers
+// [BucketLo(i), BucketLo(i+1)).
+func (h *LogHistogram) Count(i int) uint64 { return h.counts[i] }
+
+// Underflow returns the number of observations below the histogram's
+// floor.
+func (h *LogHistogram) Underflow() uint64 { return h.under }
+
+// Base returns the per-bucket growth factor.
+func (h *LogHistogram) Base() float64 { return h.base }
 
 // BucketLo returns the lower bound of bucket i.
 func (h *LogHistogram) BucketLo(i int) float64 {

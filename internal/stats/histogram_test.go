@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestLogHistogramBucketBoundaries verifies that an observation at an
+// exact power of the base — i.e. exactly on a bucket's lower boundary —
+// lands in the bucket it opens, for every bucket.
+func TestLogHistogramBucketBoundaries(t *testing.T) {
+	h := NewLogHistogram(0.001, 4, 3)
+	n := h.NumBuckets()
+	for i := 0; i < n; i++ {
+		h.Add(h.BucketLo(i))
+	}
+	for i := 0; i < n; i++ {
+		if got := h.Count(i); got != 1 {
+			t.Errorf("bucket %d (lo %v): count %d, want 1", i, h.BucketLo(i), got)
+		}
+	}
+	if h.Underflow() != 0 {
+		t.Errorf("boundary values underflowed: %d", h.Underflow())
+	}
+}
+
+// TestLogHistogramInteriorPlacement drops values strictly inside each
+// bucket (the geometric midpoint) and just under each upper boundary.
+func TestLogHistogramInteriorPlacement(t *testing.T) {
+	h := NewLogHistogram(0.001, 4, 3)
+	n := h.NumBuckets()
+	for i := 0; i < n-1; i++ {
+		h.Add(math.Sqrt(h.BucketLo(i) * h.BucketLo(i+1))) // geometric midpoint
+		h.Add(h.BucketLo(i+1) * (1 - 1e-6))               // just under the next boundary
+	}
+	for i := 0; i < n-1; i++ {
+		if got := h.Count(i); got != 2 {
+			t.Errorf("bucket %d: count %d, want 2", i, got)
+		}
+	}
+}
+
+// TestLogHistogramUnderOverflow checks the two out-of-range paths:
+// values below the floor increment only the underflow tally, and values
+// beyond the covered range clamp into the last bucket.
+func TestLogHistogramUnderOverflow(t *testing.T) {
+	h := NewLogHistogram(1, 2, 2) // covers [1, 100), 5 buckets
+	h.Add(0.5)
+	h.Add(0.999999)
+	if h.Underflow() != 2 {
+		t.Fatalf("underflow %d, want 2", h.Underflow())
+	}
+	for i := 0; i < h.NumBuckets(); i++ {
+		if h.Count(i) != 0 {
+			t.Fatalf("underflow leaked into bucket %d", i)
+		}
+	}
+	h.Add(1e6)
+	h.Add(math.MaxFloat64)
+	last := h.NumBuckets() - 1
+	if got := h.Count(last); got != 2 {
+		t.Fatalf("overflow bucket count %d, want 2", got)
+	}
+}
+
+// TestLogHistogramTotalInvariant: Total always equals underflow plus the
+// sum over all buckets, across a spread of magnitudes.
+func TestLogHistogramTotalInvariant(t *testing.T) {
+	h := NewLogHistogram(0.001, 4, 6)
+	values := []float64{1e-6, 1e-4, 0.001, 0.0025, 0.01, 0.5, 1, 3, 42, 999, 1e5, 1e9}
+	for _, v := range values {
+		h.Add(v)
+	}
+	if h.Total() != uint64(len(values)) {
+		t.Fatalf("total %d, want %d", h.Total(), len(values))
+	}
+	sum := h.Underflow()
+	for i := 0; i < h.NumBuckets(); i++ {
+		sum += h.Count(i)
+	}
+	if sum != h.Total() {
+		t.Fatalf("underflow+buckets = %d, total = %d", sum, h.Total())
+	}
+}
+
+// TestLogHistogramBaseGeometry: BucketLo grows by exactly Base per
+// bucket, and binsPerDecade buckets span one decade.
+func TestLogHistogramBaseGeometry(t *testing.T) {
+	const binsPerDecade = 5
+	h := NewLogHistogram(0.01, binsPerDecade, 4)
+	if math.Abs(h.Base()-math.Pow(10, 1.0/binsPerDecade)) > 1e-12 {
+		t.Fatalf("base %v", h.Base())
+	}
+	for i := 0; i+1 < h.NumBuckets(); i++ {
+		ratio := h.BucketLo(i+1) / h.BucketLo(i)
+		if math.Abs(ratio-h.Base()) > 1e-9 {
+			t.Fatalf("bucket %d ratio %v, want %v", i, ratio, h.Base())
+		}
+	}
+	decade := h.BucketLo(binsPerDecade) / h.BucketLo(0)
+	if math.Abs(decade-10) > 1e-9 {
+		t.Fatalf("decade span %v, want 10", decade)
+	}
+}
