@@ -15,9 +15,9 @@ FUZZTIME ?= 10s
 
 FUZZ_TARGETS := FuzzReadDNS FuzzReadConns FuzzReadDNSJSON FuzzReadConnsJSON
 
-.PHONY: check vet build test race obs-determinism bench bench-all bench-parallel fuzz cover
+.PHONY: check vet build test race obs-determinism soak bench bench-all bench-parallel fuzz cover
 
-check: vet build race obs-determinism
+check: vet build race obs-determinism soak
 
 vet:
 	$(GO) vet ./...
@@ -36,6 +36,16 @@ race:
 # a named target keeps the invariant visible.
 obs-determinism:
 	$(GO) test ./internal/obs -run='TestObservabilityDeterminism|TestObservedSnapshotsAreDeterministic' -count=1
+
+# Chaos soak of the hardened DNS server under the race detector: several
+# seconds of mixed valid/garbage/panicking queries against a small queue
+# and a live rate limiter, asserting the server answers throughout,
+# recovers every panic, and still drains cleanly. SOAKTIME is the flood
+# budget; the whole target stays well under 30 s.
+SOAKTIME ?= 10s
+
+soak:
+	DNSCTX_SOAK=$(SOAKTIME) $(GO) test ./internal/dnsserver -race -run='^TestServerChaosSoak$$' -count=1 -v
 
 # Short-budget coverage-guided fuzzing of the trace codecs. Go allows
 # one -fuzz target per invocation, so loop.

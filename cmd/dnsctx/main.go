@@ -10,9 +10,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"log"
 	"os"
 	"runtime"
@@ -50,6 +53,14 @@ func main() {
 		format   = flag.String("format", "tsv", "log input format: tsv or json")
 		figures  = flag.String("figures", "", "also export per-figure CSV data into this directory")
 		perHouse = flag.Bool("per-house", false, "append a per-house breakdown to the report")
+
+		quarantine  = flag.Bool("quarantine", false, "divert malformed TSV input lines to stderr instead of aborting (with -dns/-conns)")
+		quarMaxErrs = flag.Int("quarantine-max-errors", -1, "malformed lines tolerated before aborting; -1 = unlimited (with -quarantine)")
+		quarMaxRate = flag.Float64("quarantine-max-rate", 0, "malformed-line fraction tolerated before aborting; 0 = no rate check (with -quarantine)")
+
+		ckPath     = flag.String("checkpoint", "", "snapshot completed analysis shards to this file; removed on success")
+		ckResume   = flag.Bool("resume", false, "resume from the -checkpoint file if it exists")
+		ckInterval = flag.Int("checkpoint-interval", 0, "completed shards between snapshots; 0 = default (64)")
 
 		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics and /metrics.json on this address (e.g. :9090)")
 		withPprof    = flag.Bool("pprof", false, "also mount /debug/pprof on the metrics server")
@@ -118,17 +129,30 @@ func main() {
 		switch *format {
 		case "tsv":
 		case "json":
+			if *quarantine {
+				log.Fatal("-quarantine requires -format tsv")
+			}
 			readD, readC = trace.ReadDNSJSON, trace.ReadConnsJSON
 		default:
 			log.Fatalf("unknown -format %q (want tsv or json)", *format)
 		}
 		ds = &dnscontext.Dataset{}
 		var err error
-		if ds.DNS, err = readFile(*dnsIn, readD); err != nil {
-			log.Fatal(err)
-		}
-		if ds.Conns, err = readFile(*connIn, readC); err != nil {
-			log.Fatal(err)
+		if *quarantine {
+			policy := dnscontext.QuarantineBudget(*quarMaxErrs, *quarMaxRate)
+			if ds.DNS, err = scanDNS(*dnsIn, policy, reg); err != nil {
+				log.Fatal(err)
+			}
+			if ds.Conns, err = scanConns(*connIn, policy, reg); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			if ds.DNS, err = readFile(*dnsIn, readD); err != nil {
+				log.Fatal(err)
+			}
+			if ds.Conns, err = readFile(*connIn, readC); err != nil {
+				log.Fatal(err)
+			}
 		}
 	default:
 		log.Fatal("pass -dns AND -conns, or -generate")
@@ -147,8 +171,25 @@ func main() {
 		tr = dnscontext.NewTracer()
 		opts.Trace = tr
 	}
+	if *ckPath != "" {
+		opts.Checkpoint = &dnscontext.AnalysisCheckpoint{
+			Path: *ckPath, Interval: *ckInterval, Resume: *ckResume,
+		}
+	} else if *ckResume {
+		log.Fatal("-resume requires -checkpoint")
+	}
 
-	a := dnscontext.Analyze(ds, opts)
+	a, err := dnscontext.AnalyzeContext(context.Background(), ds, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *ckPath != "" {
+		// The run completed, so the snapshot has served its purpose; a
+		// missing file just means the run never reached a snapshot point.
+		if err := os.Remove(*ckPath); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			log.Printf("removing checkpoint %s: %v", *ckPath, err)
+		}
+	}
 	if err := a.Report(os.Stdout, profiles); err != nil {
 		log.Fatal(err)
 	}
@@ -238,4 +279,60 @@ func readFile[T any](path string, read func(io.Reader) ([]T, error)) ([]T, error
 	}
 	defer f.Close()
 	return read(f)
+}
+
+// stderrSink logs each quarantined line with its source file, line
+// number, and cause.
+func stderrSink(path string) func(dnscontext.Quarantined) {
+	return func(q dnscontext.Quarantined) {
+		log.Printf("quarantined %s:%d: %v", path, q.Line, q.Err)
+	}
+}
+
+// finishScan reports the scan outcome: the terminal error if the scan
+// aborted (budget trip or read error), otherwise a summary of what was
+// quarantined.
+func finishScan(path string, err error, st dnscontext.ScanStats) error {
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if st.Quarantined > 0 {
+		log.Printf("%s: quarantined %d of %d lines", path, st.Quarantined, st.Lines)
+	}
+	return nil
+}
+
+// scanDNS streams path through a quarantining DNSScanner, logging every
+// diverted line to stderr.
+func scanDNS(path string, policy dnscontext.ErrorPolicy, reg *dnscontext.MetricsRegistry) ([]dnscontext.DNSRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	policy.Sink = stderrSink(path)
+	sc := dnscontext.NewDNSScanner(f, policy)
+	sc.Observe(reg)
+	var out []dnscontext.DNSRecord
+	for sc.Scan() {
+		out = append(out, sc.Record())
+	}
+	return out, finishScan(path, sc.Err(), sc.Stats())
+}
+
+// scanConns is scanDNS for connection summaries.
+func scanConns(path string, policy dnscontext.ErrorPolicy, reg *dnscontext.MetricsRegistry) ([]dnscontext.ConnRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	policy.Sink = stderrSink(path)
+	sc := dnscontext.NewConnScanner(f, policy)
+	sc.Observe(reg)
+	var out []dnscontext.ConnRecord
+	for sc.Scan() {
+		out = append(out, sc.Record())
+	}
+	return out, finishScan(path, sc.Err(), sc.Stats())
 }

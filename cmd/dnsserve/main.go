@@ -10,11 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"os/signal"
+	"time"
 
 	"dnscontext/internal/dnsserver"
 	"dnscontext/internal/dnswire"
@@ -34,6 +36,12 @@ func main() {
 		query  = flag.String("query", "", "query this name instead of serving")
 		qtype  = flag.String("qtype", "A", "query type: A or AAAA")
 		server = flag.String("server", "127.0.0.1:5355", "server to query (with -query)")
+
+		workers = flag.Int("workers", 0, "handler pool size; 0 = default (4)")
+		queue   = flag.Int("queue", 0, "pending-query queue depth, shed beyond; 0 = default (256)")
+		rate    = flag.Float64("rate", 0, "per-client sustained queries/sec answered REFUSED beyond; 0 = no rate limit")
+		burst   = flag.Int("burst", 10, "per-client token-bucket depth (with -rate)")
+		drain   = flag.Duration("drain", 5*time.Second, "how long shutdown waits for in-flight queries on SIGINT")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /metrics.json on this address (e.g. :9090)")
 		withPprof   = flag.Bool("pprof", false, "also mount /debug/pprof on the metrics server")
@@ -60,7 +68,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := dnsserver.NewServer(dnsserver.ZoneHandler(zones))
+	cfgSrv := dnsserver.Config{Workers: *workers, QueueDepth: *queue}
+	if *rate > 0 {
+		cfgSrv.RateLimit = &dnsserver.RateLimitConfig{PerSecond: *rate, Burst: *burst}
+	}
+	srv := dnsserver.NewServerWith(dnsserver.ZoneHandler(zones), cfgSrv, nil)
 	bound, err := srv.Start(*addr)
 	if err != nil {
 		log.Fatal(err)
@@ -79,7 +91,16 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
-	if err := srv.Close(); err != nil {
-		log.Fatal(err)
+	// Stop reading, let in-flight queries finish, then close the socket;
+	// a second SIGINT would have to wait out -drain at worst.
+	fmt.Fprintf(os.Stderr, "draining (up to %v)...\n", *drain)
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("drain incomplete (%v); closing", err)
+		if err := srv.Close(); err != nil {
+			log.Fatal(err)
+		}
+		os.Exit(1)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"time"
 
 	"dnscontext"
@@ -47,10 +48,25 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Zone.NumNames = *names
 
+	// Each output is written and synced whole, so SIGINT is honoured at
+	// stage boundaries: the file being written is flushed to stable
+	// storage, the remaining outputs are skipped, and the exit is
+	// non-zero so scripts know the set is incomplete.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	checkInterrupt := func(stage string) {
+		select {
+		case <-sig:
+			log.Fatalf("interrupted after %s; written outputs are flushed, remaining outputs skipped", stage)
+		default:
+		}
+	}
+
 	ds, _, err := dnscontext.Generate(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
+	checkInterrupt("generation")
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "generated %d DNS transactions, %d connections over %v (%d houses, seed %d)\n",
 			len(ds.DNS), len(ds.Conns), *duration, *houses, *seed)
@@ -70,6 +86,7 @@ func main() {
 		}); err != nil {
 			log.Fatal(err)
 		}
+		checkInterrupt(*dnsOut)
 	}
 	if *connOut != "" {
 		if err := writeFile(*connOut, func(f *os.File) error {
@@ -77,6 +94,7 @@ func main() {
 		}); err != nil {
 			log.Fatal(err)
 		}
+		checkInterrupt(*connOut)
 	}
 	if *pcapOut != "" {
 		if err := writePcap(*pcapOut, ds, *byteCap); err != nil {
@@ -88,6 +106,10 @@ func main() {
 	}
 }
 
+// writeFile creates path, fills it, and syncs it to stable storage
+// before Close; any failure — including a partial write — surfaces as a
+// non-nil error so main exits non-zero instead of leaving a silently
+// truncated output.
 func writeFile(path string, fill func(*os.File) error) error {
 	f, err := os.Create(path)
 	if err != nil {
@@ -95,9 +117,16 @@ func writeFile(path string, fill func(*os.File) error) error {
 	}
 	if err := fill(f); err != nil {
 		f.Close()
-		return err
+		return fmt.Errorf("writing %s: %w", path, err)
 	}
-	return f.Close()
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("syncing %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("closing %s: %w", path, err)
+	}
+	return nil
 }
 
 func writePcap(path string, ds *dnscontext.Dataset, byteCap int64) error {

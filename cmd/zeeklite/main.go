@@ -16,6 +16,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"time"
 
 	"dnscontext"
@@ -34,6 +35,10 @@ func main() {
 		timeout = flag.Duration("udp-timeout", time.Minute, "UDP flow idle timeout")
 		format  = flag.String("format", "tsv", "log output format: tsv or json")
 		quiet   = flag.Bool("q", false, "suppress the summary line")
+
+		resyncs      = flag.Int("resync", 0, "corrupt pcap record headers to hunt past; 0 = fail fast, -1 = unlimited")
+		decodeErrs   = flag.Int("decode-max-errors", -1, "undecodable frames tolerated before aborting; -1 = unlimited")
+		decodeMaxPct = flag.Float64("decode-max-rate", 0, "undecodable-frame fraction tolerated before aborting; 0 = no rate check")
 	)
 	flag.Parse()
 	if *pcapIn == "" {
@@ -53,12 +58,34 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *resyncs != 0 {
+		r.SetResync(pcap.ResyncPolicy{MaxResyncs: *resyncs})
+	}
 
 	opts := dnscontext.DefaultMonitorOptions()
 	opts.UDPTimeout = *timeout
+	if *decodeErrs >= 0 || *decodeMaxPct > 0 {
+		opts.DecodeBudget = &trace.ErrorBudget{
+			MaxErrors: *decodeErrs, MaxErrorRate: *decodeMaxPct,
+		}
+	}
 	m := dnscontext.NewMonitor(opts)
+
+	// On SIGINT, stop ingesting, flush whatever flows are open into
+	// partial logs, and exit non-zero: a truncated capture session still
+	// leaves analyzable (and clearly flagged) output behind.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	interrupted := false
 	frames := 0
+feed:
 	for {
+		select {
+		case <-sig:
+			interrupted = true
+			break feed
+		default:
+		}
 		rec, err := r.Next()
 		if errors.Is(err, io.EOF) {
 			break
@@ -68,6 +95,9 @@ func main() {
 		}
 		m.FeedFrame(rec.Timestamp.Sub(trace.Epoch), rec.Data)
 		frames++
+	}
+	if err := m.Err(); err != nil {
+		log.Fatal(err)
 	}
 	ds := m.Flush()
 
@@ -79,26 +109,44 @@ func main() {
 	default:
 		log.Fatalf("unknown -format %q (want tsv or json)", *format)
 	}
-	if err := writeTSV(*dnsOut, func(w io.Writer) error { return writeDNS(w, ds.DNS) }); err != nil {
+	if err := writeLog(*dnsOut, func(w io.Writer) error { return writeDNS(w, ds.DNS) }); err != nil {
 		log.Fatal(err)
 	}
-	if err := writeTSV(*connOut, func(w io.Writer) error { return writeConns(w, ds.Conns) }); err != nil {
+	if err := writeLog(*connOut, func(w io.Writer) error { return writeConns(w, ds.Conns) }); err != nil {
 		log.Fatal(err)
 	}
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "read %d frames: %d DNS transactions, %d connections (decode errors: %d, dns parse errors: %d)\n",
 			frames, len(ds.DNS), len(ds.Conns), m.DecodeErrors, m.DNSParseErrs)
+		if n := r.Resyncs(); n > 0 {
+			fmt.Fprintf(os.Stderr, "recovered from %d corrupt record headers (%d bytes skipped)\n",
+				n, r.SkippedBytes())
+		}
+	}
+	if interrupted {
+		log.Fatalf("interrupted after %d frames; partial logs flushed to %s and %s", frames, *dnsOut, *connOut)
 	}
 }
 
-func writeTSV(path string, fill func(io.Writer) error) error {
+// writeLog writes one log atomically enough for a consumer to trust it:
+// the file is synced to stable storage before Close, and any failure —
+// including a partial write — surfaces as a non-nil error so main exits
+// non-zero instead of leaving a silently truncated log.
+func writeLog(path string, fill func(io.Writer) error) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	if err := fill(f); err != nil {
 		f.Close()
-		return err
+		return fmt.Errorf("writing %s: %w", path, err)
 	}
-	return f.Close()
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("syncing %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("closing %s: %w", path, err)
+	}
+	return nil
 }

@@ -367,3 +367,70 @@ func WriteDNS(w io.Writer, recs []DNSRecord) error    { return trace.WriteDNS(w,
 func ReadDNS(r io.Reader) ([]DNSRecord, error)        { return trace.ReadDNS(r) }
 func WriteConns(w io.Writer, recs []ConnRecord) error { return trace.WriteConns(w, recs) }
 func ReadConns(r io.Reader) ([]ConnRecord, error)     { return trace.ReadConns(r) }
+
+// Streaming ingestion types: iterator-style TSV readers with quarantine.
+// Where ReadDNS/ReadConns abort an entire ingest on the first malformed
+// line, the scanners yield one record at a time in bounded memory and
+// take an ErrorPolicy: strict mode reproduces the readers bit for bit,
+// quarantine mode diverts malformed lines (with their line number and
+// cause) to a sink and keeps going until an ErrorBudget trips.
+type (
+	// DNSScanner yields DNS transaction records one at a time.
+	DNSScanner = trace.DNSScanner
+	// ConnScanner yields connection summaries one at a time.
+	ConnScanner = trace.ConnScanner
+	// ErrorPolicy decides what a scanner does with malformed lines.
+	ErrorPolicy = trace.ErrorPolicy
+	// ErrorBudget bounds quarantining before a scan gives up.
+	ErrorBudget = trace.ErrorBudget
+	// Quarantined is one diverted malformed line: where, what, and why.
+	Quarantined = trace.Quarantined
+	// ScanStats summarizes a scanner's progress.
+	ScanStats = trace.ScanStats
+)
+
+// ErrBudgetExceeded is matched (via errors.Is) by the error a scanner or
+// monitor reports when its quarantine budget trips.
+var ErrBudgetExceeded = trace.ErrBudgetExceeded
+
+// NewDNSScanner returns a streaming DNS-record reader over r.
+func NewDNSScanner(r io.Reader, policy ErrorPolicy) *DNSScanner {
+	return trace.NewDNSScanner(r, policy)
+}
+
+// NewConnScanner returns a streaming connection-summary reader over r.
+func NewConnScanner(r io.Reader, policy ErrorPolicy) *ConnScanner {
+	return trace.NewConnScanner(r, policy)
+}
+
+// StrictPolicy returns the fail-fast policy matching ReadDNS/ReadConns.
+func StrictPolicy() ErrorPolicy { return trace.Strict() }
+
+// QuarantineAll returns the policy that quarantines every malformed line
+// with no budget.
+func QuarantineAll() ErrorPolicy { return trace.QuarantineAll() }
+
+// QuarantineBudget returns a quarantining policy tripping after
+// maxErrors quarantined records (negative = unlimited) or when the error
+// rate exceeds maxRate (0 = no rate check).
+func QuarantineBudget(maxErrors int, maxRate float64) ErrorPolicy {
+	return trace.QuarantineBudget(maxErrors, maxRate)
+}
+
+// Checkpoint/resume: AnalysisCheckpoint configures periodic snapshots of
+// completed analysis shards (see Options.Checkpoint); a resumed run
+// replays the snapshot and classifies only the remaining shards, with a
+// bit-identical result at any worker count.
+type AnalysisCheckpoint = core.Checkpoint
+
+// ErrCheckpointMismatch is matched (via errors.Is) when a checkpoint was
+// written for a different dataset or different analysis options.
+var ErrCheckpointMismatch = core.ErrCheckpointMismatch
+
+// WithCheckpoint directs AnalyzeContext to snapshot completed shards
+// into ck.Path and, when ck.Resume is set, to replay an existing
+// snapshot before classifying. Checkpointing never influences the
+// result, only whether shards are recomputed or replayed.
+func WithCheckpoint(ck *AnalysisCheckpoint) AnalyzerOption {
+	return func(an *Analyzer) { an.opts.Checkpoint = ck }
+}

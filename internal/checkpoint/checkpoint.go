@@ -1,0 +1,135 @@
+// Package checkpoint persists opaque snapshot payloads atomically so a
+// killed run can resume from its last good state. The file layer knows
+// nothing about what it stores: callers hand it a versioned payload and
+// get back exactly those bytes, or an error that cleanly distinguishes
+// "no checkpoint", "corrupt checkpoint", and "checkpoint from a
+// different format version".
+//
+// Atomicity is the write-temp, fsync, rename discipline: the payload is
+// written to a temporary file in the destination directory, fsynced,
+// renamed over the destination, and the directory fsynced. A crash at
+// any point leaves either the old checkpoint or the new one, never a
+// torn file; torn writes that slip through anyway (lost sectors) are
+// caught on load by a CRC over the payload.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// magic identifies a checkpoint file. 8 bytes, never versioned — format
+// evolution happens in the version field.
+var magic = [8]byte{'D', 'N', 'S', 'C', 'K', 'P', 'T', 0}
+
+// headerLen is magic + version (u32) + payload length (u64) + CRC (u32).
+const headerLen = 8 + 4 + 8 + 4
+
+// maxPayload bounds how large a payload Load will allocate for, as a
+// defence against a corrupt length field. 1 GiB is far beyond any real
+// snapshot.
+const maxPayload = 1 << 30
+
+// ErrCorrupt is matched (via errors.Is) by load errors caused by a
+// damaged file: bad magic, short header, truncated payload, CRC
+// mismatch, or an absurd length.
+var ErrCorrupt = errors.New("checkpoint corrupt")
+
+// VersionError reports a checkpoint written by a different format
+// version. It is deliberately not ErrCorrupt: the file is intact, just
+// not ours to read.
+type VersionError struct {
+	Got, Want uint32
+}
+
+// Error implements error.
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("checkpoint: version %d, want %d", e.Got, e.Want)
+}
+
+// Save atomically writes payload to path under the given format
+// version, replacing any existing checkpoint.
+func Save(path string, version uint32, payload []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: creating temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	// On any failure past this point, remove the temp file; the rename
+	// at the end makes removal a no-op on success.
+	defer os.Remove(tmpName)
+
+	var hdr [headerLen]byte
+	copy(hdr[:8], magic[:])
+	binary.LittleEndian.PutUint32(hdr[8:12], version)
+	binary.LittleEndian.PutUint64(hdr[12:20], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[20:24], crc32.ChecksumIEEE(payload))
+	if _, err := tmp.Write(hdr[:]); err == nil {
+		_, err = tmp.Write(payload)
+	}
+	if err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: writing %s: %w", tmpName, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: syncing %s: %w", tmpName, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: closing %s: %w", tmpName, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("checkpoint: publishing %s: %w", path, err)
+	}
+	// Sync the directory so the rename itself survives a crash. Best
+	// effort: some filesystems refuse directory fsync.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+// Load reads the checkpoint at path, validating magic, version, length,
+// and CRC, and returns the payload. A missing file surfaces as an
+// fs.ErrNotExist error; damage surfaces as ErrCorrupt; a version
+// mismatch as *VersionError.
+func Load(path string, version uint32) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return nil, fmt.Errorf("checkpoint: %s: short header: %w", path, ErrCorrupt)
+	}
+	if [8]byte(hdr[:8]) != magic {
+		return nil, fmt.Errorf("checkpoint: %s: bad magic: %w", path, ErrCorrupt)
+	}
+	if got := binary.LittleEndian.Uint32(hdr[8:12]); got != version {
+		return nil, &VersionError{Got: got, Want: version}
+	}
+	n := binary.LittleEndian.Uint64(hdr[12:20])
+	if n > maxPayload {
+		return nil, fmt.Errorf("checkpoint: %s: absurd payload length %d: %w", path, n, ErrCorrupt)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(f, payload); err != nil {
+		return nil, fmt.Errorf("checkpoint: %s: truncated payload: %w", path, ErrCorrupt)
+	}
+	if extra, _ := f.Read(make([]byte, 1)); extra != 0 {
+		return nil, fmt.Errorf("checkpoint: %s: trailing bytes: %w", path, ErrCorrupt)
+	}
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(hdr[20:24]); got != want {
+		return nil, fmt.Errorf("checkpoint: %s: payload CRC %08x, header says %08x: %w", path, got, want, ErrCorrupt)
+	}
+	return payload, nil
+}

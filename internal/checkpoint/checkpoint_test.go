@@ -1,0 +1,116 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.ckpt")
+	payload := []byte("the quick brown fox")
+	if err := Save(path, 3, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload %q, want %q", got, payload)
+	}
+}
+
+func TestSaveOverwritesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.ckpt")
+	if err := Save(path, 1, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(path, 1, []byte("new and longer")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "new and longer" {
+		t.Fatalf("payload %q", got)
+	}
+	// No temp files left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries, want just the checkpoint", len(entries))
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	_, err := Load(filepath.Join(t.TempDir(), "nope.ckpt"), 1)
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("err = %v, want ErrNotExist", err)
+	}
+	if errors.Is(err, ErrCorrupt) {
+		t.Fatal("missing file misreported as corrupt")
+	}
+}
+
+func TestLoadVersionMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.ckpt")
+	if err := Save(path, 2, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(path, 3)
+	var ve *VersionError
+	if !errors.As(err, &ve) {
+		t.Fatalf("err = %v, want *VersionError", err)
+	}
+	if ve.Got != 2 || ve.Want != 3 {
+		t.Fatalf("version error %+v", ve)
+	}
+	if errors.Is(err, ErrCorrupt) {
+		t.Fatal("version mismatch misreported as corrupt")
+	}
+}
+
+func TestLoadDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.ckpt")
+	payload := []byte("payload bytes to protect")
+	if err := Save(path, 1, payload); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string][]byte{
+		"empty":             {},
+		"short header":      good[:10],
+		"bad magic":         append([]byte{'X'}, good[1:]...),
+		"flipped payload":   flipByte(good, headerLen+2),
+		"flipped crc":       flipByte(good, 20),
+		"truncated payload": good[:len(good)-3],
+		"trailing bytes":    append(append([]byte{}, good...), 0xEE),
+	}
+	for name, b := range cases {
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Load(path, 1)
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+func flipByte(b []byte, i int) []byte {
+	out := append([]byte{}, b...)
+	out[i] ^= 0xFF
+	return out
+}

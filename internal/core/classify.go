@@ -62,7 +62,19 @@ func AnalyzeContext(ctx context.Context, ds *trace.Dataset, opts Options) (*Anal
 	sp = tr.StartPhase("classify")
 	sp.SetItems(len(a.Paired))
 	counts := make([][numClasses]int, len(a.shards))
+	var ck *ckRun
+	if opts.Checkpoint != nil && opts.Checkpoint.Path != "" {
+		ck = newCkRun(a, opts.Checkpoint)
+		if opts.Checkpoint.Resume {
+			if _, err := ck.restore(counts); err != nil {
+				return nil, analysisAborted(err)
+			}
+		}
+	}
 	err := parallel.ForEach(ctx, opts.Workers, len(a.shards), func(s int) error {
+		if ck != nil && ck.isRestored(s) {
+			return nil
+		}
 		var t0 time.Time
 		if tr != nil {
 			t0 = time.Now()
@@ -70,6 +82,9 @@ func AnalyzeContext(ctx context.Context, ds *trace.Dataset, opts Options) (*Anal
 		a.classifyShard(s, &counts[s])
 		if tr != nil {
 			tr.ShardDone(len(a.shards[s].conns), time.Since(t0))
+		}
+		if ck != nil {
+			return ck.complete(s)
 		}
 		return nil
 	})

@@ -100,6 +100,11 @@ type Options struct {
 	// Trace, when non-nil, records the run's phase timeline and per-shard
 	// work distribution. Same no-feedback guarantee as Metrics.
 	Trace *obs.Tracer
+	// Checkpoint, when non-nil with a Path, snapshots classify progress
+	// so a killed run can resume bit-identically (see the Checkpoint
+	// type in resume.go). Like Metrics/Trace it never influences the
+	// result, only whether work is recomputed or replayed.
+	Checkpoint *Checkpoint
 }
 
 // DefaultOptions returns the paper's parameters.
@@ -189,6 +194,8 @@ type Analysis struct {
 	refreshOnce sync.Once
 	authTTL     map[string]time.Duration
 	window      time.Duration
+	// fp caches the dataset fingerprint checkpoints key on (resume.go).
+	fp uint64
 }
 
 // clientShard is one per-client slice of the dataset: the client's

@@ -1,0 +1,359 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"io/fs"
+	"sort"
+	"sync"
+	"time"
+
+	"dnscontext/internal/checkpoint"
+	"dnscontext/internal/obs"
+)
+
+// Checkpoint/resume for the analysis pipeline. The classify phase is
+// the long pole of a large run and its shards are independent, so the
+// unit of progress is one completed shard: every Interval completions
+// the analyzer snapshots all completed shard states (paired
+// connections, used-DNS marks, per-class tallies — everything
+// classifyShard writes) to disk via internal/checkpoint. A resumed run
+// replays the snapshot into the same slots and classifies only the
+// remaining shards; because shards share no state and each carries its
+// own RNG stream, the resumed result is bit-identical to an
+// uninterrupted run at any worker count.
+//
+// A snapshot is only valid against the dataset and options that
+// produced it, so the payload carries a fingerprint of both; loading a
+// snapshot against anything else is an error, never a silent wrong
+// answer.
+
+// ckVersion is the on-disk format version of analyzer checkpoints.
+const ckVersion = 1
+
+// defaultCkInterval is the number of completed shards between
+// snapshots.
+const defaultCkInterval = 64
+
+// ErrCheckpointMismatch is matched (via errors.Is) when a checkpoint
+// was written for a different dataset or different analysis options.
+var ErrCheckpointMismatch = errors.New("checkpoint does not match this run")
+
+// Checkpoint configures snapshotting for AnalyzeContext (see
+// Options.Checkpoint).
+type Checkpoint struct {
+	// Path is the snapshot file. Empty disables checkpointing.
+	Path string
+	// Interval is the number of completed shards between snapshots.
+	// Zero means the default (64).
+	Interval int
+	// Resume loads Path before classifying, skipping shards the
+	// snapshot already covers. A missing file is not an error (the run
+	// simply starts fresh); a corrupt file or one from a different
+	// dataset/options is.
+	Resume bool
+	// OnSnapshot, when non-nil, is called after each successful
+	// snapshot with the number of shards persisted. Tests use it to
+	// kill runs at snapshot boundaries.
+	OnSnapshot func(doneShards int)
+}
+
+// ckRun is the per-run checkpoint state.
+type ckRun struct {
+	a   *Analysis
+	cfg *Checkpoint
+
+	mu        sync.Mutex
+	blobs     map[int][]byte // shardID → encoded shard state
+	restored  map[int]bool   // shards loaded from the snapshot
+	sinceSave int
+
+	writesC   *obs.Counter
+	restoredC *obs.Counter
+}
+
+func newCkRun(a *Analysis, cfg *Checkpoint) *ckRun {
+	ck := &ckRun{
+		a:        a,
+		cfg:      cfg,
+		blobs:    make(map[int][]byte),
+		restored: make(map[int]bool),
+	}
+	if reg := a.Opts.Metrics; reg != nil {
+		ck.writesC = reg.Counter("dnsctx_checkpoint_writes_total",
+			"Analyzer snapshots persisted to disk.")
+		ck.restoredC = reg.Counter("dnsctx_checkpoint_restored_shards_total",
+			"Analyzer shards restored from a checkpoint instead of recomputed.")
+	}
+	return ck
+}
+
+func (ck *ckRun) interval() int {
+	if ck.cfg.Interval > 0 {
+		return ck.cfg.Interval
+	}
+	return defaultCkInterval
+}
+
+// isRestored reports whether shard s was loaded from the snapshot and
+// must not be reclassified.
+func (ck *ckRun) isRestored(s int) bool {
+	return ck.restored[s] // only written before the parallel phase
+}
+
+// complete records shard s as classified and persists a snapshot every
+// Interval completions. Called concurrently from the worker pool.
+func (ck *ckRun) complete(s int) error {
+	blob := ck.a.encodeShard(s)
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	ck.blobs[s] = blob
+	ck.sinceSave++
+	if ck.sinceSave < ck.interval() {
+		return nil
+	}
+	if err := ck.save(); err != nil {
+		return err
+	}
+	ck.sinceSave = 0
+	ck.writesC.Inc()
+	if ck.cfg.OnSnapshot != nil {
+		ck.cfg.OnSnapshot(len(ck.blobs))
+	}
+	return nil
+}
+
+// save persists every completed shard. Caller holds ck.mu.
+func (ck *ckRun) save() error {
+	var buf bytes.Buffer
+	putU64 := func(v uint64) { _ = binary.Write(&buf, binary.LittleEndian, v) }
+	putU32 := func(v uint32) { _ = binary.Write(&buf, binary.LittleEndian, v) }
+	putU64(ck.a.fingerprint())
+	putU64(ck.a.optsKey())
+	putU32(uint32(len(ck.a.shards)))
+	putU32(uint32(len(ck.blobs)))
+	ids := make([]int, 0, len(ck.blobs))
+	for id := range ck.blobs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		putU32(uint32(id))
+		putU32(uint32(len(ck.blobs[id])))
+		buf.Write(ck.blobs[id])
+	}
+	return checkpoint.Save(ck.cfg.Path, ckVersion, buf.Bytes())
+}
+
+// restore loads the snapshot at Path (if any) and replays its shards
+// into the analysis, filling counts for each. Returns the restored
+// shard IDs' count.
+func (ck *ckRun) restore(counts [][numClasses]int) (int, error) {
+	payload, err := checkpoint.Load(ck.cfg.Path, ckVersion)
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	r := bytes.NewReader(payload)
+	var fp, key uint64
+	var numShards, nDone uint32
+	if err := readLE(r, &fp, &key, &numShards, &nDone); err != nil {
+		return 0, fmt.Errorf("checkpoint: truncated snapshot header: %w", err)
+	}
+	if fp != ck.a.fingerprint() {
+		return 0, fmt.Errorf("%w: dataset fingerprint %016x, snapshot has %016x",
+			ErrCheckpointMismatch, ck.a.fingerprint(), fp)
+	}
+	if key != ck.a.optsKey() {
+		return 0, fmt.Errorf("%w: analysis options changed since the snapshot",
+			ErrCheckpointMismatch)
+	}
+	if int(numShards) != len(ck.a.shards) {
+		return 0, fmt.Errorf("%w: %d shards, snapshot has %d",
+			ErrCheckpointMismatch, len(ck.a.shards), numShards)
+	}
+	for i := 0; i < int(nDone); i++ {
+		var id, n uint32
+		if err := readLE(r, &id, &n); err != nil {
+			return 0, fmt.Errorf("checkpoint: truncated shard entry: %w", err)
+		}
+		if int(id) >= len(ck.a.shards) {
+			return 0, fmt.Errorf("checkpoint: shard id %d out of range", id)
+		}
+		blob := make([]byte, n)
+		if _, err := io.ReadFull(r, blob); err != nil {
+			return 0, fmt.Errorf("checkpoint: truncated shard blob: %w", err)
+		}
+		if err := ck.a.decodeShard(int(id), blob, &counts[id]); err != nil {
+			return 0, err
+		}
+		ck.blobs[int(id)] = blob
+		ck.restored[int(id)] = true
+	}
+	ck.restoredC.Add(uint64(nDone))
+	return int(nDone), nil
+}
+
+func readLE(r *bytes.Reader, vs ...any) error {
+	for _, v := range vs {
+		if err := binary.Read(r, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// encodeShard serializes everything classifyShard wrote for shard s:
+// the paired-connection entries (in sh.conns order, so the connection
+// index is implicit) and the shard's used-DNS marks.
+func (a *Analysis) encodeShard(s int) []byte {
+	sh := &a.shards[s]
+	var buf bytes.Buffer
+	put := func(v any) { _ = binary.Write(&buf, binary.LittleEndian, v) }
+	put(uint32(len(sh.conns)))
+	for _, ci := range sh.conns {
+		pc := &a.Paired[ci]
+		var flags uint8
+		if pc.FirstUse {
+			flags |= 1
+		}
+		if pc.UsedExpired {
+			flags |= 2
+		}
+		put(int64(pc.DNS))
+		put(int64(pc.Gap))
+		put(uint32(pc.Candidates))
+		put(uint8(pc.Class))
+		put(flags)
+	}
+	var used []int32
+	for _, di := range sh.dns {
+		if a.DNSUsed[di] {
+			used = append(used, di)
+		}
+	}
+	put(uint32(len(used)))
+	for _, di := range used {
+		put(uint32(di))
+	}
+	return buf.Bytes()
+}
+
+// decodeShard replays an encoded shard into the analysis slots shard s
+// owns and tallies its per-class counts.
+func (a *Analysis) decodeShard(s int, blob []byte, counts *[numClasses]int) error {
+	sh := &a.shards[s]
+	r := bytes.NewReader(blob)
+	var n uint32
+	if err := readLE(r, &n); err != nil {
+		return fmt.Errorf("checkpoint: shard %d: %w", s, err)
+	}
+	if int(n) != len(sh.conns) {
+		return fmt.Errorf("%w: shard %d has %d connections, snapshot has %d",
+			ErrCheckpointMismatch, s, len(sh.conns), n)
+	}
+	for _, ci := range sh.conns {
+		var dns, gap int64
+		var cand uint32
+		var class, flags uint8
+		if err := readLE(r, &dns, &gap, &cand, &class, &flags); err != nil {
+			return fmt.Errorf("checkpoint: shard %d: truncated entry: %w", s, err)
+		}
+		if Class(class) >= numClasses {
+			return fmt.Errorf("checkpoint: shard %d: bad class %d", s, class)
+		}
+		pc := &a.Paired[ci]
+		pc.Conn = int(ci)
+		pc.DNS = int(dns)
+		pc.Gap = time.Duration(gap)
+		pc.Candidates = int(cand)
+		pc.Class = Class(class)
+		pc.FirstUse = flags&1 != 0
+		pc.UsedExpired = flags&2 != 0
+		counts[pc.Class]++
+	}
+	var nUsed uint32
+	if err := readLE(r, &nUsed); err != nil {
+		return fmt.Errorf("checkpoint: shard %d: %w", s, err)
+	}
+	for i := 0; i < int(nUsed); i++ {
+		var di uint32
+		if err := readLE(r, &di); err != nil {
+			return fmt.Errorf("checkpoint: shard %d: truncated used-DNS list: %w", s, err)
+		}
+		if int(di) >= len(a.DNSUsed) {
+			return fmt.Errorf("checkpoint: shard %d: used-DNS index %d out of range", s, di)
+		}
+		a.DNSUsed[di] = true
+	}
+	return nil
+}
+
+// fingerprint hashes the (time-sorted) dataset so a snapshot can refuse
+// to resume against different input.
+func (a *Analysis) fingerprint() uint64 {
+	if a.fp != 0 {
+		return a.fp
+	}
+	h := fnv.New64a()
+	put := func(v any) { _ = binary.Write(h, binary.LittleEndian, v) }
+	put(uint64(len(a.DS.DNS)))
+	for i := range a.DS.DNS {
+		d := &a.DS.DNS[i]
+		put(int64(d.QueryTS))
+		put(int64(d.TS))
+		h.Write([]byte(d.Client.String()))
+		h.Write([]byte(d.Resolver.String()))
+		put(d.ID)
+		h.Write([]byte(d.Query))
+		put(d.QType)
+		put(d.RCode)
+		put(uint32(len(d.Answers)))
+		for _, an := range d.Answers {
+			h.Write([]byte(an.Addr.String()))
+			put(int64(an.TTL))
+		}
+		put(d.Retries)
+		put(d.TC)
+	}
+	put(uint64(len(a.DS.Conns)))
+	for i := range a.DS.Conns {
+		c := &a.DS.Conns[i]
+		put(int64(c.TS))
+		put(int64(c.Duration))
+		put(uint8(c.Proto))
+		h.Write([]byte(c.Orig.String()))
+		put(c.OrigPort)
+		h.Write([]byte(c.Resp.String()))
+		put(c.RespPort)
+		put(c.OrigBytes)
+		put(c.RespBytes)
+	}
+	a.fp = h.Sum64()
+	return a.fp
+}
+
+// optsKey hashes every option that influences analysis results.
+// Workers is deliberately excluded (results are worker-count
+// invariant), as are the observation hooks and the checkpoint config
+// itself.
+func (a *Analysis) optsKey() uint64 {
+	h := fnv.New64a()
+	put := func(v any) { _ = binary.Write(h, binary.LittleEndian, v) }
+	o := &a.Opts
+	put(int64(o.BlockThreshold))
+	put(int64(o.KneeThreshold))
+	put(int64(o.SCRMinSamples))
+	put(int64(o.DefaultSCThreshold))
+	put(uint8(o.Pairing))
+	put(o.Seed)
+	put(int64(o.InsignificantAbs))
+	put(o.InsignificantRel)
+	return h.Sum64()
+}

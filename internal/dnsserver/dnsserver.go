@@ -4,9 +4,17 @@
 // prove the wire codec end to end over an actual network stack (not just
 // in-memory buffers) and to let examples and tools resolve against the
 // synthetic namespace with standard DNS tooling semantics.
+//
+// The server degrades gracefully rather than dying: queries flow
+// through a bounded queue into a worker pool, handler panics are
+// recovered into SERVFAIL responses, per-client token buckets answer
+// REFUSED under abuse, a full queue sheds load, and Shutdown drains
+// in-flight queries before closing the socket. Every degradation path
+// is counted through the obs registry.
 package dnsserver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -30,19 +38,57 @@ type HandlerFunc func(*dnswire.Message) *dnswire.Message
 // Handle calls f.
 func (f HandlerFunc) Handle(m *dnswire.Message) *dnswire.Message { return f(m) }
 
-// Server is a UDP DNS server.
+// Config parameterizes the server's hardening. The zero value gets
+// sensible defaults: 4 workers, a 256-deep queue, no rate limiting.
+type Config struct {
+	// Workers is the size of the handler pool (default 4).
+	Workers int
+	// QueueDepth bounds the pending-query queue; datagrams arriving
+	// with the queue full are shed (default 256).
+	QueueDepth int
+	// RateLimit, when non-nil, enables per-client token-bucket rate
+	// limiting: over-limit queries are answered REFUSED.
+	RateLimit *RateLimitConfig
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	return c
+}
+
+// packet is one received datagram awaiting a worker.
+type packet struct {
+	data []byte
+	peer *net.UDPAddr
+}
+
+// Server is a UDP DNS server with a bounded worker pool.
 type Server struct {
 	handler Handler
+	cfg     Config
+	limiter *rateLimiter
 
-	mu     sync.Mutex
-	conn   *net.UDPConn
-	closed bool
-	wg     sync.WaitGroup
+	mu       sync.Mutex
+	conn     *net.UDPConn
+	closed   bool // Close called: stop everything
+	draining bool // Shutdown called: stop reading, finish the queue
+	queue    chan packet
 
-	// reg backs the per-RCode response counts and error tallies; metrics
-	// fans activity into it. Every received datagram lands in exactly one
-	// bucket, so Queries() — the sum — keeps the old coarse counter's
-	// meaning.
+	readerWG sync.WaitGroup
+	workerWG sync.WaitGroup
+
+	// closeOnce makes socket teardown idempotent: Close and Shutdown
+	// (or two Closes) race safely and agree on the returned error.
+	closeOnce sync.Once
+	closeErr  error
+
+	// reg backs the per-RCode response counts and degradation tallies;
+	// metrics fans activity into it.
 	reg     *obs.Registry
 	metrics srvMetrics
 }
@@ -57,17 +103,27 @@ func NewServer(h Handler) *Server {
 // activity in reg. A nil reg falls back to a private registry — the
 // counters always exist, because Queries() is derived from them.
 func NewServerObserved(h Handler, reg *obs.Registry) *Server {
+	return NewServerWith(h, Config{}, reg)
+}
+
+// NewServerWith returns a server with explicit hardening configuration.
+// A nil reg falls back to a private registry.
+func NewServerWith(h Handler, cfg Config, reg *obs.Registry) *Server {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	return &Server{handler: h, reg: reg, metrics: newSrvMetrics(reg)}
+	s := &Server{handler: h, cfg: cfg.withDefaults(), reg: reg, metrics: newSrvMetrics(reg)}
+	if cfg.RateLimit != nil {
+		s.limiter = newRateLimiter(*cfg.RateLimit)
+	}
+	return s
 }
 
 // Metrics returns the registry the server counts into.
 func (s *Server) Metrics() *obs.Registry { return s.reg }
 
-// Start binds addr (e.g. "127.0.0.1:0") and serves until Close. It
-// returns the bound address, useful with port 0.
+// Start binds addr (e.g. "127.0.0.1:0") and serves until Close or
+// Shutdown. It returns the bound address, useful with port 0.
 func (s *Server) Start(addr string) (*net.UDPAddr, error) {
 	udpAddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
@@ -79,82 +135,178 @@ func (s *Server) Start(addr string) (*net.UDPAddr, error) {
 	}
 	s.mu.Lock()
 	s.conn = conn
+	s.queue = make(chan packet, s.cfg.QueueDepth)
 	s.mu.Unlock()
 
-	s.wg.Add(1)
-	go s.serve(conn)
+	s.readerWG.Add(1)
+	go s.read(conn)
+	s.workerWG.Add(s.cfg.Workers)
+	for i := 0; i < s.cfg.Workers; i++ {
+		go s.worker(conn)
+	}
 	return conn.LocalAddr().(*net.UDPAddr), nil
 }
 
-func (s *Server) serve(conn *net.UDPConn) {
-	defer s.wg.Done()
+// read is the socket loop: it only reads, copies, and enqueues, so one
+// slow handler can never stall ingestion — a full queue sheds instead.
+// Closing the queue when the loop exits is what lets workers drain and
+// then stop.
+func (s *Server) read(conn *net.UDPConn) {
+	defer s.readerWG.Done()
+	defer close(s.queue)
 	buf := make([]byte, 4096)
 	for {
 		n, peer, err := conn.ReadFromUDP(buf)
 		if err != nil {
 			s.mu.Lock()
-			closed := s.closed
+			stop := s.closed || s.draining
 			s.mu.Unlock()
-			if closed {
+			if stop {
 				return
 			}
 			continue
 		}
-		msg, err := dnswire.Decode(buf[:n])
-		if err != nil {
-			s.metrics.decodeErrs.Inc()
-			continue // drop garbage, as real servers do
+		s.metrics.received.Inc()
+		data := make([]byte, n)
+		copy(data, buf[:n])
+		select {
+		case s.queue <- packet{data: data, peer: peer}:
+		default:
+			s.metrics.shed.Inc() // overload: drop rather than block the socket
 		}
-		if msg.Header.Response || len(msg.Questions) == 0 {
-			s.metrics.dropped.Inc()
-			continue
-		}
-		resp := s.handler.Handle(msg)
-		if resp == nil {
-			resp = dnswire.NewResponse(msg, dnswire.RCodeServFail)
-		}
-		out, err := resp.Encode()
-		if err != nil {
-			s.metrics.encodeErrs.Inc()
-			continue
-		}
-		s.mu.Lock()
-		s.metrics.response(resp.Header.RCode).Inc()
-		s.mu.Unlock()
-		_, _ = conn.WriteToUDP(out, peer)
 	}
 }
 
-// Queries returns the number of datagrams received so far: responses
-// sent plus decode errors, drops, and encode failures.
-func (s *Server) Queries() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.metrics.total()
+func (s *Server) worker(conn *net.UDPConn) {
+	defer s.workerWG.Done()
+	for pkt := range s.queue {
+		s.handlePacket(conn, pkt)
+	}
 }
+
+func (s *Server) handlePacket(conn *net.UDPConn, pkt packet) {
+	msg, err := dnswire.Decode(pkt.data)
+	if err != nil {
+		s.metrics.decodeErrs.Inc()
+		return // drop garbage, as real servers do
+	}
+	if msg.Header.Response || len(msg.Questions) == 0 {
+		s.metrics.dropped.Inc()
+		return
+	}
+	if s.limiter != nil && !s.limiter.allow(pkt.peer.IP, time.Now()) {
+		s.metrics.refused.Inc()
+		s.respond(conn, dnswire.NewResponse(msg, dnswire.RCodeRefused), pkt.peer)
+		return
+	}
+	resp := s.invoke(msg)
+	if resp == nil {
+		resp = dnswire.NewResponse(msg, dnswire.RCodeServFail)
+	}
+	s.respond(conn, resp, pkt.peer)
+}
+
+// invoke runs the handler with panic recovery: a panicking handler
+// costs that query a SERVFAIL, never the server.
+func (s *Server) invoke(msg *dnswire.Message) (resp *dnswire.Message) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.panics.Inc()
+			resp = dnswire.NewResponse(msg, dnswire.RCodeServFail)
+		}
+	}()
+	return s.handler.Handle(msg)
+}
+
+func (s *Server) respond(conn *net.UDPConn, resp *dnswire.Message, peer *net.UDPAddr) {
+	out, err := resp.Encode()
+	if err != nil {
+		s.metrics.encodeErrs.Inc()
+		return
+	}
+	s.metrics.response(resp.Header.RCode).Inc()
+	_, _ = conn.WriteToUDP(out, peer)
+}
+
+// Queries returns the number of datagrams received so far.
+func (s *Server) Queries() uint64 { return s.metrics.received.Value() }
 
 // Responses returns the number of responses sent with the given RCode.
 func (s *Server) Responses(rc dnswire.RCode) uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.metrics.response(rc).Value()
 }
 
 // DecodeErrors returns the number of undecodable datagrams received.
 func (s *Server) DecodeErrors() uint64 { return s.metrics.decodeErrs.Value() }
 
-// Close stops the server and waits for the serve loop to exit.
+// Panics returns the number of handler panics recovered.
+func (s *Server) Panics() uint64 { return s.metrics.panics.Value() }
+
+// Refused returns the number of queries rate-limited to REFUSED.
+func (s *Server) Refused() uint64 { return s.metrics.refused.Value() }
+
+// Shed returns the number of datagrams dropped on a full queue.
+func (s *Server) Shed() uint64 { return s.metrics.shed.Value() }
+
+// Shutdown gracefully stops the server: it stops reading new
+// datagrams, drains queries already queued, then closes the socket. If
+// ctx expires first the socket is closed immediately and ctx's error
+// returned; queued work may be abandoned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	conn := s.conn
+	s.mu.Unlock()
+	if conn == nil {
+		return nil
+	}
+	// Unblock the reader; with draining set, its next read error exits
+	// the loop, which closes the queue, which lets workers drain out.
+	_ = conn.SetReadDeadline(time.Now())
+
+	done := make(chan struct{})
+	go func() {
+		s.readerWG.Wait()
+		s.workerWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return s.closeConn()
+	case <-ctx.Done():
+		_ = s.closeConn()
+		return ctx.Err()
+	}
+}
+
+// Close stops the server immediately and waits for the reader and
+// workers to exit. Safe to call multiple times and concurrently with
+// Shutdown; repeated calls return the first close's error.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
 	conn := s.conn
 	s.mu.Unlock()
-	var err error
-	if conn != nil {
-		err = conn.Close()
+	if conn == nil {
+		return nil
 	}
-	s.wg.Wait()
+	err := s.closeConn()
+	s.readerWG.Wait()
+	s.workerWG.Wait()
 	return err
+}
+
+// closeConn closes the socket exactly once, remembering the error.
+func (s *Server) closeConn() error {
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		conn := s.conn
+		s.mu.Unlock()
+		if conn != nil {
+			s.closeErr = conn.Close()
+		}
+	})
+	return s.closeErr
 }
 
 // ZoneHandler serves A queries from a zonedb namespace, answering

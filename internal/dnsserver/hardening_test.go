@@ -1,0 +1,261 @@
+package dnsserver
+
+import (
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"dnscontext/internal/dnswire"
+)
+
+// TestPanicRecovery: a panicking handler costs the query a SERVFAIL,
+// never the server.
+func TestPanicRecovery(t *testing.T) {
+	srv := NewServer(HandlerFunc(func(q *dnswire.Message) *dnswire.Message {
+		if strings.HasPrefix(q.Questions[0].Name, "panic.") {
+			panic("handler exploded")
+		}
+		return dnswire.NewResponse(q, dnswire.RCodeNoError)
+	}))
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot bind loopback UDP: %v", err)
+	}
+	defer srv.Close()
+
+	c := &Client{Server: addr.String(), Timeout: time.Second}
+	resp, err := c.Query("panic.example.com", dnswire.TypeA)
+	if err != nil {
+		t.Fatalf("panicking handler produced no response: %v", err)
+	}
+	if resp.Header.RCode != dnswire.RCodeServFail {
+		t.Fatalf("rcode %v, want SERVFAIL", resp.Header.RCode)
+	}
+	if srv.Panics() != 1 {
+		t.Fatalf("panics %d, want 1", srv.Panics())
+	}
+	// The server is still alive and answering.
+	resp, err = c.Query("fine.example.com", dnswire.TypeA)
+	if err != nil || resp.Header.RCode != dnswire.RCodeNoError {
+		t.Fatalf("server dead after panic: resp=%v err=%v", resp, err)
+	}
+}
+
+// TestRateLimitRefused: over-budget clients get REFUSED responses, and
+// the refusals are counted.
+func TestRateLimitRefused(t *testing.T) {
+	srv := NewServerWith(HandlerFunc(func(q *dnswire.Message) *dnswire.Message {
+		return dnswire.NewResponse(q, dnswire.RCodeNoError)
+	}), Config{RateLimit: &RateLimitConfig{PerSecond: 0.01, Burst: 2}}, nil)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot bind loopback UDP: %v", err)
+	}
+	defer srv.Close()
+
+	c := &Client{Server: addr.String(), Timeout: time.Second}
+	var ok, refused int
+	for i := 0; i < 5; i++ {
+		resp, err := c.Query("x.com", dnswire.TypeA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch resp.Header.RCode {
+		case dnswire.RCodeNoError:
+			ok++
+		case dnswire.RCodeRefused:
+			refused++
+		default:
+			t.Fatalf("unexpected rcode %v", resp.Header.RCode)
+		}
+	}
+	if ok != 2 || refused != 3 {
+		t.Fatalf("ok=%d refused=%d, want burst of 2 then 3 refusals", ok, refused)
+	}
+	if srv.Refused() != 3 {
+		t.Fatalf("refused counter %d, want 3", srv.Refused())
+	}
+	if got := srv.Responses(dnswire.RCodeRefused); got != 3 {
+		t.Fatalf("REFUSED responses %d, want 3", got)
+	}
+}
+
+// TestOverloadShedding: with a tiny queue and a blocked worker, excess
+// datagrams are shed instead of stalling the socket.
+func TestOverloadShedding(t *testing.T) {
+	release := make(chan struct{})
+	srv := NewServerWith(HandlerFunc(func(q *dnswire.Message) *dnswire.Message {
+		<-release
+		return dnswire.NewResponse(q, dnswire.RCodeNoError)
+	}), Config{Workers: 1, QueueDepth: 1}, nil)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot bind loopback UDP: %v", err)
+	}
+	defer func() {
+		close(release)
+		srv.Close()
+	}()
+
+	conn, err := net.Dial("udp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	q := dnswire.NewQuery(1, "flood.example.com", dnswire.TypeA)
+	wire, err := q.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 in the worker + 1 queued; the rest must shed once the reader
+	// catches up.
+	for i := 0; i < 50; i++ {
+		if _, err := conn.Write(wire); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Shed() == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if srv.Shed() == 0 {
+		t.Fatal("no datagrams shed despite full queue")
+	}
+}
+
+// TestShutdownDrainsInFlight: Shutdown stops reading but completes the
+// query a worker is already holding before closing the socket.
+func TestShutdownDrainsInFlight(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	srv := NewServer(HandlerFunc(func(q *dnswire.Message) *dnswire.Message {
+		close(entered)
+		<-release
+		return dnswire.NewResponse(q, dnswire.RCodeNoError)
+	}))
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot bind loopback UDP: %v", err)
+	}
+
+	conn, err := net.Dial("udp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	q := dnswire.NewQuery(7, "inflight.example.com", dnswire.TypeA)
+	wire, err := q.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(wire); err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+	// Shutdown must be waiting on the in-flight query, not returning.
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned (%v) before the in-flight query finished", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	close(release)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	// The drained query's response made it out before the close.
+	_ = conn.SetReadDeadline(time.Now().Add(time.Second))
+	buf := make([]byte, 4096)
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatalf("no response for the drained query: %v", err)
+	}
+	resp, err := dnswire.Decode(buf[:n])
+	if err != nil || resp.Header.ID != 7 || resp.Header.RCode != dnswire.RCodeNoError {
+		t.Fatalf("drained response wrong: %+v err=%v", resp, err)
+	}
+	// Close after Shutdown stays idempotent.
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close after Shutdown: %v", err)
+	}
+}
+
+// TestShutdownContextExpiry: a stuck handler cannot hold Shutdown
+// hostage past its context.
+func TestShutdownContextExpiry(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	srv := NewServer(HandlerFunc(func(q *dnswire.Message) *dnswire.Message {
+		close(entered)
+		<-release
+		return nil
+	}))
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot bind loopback UDP: %v", err)
+	}
+	defer func() {
+		close(release)
+		srv.Close()
+	}()
+
+	conn, err := net.Dial("udp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	q := dnswire.NewQuery(9, "stuck.example.com", dnswire.TypeA)
+	wire, _ := q.Encode()
+	if _, err := conn.Write(wire); err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Shutdown = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestCloseBeforeStart: tearing down a never-started server is a no-op.
+func TestCloseBeforeStart(t *testing.T) {
+	srv := NewServer(HandlerFunc(func(q *dnswire.Message) *dnswire.Message { return nil }))
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCloseTwiceReturnsSameResult pins the satellite fix: a second
+// Close must not re-close the socket or invent an error.
+func TestCloseTwiceReturnsSameResult(t *testing.T) {
+	srv, _, _ := startZoneServer(t)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	// And concurrently, for the race detector's benefit.
+	srv2, _, _ := startZoneServer(t)
+	done := make(chan error, 2)
+	go func() { done <- srv2.Close() }()
+	go func() { done <- srv2.Shutdown(context.Background()) }()
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("concurrent teardown: %v", err)
+		}
+	}
+}

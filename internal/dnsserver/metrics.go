@@ -1,33 +1,49 @@
 package dnsserver
 
 import (
+	"sync"
+
 	"dnscontext/internal/dnswire"
 	"dnscontext/internal/obs"
 )
 
 // srvMetrics classifies every received datagram into exactly one bucket:
-// undecodable, decodable-but-ignored, encode failure, or a response sent
-// (counted per RCode). Queries() sums the buckets, preserving the old
-// coarse counter's meaning.
+// undecodable, decodable-but-ignored, shed under overload, refused by
+// the rate limiter, encode failure, or a response sent (counted per
+// RCode). received counts them all at the socket, before any
+// processing, so Queries() is race-free against the worker pool.
 type srvMetrics struct {
+	received   *obs.Counter
 	decodeErrs *obs.Counter
 	dropped    *obs.Counter
 	encodeErrs *obs.Counter
+	panics     *obs.Counter
+	refused    *obs.Counter
+	shed       *obs.Counter
 	responses  *obs.CounterVec
-	// byRCode caches the per-RCode handles so the serve loop does not
-	// re-resolve labels per datagram; it also enumerates the response
-	// counters for the Queries() sum.
+
+	// mu guards byRCode, which caches the per-RCode handles so workers
+	// do not re-resolve labels per datagram.
+	mu      sync.Mutex
 	byRCode map[dnswire.RCode]*obs.Counter
 }
 
 func newSrvMetrics(reg *obs.Registry) srvMetrics {
 	return srvMetrics{
+		received: reg.Counter("dnsctx_dnsserver_received_total",
+			"Datagrams read from the socket."),
 		decodeErrs: reg.Counter("dnsctx_dnsserver_decode_errors_total",
 			"Datagrams the DNS codec could not decode."),
 		dropped: reg.Counter("dnsctx_dnsserver_dropped_total",
 			"Well-formed datagrams ignored: responses, or queries without questions."),
 		encodeErrs: reg.Counter("dnsctx_dnsserver_encode_errors_total",
 			"Responses the DNS codec could not encode."),
+		panics: reg.Counter("dnsctx_dnsserver_panics_total",
+			"Handler panics recovered; each became a SERVFAIL response."),
+		refused: reg.Counter("dnsctx_dnsserver_refused_total",
+			"Queries answered REFUSED by the per-client rate limiter."),
+		shed: reg.Counter("dnsctx_dnsserver_shed_total",
+			"Datagrams dropped because the pending queue was full."),
 		responses: reg.CounterVec("dnsctx_dnsserver_responses_total",
 			"Responses sent, by RCode.", "rcode"),
 		byRCode: make(map[dnswire.RCode]*obs.Counter),
@@ -35,21 +51,13 @@ func newSrvMetrics(reg *obs.Registry) srvMetrics {
 }
 
 // response returns the cached counter for rc, resolving it on first use.
-// Callers hold the server mutex.
 func (m *srvMetrics) response(rc dnswire.RCode) *obs.Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	c, ok := m.byRCode[rc]
 	if !ok {
 		c = m.responses.With(rc.String())
 		m.byRCode[rc] = c
 	}
 	return c
-}
-
-// total sums every bucket. Callers hold the server mutex.
-func (m *srvMetrics) total() uint64 {
-	n := m.decodeErrs.Value() + m.dropped.Value() + m.encodeErrs.Value()
-	for _, c := range m.byRCode {
-		n += c.Value()
-	}
-	return n
 }

@@ -1,0 +1,144 @@
+package dnsserver
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dnscontext/internal/dnswire"
+	"dnscontext/internal/stats"
+	"dnscontext/internal/zonedb"
+)
+
+// TestServerChaosSoak floods the hardened server with a mix of valid
+// queries, garbage datagrams, and queries that panic the handler, under
+// rate limiting and a small queue, and asserts the server answers,
+// sheds, refuses, recovers every panic, and still shuts down cleanly.
+// The default budget is a few hundred milliseconds so the race-enabled
+// suite stays fast; `make soak` extends it via DNSCTX_SOAK.
+func TestServerChaosSoak(t *testing.T) {
+	budget := 600 * time.Millisecond
+	if env := os.Getenv("DNSCTX_SOAK"); env != "" {
+		d, err := time.ParseDuration(env)
+		if err != nil {
+			t.Fatalf("DNSCTX_SOAK=%q: %v", env, err)
+		}
+		budget = d
+	}
+
+	zones, err := zonedb.New(zonedb.Config{
+		NumNames: 50, ZipfExponent: 1, CDNFraction: 0.3, CDNPoolSize: 5,
+	}, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zh := ZoneHandler(zones)
+	handler := HandlerFunc(func(q *dnswire.Message) *dnswire.Message {
+		if strings.HasPrefix(q.Questions[0].Name, "panic.") {
+			panic("chaos")
+		}
+		return zh.Handle(q)
+	})
+	srv := NewServerWith(handler, Config{
+		Workers:    4,
+		QueueDepth: 8,
+		RateLimit:  &RateLimitConfig{PerSecond: 200, Burst: 50},
+	}, nil)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot bind loopback UDP: %v", err)
+	}
+
+	stop := make(chan struct{})
+	time.AfterFunc(budget, func() { close(stop) })
+
+	var answered atomic.Uint64
+	var wg sync.WaitGroup
+	const flooders = 6
+	for f := 0; f < flooders; f++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			conn, err := net.Dial("udp", addr.String())
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			buf := make([]byte, 4096)
+			var id uint16
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id++
+				var wire []byte
+				switch rng.Intn(4) {
+				case 0: // garbage
+					wire = make([]byte, 1+rng.Intn(40))
+					rng.Read(wire)
+				case 1: // panic trigger
+					q := dnswire.NewQuery(id, "panic.example.com", dnswire.TypeA)
+					wire, _ = q.Encode()
+				default: // valid lookup
+					q := dnswire.NewQuery(id, zones.ByRank(rng.Intn(20)).Host, dnswire.TypeA)
+					wire, _ = q.Encode()
+				}
+				if _, err := conn.Write(wire); err != nil {
+					return
+				}
+				// Drain any response without blocking the flood.
+				_ = conn.SetReadDeadline(time.Now().Add(time.Millisecond))
+				if n, err := conn.Read(buf); err == nil {
+					if msg, err := dnswire.Decode(buf[:n]); err == nil && msg.Header.Response {
+						answered.Add(1)
+					}
+				}
+			}
+		}(int64(f) + 1)
+	}
+	wg.Wait()
+
+	// The server survived the whole soak: it must still answer a fresh,
+	// well-behaved client.
+	c := &Client{Server: addr.String(), Timeout: 2 * time.Second, Retries: 4}
+	resp, err := c.Query(zones.ByRank(0).Host, dnswire.TypeA)
+	if err != nil {
+		t.Fatalf("server unresponsive after soak: %v", err)
+	}
+	if rc := resp.Header.RCode; rc != dnswire.RCodeNoError && rc != dnswire.RCodeRefused {
+		t.Fatalf("post-soak rcode %v", rc)
+	}
+
+	if answered.Load() == 0 {
+		t.Error("soak produced no answered queries")
+	}
+	if srv.Panics() == 0 {
+		t.Error("soak never triggered the panic path")
+	}
+	if srv.DecodeErrors() == 0 {
+		t.Error("soak never triggered the garbage path")
+	}
+	if srv.Refused() == 0 {
+		t.Error("soak never tripped the rate limiter")
+	}
+	t.Logf("soak %v: received=%d answered=%d panics=%d refused=%d shed=%d decode_errs=%d",
+		budget, srv.Queries(), answered.Load(), srv.Panics(), srv.Refused(), srv.Shed(), srv.DecodeErrors())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown after soak: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close after Shutdown: %v", err)
+	}
+}

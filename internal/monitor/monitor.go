@@ -1,6 +1,7 @@
 package monitor
 
 import (
+	"fmt"
 	"net/netip"
 	"time"
 
@@ -19,6 +20,13 @@ type Options struct {
 	// UDP flows whose first packet we may have missed). Defaults to
 	// 10.0.0.0/8.
 	LocalNet netip.Prefix
+	// DecodeBudget bounds undecodable frames. Nil keeps the historical
+	// behaviour: decode errors are counted but never fatal. With a
+	// budget, once trace.ErrorBudget.Exceeded(decode errors, frames fed)
+	// reports true the monitor latches an error (see Err) and ignores
+	// further input — the degradation analogue of a scanner's quarantine
+	// budget tripping.
+	DecodeBudget *trace.ErrorBudget
 }
 
 // DefaultOptions mirrors the paper's Bro setup.
@@ -43,6 +51,11 @@ type Monitor struct {
 	// must survive garbage.
 	DecodeErrors uint64
 	DNSParseErrs uint64
+
+	// frames counts frames handed to FeedFrame (the denominator for the
+	// decode budget's rate check); err latches the budget trip.
+	frames int
+	err    error
 
 	// Optional observability mirrors of the error tallies plus feed
 	// volume; nil instruments are no-ops. See Observe.
@@ -108,16 +121,29 @@ func New(opts Options) *Monitor {
 }
 
 // FeedFrame decodes one frame and feeds it. ts is the capture offset from
-// the window start.
+// the window start. Once the decode budget has tripped (see Options.
+// DecodeBudget and Err), frames are ignored.
 func (m *Monitor) FeedFrame(ts time.Duration, frame []byte) {
+	if m.err != nil {
+		return
+	}
+	m.frames++
 	p, err := pcap.DecodePacket(time.Time{}, frame)
 	if err != nil {
 		m.DecodeErrors++
 		m.obsDecodeErrs.Inc()
+		if b := m.opts.DecodeBudget; b != nil && b.Exceeded(int(m.DecodeErrors), m.frames) {
+			m.err = fmt.Errorf("monitor: %w: %d of %d frames undecodable (last: %v)",
+				trace.ErrBudgetExceeded, m.DecodeErrors, m.frames, err)
+		}
 		return
 	}
 	m.Feed(ts, p)
 }
+
+// Err reports the latched decode-budget error, or nil while the monitor
+// is still ingesting. Once non-nil, FeedFrame ignores further input.
+func (m *Monitor) Err() error { return m.err }
 
 // Feed processes one decoded packet.
 func (m *Monitor) Feed(ts time.Duration, p *pcap.Packet) {

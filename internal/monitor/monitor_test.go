@@ -1,6 +1,7 @@
 package monitor
 
 import (
+	"errors"
 	"net/netip"
 	"testing"
 	"time"
@@ -228,5 +229,47 @@ func TestIPv6FlowThroughMonitor(t *testing.T) {
 	ds := m.Flush()
 	if len(ds.Conns) != 1 || ds.Conns[0].Orig != src || ds.Conns[0].OrigBytes != 3 {
 		t.Fatalf("v6 conn %+v", ds.Conns)
+	}
+}
+
+func TestDecodeBudgetLatches(t *testing.T) {
+	budget := trace.ErrorBudget{MaxErrors: 2}
+	opts := DefaultOptions()
+	opts.DecodeBudget = &budget
+	m := New(opts)
+
+	good, _ := pcap.BuildUDP(houseA, remoteA, 40002, 123, []byte("ntp"))
+	m.FeedFrame(0, good)
+	m.FeedFrame(0, []byte{1})
+	m.FeedFrame(0, []byte{2})
+	if m.Err() != nil {
+		t.Fatalf("budget of 2 tripped after 2 errors: %v", m.Err())
+	}
+	m.FeedFrame(0, []byte{3})
+	err := m.Err()
+	if !errors.Is(err, trace.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	// Latched: further frames — even good ones — are ignored.
+	m.FeedFrame(time.Second, good)
+	if m.DecodeErrors != 3 {
+		t.Fatalf("decode errors %d, want 3", m.DecodeErrors)
+	}
+	ds := m.Flush()
+	if len(ds.Conns) != 1 {
+		t.Fatalf("conns %d, want the one pre-trip flow", len(ds.Conns))
+	}
+}
+
+func TestNilDecodeBudgetNeverFatal(t *testing.T) {
+	m := New(DefaultOptions())
+	for i := 0; i < 1000; i++ {
+		m.FeedFrame(0, []byte{byte(i)})
+	}
+	if m.Err() != nil {
+		t.Fatalf("nil budget latched: %v", m.Err())
+	}
+	if m.DecodeErrors != 1000 {
+		t.Fatalf("decode errors %d", m.DecodeErrors)
 	}
 }

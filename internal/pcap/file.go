@@ -88,18 +88,58 @@ func (w *Writer) Flush() error {
 	return w.w.Flush()
 }
 
+// ResyncPolicy bounds the reader's recovery from corrupt record
+// headers. The zero value disables resync (the historical fail-fast
+// behaviour).
+type ResyncPolicy struct {
+	// MaxResyncs is the number of times the reader may hunt forward for
+	// the next plausible record header after hitting a corrupt one.
+	// Zero disables resync; negative means unlimited.
+	MaxResyncs int
+	// MaxScanBytes bounds how far one hunt may scan before giving up.
+	// Zero means the default (1 MiB).
+	MaxScanBytes int
+}
+
+const (
+	defaultMaxScanBytes = 1 << 20
+	// maxResyncSkew bounds how far (in seconds) a resync candidate's
+	// timestamp may drift from the last good record before the header is
+	// judged implausible. Captures span hours, not years.
+	maxResyncSkew = 366 * 24 * 3600
+)
+
 // Reader reads a libpcap capture file.
 type Reader struct {
-	r      *bufio.Reader
-	order  binary.ByteOrder
-	nanos  bool
-	teched bool
+	r     *bufio.Reader
+	order binary.ByteOrder
+	nanos bool
+
+	resync  ResyncPolicy
+	lastSec int64 // seconds field of the last good record, 0 before any
+	resyncs int
+	skipped int64
 }
+
+// SetResync installs a recovery policy for corrupt record headers: when
+// a header announces an impossible capture length, the reader scans
+// forward for the next plausible header instead of failing, within the
+// policy's budget. Undecodable bytes are skipped, never yielded.
+func (r *Reader) SetResync(p ResyncPolicy) { r.resync = p }
+
+// Resyncs reports how many corrupt-header recoveries succeeded.
+func (r *Reader) Resyncs() int { return r.resyncs }
+
+// SkippedBytes reports how many bytes resync scans have discarded.
+func (r *Reader) SkippedBytes() int64 { return r.skipped }
 
 // NewReader parses the pcap global header. It accepts both byte orders and
 // both time resolutions but requires an Ethernet link type.
 func NewReader(r io.Reader) (*Reader, error) {
-	br := bufio.NewReader(r)
+	// The buffer is sized so a resync scan can always peek one full
+	// max-size record plus the following record header (see
+	// chainPlausible).
+	br := bufio.NewReaderSize(r, MaxSnapLen+64)
 	var hdr [24]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, fmt.Errorf("pcap: reading global header: %w", err)
@@ -125,33 +165,126 @@ func NewReader(r io.Reader) (*Reader, error) {
 	return rd, nil
 }
 
-// Next returns the next record, or io.EOF at end of file.
+// Next returns the next record, or io.EOF at end of file. With a
+// resync policy installed (SetResync), corrupt record headers trigger a
+// bounded forward scan for the next plausible header instead of an
+// error.
 func (r *Reader) Next() (Record, error) {
-	var hdr [16]byte
-	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
-		if errors.Is(err, io.ErrUnexpectedEOF) {
-			return Record{}, fmt.Errorf("pcap: truncated record header: %w", err)
+	for {
+		hdr, err := r.r.Peek(16)
+		if len(hdr) < 16 {
+			if errors.Is(err, io.EOF) {
+				if len(hdr) == 0 {
+					return Record{}, io.EOF
+				}
+				return Record{}, fmt.Errorf("pcap: truncated record header: %w", io.ErrUnexpectedEOF)
+			}
+			return Record{}, err
 		}
-		return Record{}, err
+		sec := int64(r.order.Uint32(hdr[0:4]))
+		frac := int64(r.order.Uint32(hdr[4:8]))
+		caplen := r.order.Uint32(hdr[8:12])
+		origlen := r.order.Uint32(hdr[12:16])
+		if caplen > MaxSnapLen {
+			badErr := fmt.Errorf("pcap: record caplen %d exceeds snaplen", caplen)
+			if r.resync.MaxResyncs == 0 || (r.resync.MaxResyncs > 0 && r.resyncs >= r.resync.MaxResyncs) {
+				return Record{}, badErr
+			}
+			if err := r.scanForward(badErr); err != nil {
+				return Record{}, err
+			}
+			continue
+		}
+		if _, err := r.r.Discard(16); err != nil {
+			return Record{}, err
+		}
+		data := make([]byte, caplen)
+		if _, err := io.ReadFull(r.r, data); err != nil {
+			return Record{}, fmt.Errorf("pcap: truncated record body: %w", err)
+		}
+		nanos := frac
+		if !r.nanos {
+			nanos *= 1000
+		}
+		r.lastSec = sec
+		return Record{
+			Timestamp: time.Unix(sec, nanos).UTC(),
+			OrigLen:   int(origlen),
+			Data:      data,
+		}, nil
 	}
+}
+
+// plausibleHeader judges whether 16 peeked bytes look like a record
+// header: sane lengths, a sub-second fraction within its resolution,
+// and a timestamp near the last good record.
+func (r *Reader) plausibleHeader(hdr []byte) bool {
 	sec := int64(r.order.Uint32(hdr[0:4]))
 	frac := int64(r.order.Uint32(hdr[4:8]))
 	caplen := r.order.Uint32(hdr[8:12])
 	origlen := r.order.Uint32(hdr[12:16])
-	if caplen > MaxSnapLen {
-		return Record{}, fmt.Errorf("pcap: record caplen %d exceeds snaplen", caplen)
+	if caplen == 0 || caplen > MaxSnapLen || origlen < caplen || origlen > MaxSnapLen {
+		return false
 	}
-	data := make([]byte, caplen)
-	if _, err := io.ReadFull(r.r, data); err != nil {
-		return Record{}, fmt.Errorf("pcap: truncated record body: %w", err)
+	limit := int64(1e6)
+	if r.nanos {
+		limit = 1e9
 	}
-	nanos := frac
-	if !r.nanos {
-		nanos *= 1000
+	if frac >= limit {
+		return false
 	}
-	return Record{
-		Timestamp: time.Unix(sec, nanos).UTC(),
-		OrigLen:   int(origlen),
-		Data:      data,
-	}, nil
+	if r.lastSec != 0 && (sec < r.lastSec-maxResyncSkew || sec > r.lastSec+maxResyncSkew) {
+		return false
+	}
+	return true
+}
+
+// chainPlausible double-checks a resync candidate whose 16-byte header
+// hdr has already passed plausibleHeader: the record it announces must
+// end exactly at EOF or be followed by another plausible header.
+// Field-level checks alone pass off-by-one alignments whose caplen
+// happens to land in range; requiring the chain to continue rejects
+// them.
+func (r *Reader) chainPlausible(hdr []byte) bool {
+	caplen := int(r.order.Uint32(hdr[8:12]))
+	want := 16 + caplen + 16
+	buf, err := r.r.Peek(want)
+	if len(buf) >= want {
+		return r.plausibleHeader(buf[16+caplen:])
+	}
+	if errors.Is(err, io.EOF) {
+		return len(buf) == 16+caplen
+	}
+	// Couldn't see far enough for reasons other than EOF; accept and let
+	// the packet decoder judge the frame.
+	return true
+}
+
+// scanForward hunts byte-by-byte for the next plausible record header,
+// bounded by the policy's scan budget. A falsely plausible header can
+// still yield a garbage frame — that is the packet decoder's problem
+// (the monitor counts those against its own decode budget).
+func (r *Reader) scanForward(cause error) error {
+	maxScan := r.resync.MaxScanBytes
+	if maxScan <= 0 {
+		maxScan = defaultMaxScanBytes
+	}
+	for scanned := 0; scanned < maxScan; scanned++ {
+		if _, err := r.r.Discard(1); err != nil {
+			return fmt.Errorf("pcap: resync hit end of file after skipping %d bytes (%v)", scanned, cause)
+		}
+		r.skipped++
+		hdr, err := r.r.Peek(16)
+		if len(hdr) < 16 {
+			if errors.Is(err, io.EOF) {
+				return fmt.Errorf("pcap: resync hit end of file after skipping %d bytes (%v)", scanned+1, cause)
+			}
+			return err
+		}
+		if r.plausibleHeader(hdr) && r.chainPlausible(hdr) {
+			r.resyncs++
+			return nil
+		}
+	}
+	return fmt.Errorf("pcap: resync gave up after scanning %d bytes (%v)", maxScan, cause)
 }

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"io"
 	"net/netip"
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
@@ -460,3 +461,119 @@ func TestWriterErrorSticky(t *testing.T) {
 type failingWriter struct{}
 
 func (failingWriter) Write(p []byte) (int, error) { return 0, io.ErrClosedPipe }
+
+// buildCorruptCapture writes nrec records and smashes the caplen field
+// of record `bad` to an impossible value, returning the capture bytes,
+// the per-record frames, and the byte length of the corrupted frame.
+func buildCorruptCapture(t *testing.T, nrec, bad int) ([]byte, [][]byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(1600000000, 0)
+	var frames [][]byte
+	offsets := make([]int, nrec)
+	off := 24
+	for i := 0; i < nrec; i++ {
+		frame, err := BuildUDP(v4a, v4b, uint16(40000+i), 53, []byte{byte(i), 0xAB, 0xCD})
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, frame)
+		offsets[i] = off
+		off += 16 + len(frame)
+		if err := w.WriteRecord(base.Add(time.Duration(i)*time.Second), frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	binary.LittleEndian.PutUint32(b[offsets[bad]+8:offsets[bad]+12], 0xFFFFFFFF)
+	return b, frames
+}
+
+func TestPcapResyncRecoversAfterCorruptHeader(t *testing.T) {
+	b, frames := buildCorruptCapture(t, 5, 2)
+
+	// Without a policy the corrupt header is fatal, exactly as before.
+	r, err := NewReader(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := r.Next(); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+	}
+	if _, err := r.Next(); err == nil || err == io.EOF {
+		t.Fatalf("corrupt header not fatal without resync: %v", err)
+	}
+
+	// With resync the reader skips the corrupt record and yields the rest.
+	r, err = NewReader(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetResync(ResyncPolicy{MaxResyncs: -1})
+	var got [][]byte
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("resync read: %v", err)
+		}
+		got = append(got, rec.Data)
+	}
+	want := [][]byte{frames[0], frames[1], frames[3], frames[4]}
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+	if r.Resyncs() != 1 {
+		t.Fatalf("resyncs %d, want 1", r.Resyncs())
+	}
+	if want := int64(16 + len(frames[2])); r.SkippedBytes() != want {
+		t.Fatalf("skipped %d bytes, want %d", r.SkippedBytes(), want)
+	}
+}
+
+func TestPcapResyncBudgetZeroStaysFatal(t *testing.T) {
+	b, _ := buildCorruptCapture(t, 3, 1)
+	r, err := NewReader(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetResync(ResyncPolicy{}) // zero policy: no resyncs allowed
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Fatal("zero resync budget recovered from a corrupt header")
+	}
+}
+
+func TestPcapResyncScanBudgetGivesUp(t *testing.T) {
+	b, _ := buildCorruptCapture(t, 3, 1)
+	r, err := NewReader(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetResync(ResyncPolicy{MaxResyncs: -1, MaxScanBytes: 4})
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Next()
+	if err == nil || !strings.Contains(err.Error(), "gave up") {
+		t.Fatalf("err = %v, want scan-budget give-up", err)
+	}
+}

@@ -1,0 +1,356 @@
+package trace_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dnscontext/internal/obs"
+	"dnscontext/internal/trace"
+)
+
+// corpusInputs loads every seed input of one fuzz corpus directory
+// (go test fuzz v1 format: one quoted string argument).
+func corpusInputs(t *testing.T, target string) map[string]string {
+	t.Helper()
+	dir := filepath.Join("testdata", "fuzz", target)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading corpus %s: %v", dir, err)
+	}
+	out := make(map[string]string, len(entries))
+	for _, e := range entries {
+		raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.SplitN(string(raw), "\n", 3)
+		if len(lines) < 2 || lines[0] != "go test fuzz v1" {
+			t.Fatalf("%s: not a fuzz corpus file", e.Name())
+		}
+		body := strings.TrimSuffix(strings.TrimPrefix(lines[1], "string("), ")")
+		s, err := strconv.Unquote(body)
+		if err != nil {
+			t.Fatalf("%s: unquoting %q: %v", e.Name(), body, err)
+		}
+		out[e.Name()] = s
+	}
+	if len(out) == 0 {
+		t.Fatalf("empty corpus %s", dir)
+	}
+	return out
+}
+
+// TestDNSScannerStrictParityWithReadDNS proves the strict-mode scanner
+// yields exactly the records AND errors of ReadDNS over the fuzz
+// corpus, which includes both clean zeeklite output and every known
+// malformed-line shape.
+func TestDNSScannerStrictParityWithReadDNS(t *testing.T) {
+	for name, input := range corpusInputs(t, "FuzzReadDNS") {
+		wantRecs, wantErr := trace.ReadDNS(strings.NewReader(input))
+
+		sc := trace.NewDNSScanner(strings.NewReader(input), trace.Strict())
+		var gotRecs []trace.DNSRecord
+		for sc.Scan() {
+			gotRecs = append(gotRecs, sc.Record())
+		}
+		gotErr := sc.Err()
+
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("%s: error mismatch: ReadDNS=%v scanner=%v", name, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			if wantErr.Error() != gotErr.Error() {
+				t.Fatalf("%s: error text mismatch:\nReadDNS: %v\nscanner: %v", name, wantErr, gotErr)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(wantRecs, gotRecs) {
+			t.Fatalf("%s: records mismatch:\nReadDNS: %+v\nscanner: %+v", name, wantRecs, gotRecs)
+		}
+	}
+}
+
+// TestConnScannerStrictParityWithReadConns is the connection-side
+// parity proof.
+func TestConnScannerStrictParityWithReadConns(t *testing.T) {
+	for name, input := range corpusInputs(t, "FuzzReadConns") {
+		wantRecs, wantErr := trace.ReadConns(strings.NewReader(input))
+
+		sc := trace.NewConnScanner(strings.NewReader(input), trace.Strict())
+		var gotRecs []trace.ConnRecord
+		for sc.Scan() {
+			gotRecs = append(gotRecs, sc.Record())
+		}
+		gotErr := sc.Err()
+
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("%s: error mismatch: ReadConns=%v scanner=%v", name, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			if wantErr.Error() != gotErr.Error() {
+				t.Fatalf("%s: error text mismatch:\nReadConns: %v\nscanner: %v", name, wantErr, gotErr)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(wantRecs, gotRecs) {
+			t.Fatalf("%s: records mismatch:\nReadConns: %+v\nscanner: %+v", name, wantRecs, gotRecs)
+		}
+	}
+}
+
+// corruptedDNSTrace interleaves the sample records with malformed lines
+// and returns the TSV text plus the 1-based line numbers of the
+// corrupt lines.
+func corruptedDNSTrace(t *testing.T) (string, []int) {
+	t.Helper()
+	var clean bytes.Buffer
+	if err := trace.WriteDNS(&clean, sampleDNS()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(clean.String(), "\n"), "\n")
+	// Inject after the header and between records.
+	var out []string
+	var corrupt []int
+	bad := []string{
+		"garbage line with no tabs",
+		"NaN\t1.0\t10.0.0.1\t8.8.8.8\t1\th\t1\t0\t-\t0\tF",
+		"1.0\t1.01\tnot-an-ip\t8.8.8.8\t1\th\t1\t0\t-\t0\tF",
+	}
+	bi := 0
+	for i, l := range lines {
+		out = append(out, l)
+		if i > 0 && bi < len(bad) { // after the first data line and onward
+			out = append(out, bad[bi])
+			corrupt = append(corrupt, len(out))
+			bi++
+		}
+	}
+	return strings.Join(out, "\n") + "\n", corrupt
+}
+
+// TestQuarantineYieldsCleanRecords proves quarantine mode ingests a
+// corrupted trace and yields exactly the records of the pre-cleaned
+// trace, reporting exact quarantined line numbers and causes.
+func TestQuarantineYieldsCleanRecords(t *testing.T) {
+	dirty, corruptLines := corruptedDNSTrace(t)
+	// The pre-cleaned trace is just the sample records.
+	var cleanBuf bytes.Buffer
+	if err := trace.WriteDNS(&cleanBuf, sampleDNS()); err != nil {
+		t.Fatal(err)
+	}
+	want, err := trace.ReadDNS(&cleanBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sc := trace.NewDNSScanner(strings.NewReader(dirty), trace.QuarantineAll())
+	reg := obs.NewRegistry()
+	sc.Observe(reg)
+	var got []trace.DNSRecord
+	for sc.Scan() {
+		got = append(got, sc.Record())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("unbudgeted quarantine scan failed: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("quarantined scan records != pre-cleaned records:\ngot:  %+v\nwant: %+v", got, want)
+	}
+
+	q := sc.Quarantined()
+	if len(q) != len(corruptLines) {
+		t.Fatalf("quarantined %d lines, want %d", len(q), len(corruptLines))
+	}
+	for i, qq := range q {
+		if qq.Line != corruptLines[i] {
+			t.Errorf("quarantine %d: line %d, want %d", i, qq.Line, corruptLines[i])
+		}
+		if qq.Err == nil || qq.Text == "" {
+			t.Errorf("quarantine %d: missing cause or text: %+v", i, qq)
+		}
+	}
+	// Causes carry the exact line number in their text.
+	if !strings.Contains(q[1].Err.Error(), fmt.Sprintf("line %d", corruptLines[1])) {
+		t.Errorf("cause %q does not name line %d", q[1].Err, corruptLines[1])
+	}
+
+	st := sc.Stats()
+	if st.Quarantined != len(corruptLines) || st.Records != len(want) {
+		t.Fatalf("stats %+v, want %d quarantined / %d records", st, len(corruptLines), len(want))
+	}
+
+	// The same tallies surface through the obs registry.
+	var recs, quar float64
+	for _, fam := range reg.Snapshot().Families {
+		for _, m := range fam.Metrics {
+			if len(m.Labels) == 1 && m.Labels[0].Value == "dns" {
+				switch fam.Name {
+				case "dnsctx_trace_records_total":
+					recs = m.Value
+				case "dnsctx_trace_quarantined_total":
+					quar = m.Value
+				}
+			}
+		}
+	}
+	if int(recs) != len(want) || int(quar) != len(corruptLines) {
+		t.Fatalf("obs counters records=%v quarantined=%v, want %d/%d", recs, quar, len(want), len(corruptLines))
+	}
+}
+
+func TestQuarantineSinkReceivesLines(t *testing.T) {
+	dirty, corruptLines := corruptedDNSTrace(t)
+	var sunk []trace.Quarantined
+	p := trace.QuarantineAll()
+	p.Sink = func(q trace.Quarantined) { sunk = append(sunk, q) }
+	sc := trace.NewDNSScanner(strings.NewReader(dirty), p)
+	for sc.Scan() {
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sunk) != len(corruptLines) {
+		t.Fatalf("sink received %d, want %d", len(sunk), len(corruptLines))
+	}
+	if len(sc.Quarantined()) != 0 {
+		t.Fatalf("scanner retained %d lines despite sink", len(sc.Quarantined()))
+	}
+}
+
+// TestQuarantineBudgetZero: a zero budget allows no errors — the first
+// malformed line trips it.
+func TestQuarantineBudgetZero(t *testing.T) {
+	dirty, corruptLines := corruptedDNSTrace(t)
+	sc := trace.NewDNSScanner(strings.NewReader(dirty), trace.QuarantineBudget(0, 0))
+	n := 0
+	for sc.Scan() {
+		n++
+	}
+	err := sc.Err()
+	if !errors.Is(err, trace.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	var be *trace.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("err %T, want *BudgetError", err)
+	}
+	if be.Quarantined != 1 || be.Last.Line != corruptLines[0] {
+		t.Fatalf("budget error %+v, want 1 quarantined at line %d", be, corruptLines[0])
+	}
+	if n == 0 {
+		t.Fatal("no records yielded before the first corrupt line")
+	}
+}
+
+// TestQuarantineBudgetHitExactly: MaxErrors errors complete the scan;
+// MaxErrors+1 trips on the extra one.
+func TestQuarantineBudgetHitExactly(t *testing.T) {
+	dirty, corruptLines := corruptedDNSTrace(t) // 3 corrupt lines
+
+	// Budget exactly equal to the number of corrupt lines: full scan.
+	sc := trace.NewDNSScanner(strings.NewReader(dirty), trace.QuarantineBudget(len(corruptLines), 0))
+	for sc.Scan() {
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("budget == errors should not trip, got %v", err)
+	}
+	if got := len(sc.Quarantined()); got != len(corruptLines) {
+		t.Fatalf("quarantined %d, want %d", got, len(corruptLines))
+	}
+
+	// One less: trips on the last corrupt line, exactly.
+	sc = trace.NewDNSScanner(strings.NewReader(dirty), trace.QuarantineBudget(len(corruptLines)-1, 0))
+	for sc.Scan() {
+	}
+	var be *trace.BudgetError
+	if !errors.As(sc.Err(), &be) {
+		t.Fatalf("err = %v, want *BudgetError", sc.Err())
+	}
+	if be.Quarantined != len(corruptLines) || be.Last.Line != corruptLines[len(corruptLines)-1] {
+		t.Fatalf("tripped at %+v, want quarantined=%d line=%d", be, len(corruptLines), corruptLines[len(corruptLines)-1])
+	}
+}
+
+// TestRateBudgetCleanTail: a corrupt head inside the rate grace window
+// must not trip a rate budget that the whole input satisfies.
+func TestRateBudgetCleanTail(t *testing.T) {
+	// 3 corrupt lines among the first 10, then a long clean tail:
+	// overall rate 3/503 ≈ 0.6% < 1%.
+	var buf bytes.Buffer
+	bad := "garbage\n"
+	good := "1.000000\t1.010000\t10.1.0.1\t8.8.8.8\t5\thost.example\t1\t0\t-\t0\tF\n"
+	for i := 0; i < 10; i++ {
+		if i < 3 {
+			buf.WriteString(bad)
+		}
+		buf.WriteString(good)
+	}
+	for i := 0; i < 490; i++ {
+		buf.WriteString(good)
+	}
+
+	p := trace.ErrorPolicy{Quarantine: true, Budget: trace.ErrorBudget{MaxErrors: -1, MaxErrorRate: 0.01}}
+	sc := trace.NewDNSScanner(bytes.NewReader(buf.Bytes()), p)
+	n := 0
+	for sc.Scan() {
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("clean-tail scan tripped: %v", err)
+	}
+	if n != 500 {
+		t.Fatalf("yielded %d records, want 500", n)
+	}
+
+	// Control: the same rate sustained past the grace window trips.
+	buf.Reset()
+	for i := 0; i < 300; i++ {
+		buf.WriteString(good)
+		if i%10 == 0 {
+			buf.WriteString(bad) // 10% corrupt throughout
+		}
+	}
+	sc = trace.NewDNSScanner(bytes.NewReader(buf.Bytes()), p)
+	for sc.Scan() {
+	}
+	if !errors.Is(sc.Err(), trace.ErrBudgetExceeded) {
+		t.Fatalf("sustained 10%% corruption did not trip the 1%% rate budget: %v", sc.Err())
+	}
+}
+
+// TestConnScannerQuarantine covers the conn-side quarantine path.
+func TestConnScannerQuarantine(t *testing.T) {
+	var clean bytes.Buffer
+	if err := trace.WriteConns(&clean, sampleConns()); err != nil {
+		t.Fatal(err)
+	}
+	want, err := trace.ReadConns(bytes.NewReader(clean.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(clean.String(), "\n"), "\n")
+	dirty := lines[0] + "\nbroken\tline\n" + strings.Join(lines[1:], "\n") + "\n"
+
+	sc := trace.NewConnScanner(strings.NewReader(dirty), trace.QuarantineAll())
+	var got []trace.ConnRecord
+	for sc.Scan() {
+		got = append(got, sc.Record())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("records mismatch:\ngot:  %+v\nwant: %+v", got, want)
+	}
+	q := sc.Quarantined()
+	if len(q) != 1 || q[0].Line != 2 {
+		t.Fatalf("quarantined %+v, want one entry at line 2", q)
+	}
+}

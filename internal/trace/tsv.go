@@ -74,92 +74,94 @@ func WriteDNS(w io.Writer, recs []DNSRecord) error {
 	return bw.Flush()
 }
 
-// ReadDNS parses TSV DNS records.
+// parseDNSLine parses one data line of the DNS TSV format.
+func parseDNSLine(lineNo int, line string) (DNSRecord, error) {
+	var d DNSRecord
+	f := strings.Split(line, "\t")
+	// 9 fields is the pre-fault format (no retries/tc columns);
+	// accept it so existing trace files keep loading.
+	if len(f) != 9 && len(f) != 11 {
+		return d, fmt.Errorf("trace: dns line %d: %d fields, want 9 or 11", lineNo, len(f))
+	}
+	var err error
+	if d.QueryTS, err = parseSecs(f[0]); err != nil {
+		return d, fmt.Errorf("trace: dns line %d query_ts: %w", lineNo, err)
+	}
+	if d.TS, err = parseSecs(f[1]); err != nil {
+		return d, fmt.Errorf("trace: dns line %d ts: %w", lineNo, err)
+	}
+	if d.Client, err = netip.ParseAddr(f[2]); err != nil {
+		return d, fmt.Errorf("trace: dns line %d client: %w", lineNo, err)
+	}
+	if d.Resolver, err = netip.ParseAddr(f[3]); err != nil {
+		return d, fmt.Errorf("trace: dns line %d resolver: %w", lineNo, err)
+	}
+	id, err := strconv.ParseUint(f[4], 10, 16)
+	if err != nil {
+		return d, fmt.Errorf("trace: dns line %d id: %w", lineNo, err)
+	}
+	d.ID = uint16(id)
+	d.Query = f[5]
+	qt, err := strconv.ParseUint(f[6], 10, 16)
+	if err != nil {
+		return d, fmt.Errorf("trace: dns line %d qtype: %w", lineNo, err)
+	}
+	d.QType = uint16(qt)
+	rc, err := strconv.ParseUint(f[7], 10, 8)
+	if err != nil {
+		return d, fmt.Errorf("trace: dns line %d rcode: %w", lineNo, err)
+	}
+	d.RCode = uint8(rc)
+	if f[8] != "-" {
+		for _, part := range strings.Split(f[8], ",") {
+			addr, ttlStr, ok := strings.Cut(part, "/")
+			if !ok {
+				return d, fmt.Errorf("trace: dns line %d answer %q missing ttl", lineNo, part)
+			}
+			var a Answer
+			if a.Addr, err = netip.ParseAddr(addr); err != nil {
+				return d, fmt.Errorf("trace: dns line %d answer addr: %w", lineNo, err)
+			}
+			// Zone identifiers may contain commas, which would corrupt
+			// the comma-joined answers field on the next write; no DNS
+			// answer legitimately carries one.
+			if a.Addr.Zone() != "" {
+				return d, fmt.Errorf("trace: dns line %d answer addr %q has a zone", lineNo, addr)
+			}
+			if a.TTL, err = parseSecs(ttlStr); err != nil {
+				return d, fmt.Errorf("trace: dns line %d answer ttl: %w", lineNo, err)
+			}
+			d.Answers = append(d.Answers, a)
+		}
+	}
+	if len(f) == 11 {
+		rt, err := strconv.ParseUint(f[9], 10, 8)
+		if err != nil {
+			return d, fmt.Errorf("trace: dns line %d retries: %w", lineNo, err)
+		}
+		d.Retries = uint8(rt)
+		switch f[10] {
+		case "T":
+			d.TC = true
+		case "F":
+			d.TC = false
+		default:
+			return d, fmt.Errorf("trace: dns line %d tc: %q, want T or F", lineNo, f[10])
+		}
+	}
+	return d, nil
+}
+
+// ReadDNS parses TSV DNS records. It is the strict slice-based form of
+// DNSScanner: the first malformed line aborts the read.
 func ReadDNS(r io.Reader) ([]DNSRecord, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	sc := NewDNSScanner(r, ErrorPolicy{})
 	var out []DNSRecord
-	lineNo := 0
 	for sc.Scan() {
-		lineNo++
-		line := sc.Text()
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		f := strings.Split(line, "\t")
-		// 9 fields is the pre-fault format (no retries/tc columns);
-		// accept it so existing trace files keep loading.
-		if len(f) != 9 && len(f) != 11 {
-			return nil, fmt.Errorf("trace: dns line %d: %d fields, want 9 or 11", lineNo, len(f))
-		}
-		var d DNSRecord
-		var err error
-		if d.QueryTS, err = parseSecs(f[0]); err != nil {
-			return nil, fmt.Errorf("trace: dns line %d query_ts: %w", lineNo, err)
-		}
-		if d.TS, err = parseSecs(f[1]); err != nil {
-			return nil, fmt.Errorf("trace: dns line %d ts: %w", lineNo, err)
-		}
-		if d.Client, err = netip.ParseAddr(f[2]); err != nil {
-			return nil, fmt.Errorf("trace: dns line %d client: %w", lineNo, err)
-		}
-		if d.Resolver, err = netip.ParseAddr(f[3]); err != nil {
-			return nil, fmt.Errorf("trace: dns line %d resolver: %w", lineNo, err)
-		}
-		id, err := strconv.ParseUint(f[4], 10, 16)
-		if err != nil {
-			return nil, fmt.Errorf("trace: dns line %d id: %w", lineNo, err)
-		}
-		d.ID = uint16(id)
-		d.Query = f[5]
-		qt, err := strconv.ParseUint(f[6], 10, 16)
-		if err != nil {
-			return nil, fmt.Errorf("trace: dns line %d qtype: %w", lineNo, err)
-		}
-		d.QType = uint16(qt)
-		rc, err := strconv.ParseUint(f[7], 10, 8)
-		if err != nil {
-			return nil, fmt.Errorf("trace: dns line %d rcode: %w", lineNo, err)
-		}
-		d.RCode = uint8(rc)
-		if f[8] != "-" {
-			for _, part := range strings.Split(f[8], ",") {
-				addr, ttlStr, ok := strings.Cut(part, "/")
-				if !ok {
-					return nil, fmt.Errorf("trace: dns line %d answer %q missing ttl", lineNo, part)
-				}
-				var a Answer
-				if a.Addr, err = netip.ParseAddr(addr); err != nil {
-					return nil, fmt.Errorf("trace: dns line %d answer addr: %w", lineNo, err)
-				}
-				// Zone identifiers may contain commas, which would corrupt
-				// the comma-joined answers field on the next write; no DNS
-				// answer legitimately carries one.
-				if a.Addr.Zone() != "" {
-					return nil, fmt.Errorf("trace: dns line %d answer addr %q has a zone", lineNo, addr)
-				}
-				if a.TTL, err = parseSecs(ttlStr); err != nil {
-					return nil, fmt.Errorf("trace: dns line %d answer ttl: %w", lineNo, err)
-				}
-				d.Answers = append(d.Answers, a)
-			}
-		}
-		if len(f) == 11 {
-			rt, err := strconv.ParseUint(f[9], 10, 8)
-			if err != nil {
-				return nil, fmt.Errorf("trace: dns line %d retries: %w", lineNo, err)
-			}
-			d.Retries = uint8(rt)
-			switch f[10] {
-			case "T":
-				d.TC = true
-			case "F":
-				d.TC = false
-			default:
-				return nil, fmt.Errorf("trace: dns line %d tc: %q, want T or F", lineNo, f[10])
-			}
-		}
-		out = append(out, d)
+		out = append(out, sc.Record())
+	}
+	if sc.parseFailed {
+		return nil, sc.Err()
 	}
 	return out, sc.Err()
 }
@@ -181,56 +183,58 @@ func WriteConns(w io.Writer, recs []ConnRecord) error {
 	return bw.Flush()
 }
 
-// ReadConns parses TSV connection records.
+// parseConnLine parses one data line of the connection TSV format.
+func parseConnLine(lineNo int, line string) (ConnRecord, error) {
+	var c ConnRecord
+	f := strings.Split(line, "\t")
+	if len(f) != 9 {
+		return c, fmt.Errorf("trace: conn line %d: %d fields, want 9", lineNo, len(f))
+	}
+	var err error
+	if c.TS, err = parseSecs(f[0]); err != nil {
+		return c, fmt.Errorf("trace: conn line %d ts: %w", lineNo, err)
+	}
+	if c.Duration, err = parseSecs(f[1]); err != nil {
+		return c, fmt.Errorf("trace: conn line %d duration: %w", lineNo, err)
+	}
+	if c.Proto, err = ParseProto(f[2]); err != nil {
+		return c, fmt.Errorf("trace: conn line %d: %w", lineNo, err)
+	}
+	if c.Orig, err = netip.ParseAddr(f[3]); err != nil {
+		return c, fmt.Errorf("trace: conn line %d orig: %w", lineNo, err)
+	}
+	op, err := strconv.ParseUint(f[4], 10, 16)
+	if err != nil {
+		return c, fmt.Errorf("trace: conn line %d orig_port: %w", lineNo, err)
+	}
+	c.OrigPort = uint16(op)
+	if c.Resp, err = netip.ParseAddr(f[5]); err != nil {
+		return c, fmt.Errorf("trace: conn line %d resp: %w", lineNo, err)
+	}
+	rp, err := strconv.ParseUint(f[6], 10, 16)
+	if err != nil {
+		return c, fmt.Errorf("trace: conn line %d resp_port: %w", lineNo, err)
+	}
+	c.RespPort = uint16(rp)
+	if c.OrigBytes, err = strconv.ParseInt(f[7], 10, 64); err != nil {
+		return c, fmt.Errorf("trace: conn line %d orig_bytes: %w", lineNo, err)
+	}
+	if c.RespBytes, err = strconv.ParseInt(f[8], 10, 64); err != nil {
+		return c, fmt.Errorf("trace: conn line %d resp_bytes: %w", lineNo, err)
+	}
+	return c, nil
+}
+
+// ReadConns parses TSV connection records. It is the strict slice-based
+// form of ConnScanner: the first malformed line aborts the read.
 func ReadConns(r io.Reader) ([]ConnRecord, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	sc := NewConnScanner(r, ErrorPolicy{})
 	var out []ConnRecord
-	lineNo := 0
 	for sc.Scan() {
-		lineNo++
-		line := sc.Text()
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		f := strings.Split(line, "\t")
-		if len(f) != 9 {
-			return nil, fmt.Errorf("trace: conn line %d: %d fields, want 9", lineNo, len(f))
-		}
-		var c ConnRecord
-		var err error
-		if c.TS, err = parseSecs(f[0]); err != nil {
-			return nil, fmt.Errorf("trace: conn line %d ts: %w", lineNo, err)
-		}
-		if c.Duration, err = parseSecs(f[1]); err != nil {
-			return nil, fmt.Errorf("trace: conn line %d duration: %w", lineNo, err)
-		}
-		if c.Proto, err = ParseProto(f[2]); err != nil {
-			return nil, fmt.Errorf("trace: conn line %d: %w", lineNo, err)
-		}
-		if c.Orig, err = netip.ParseAddr(f[3]); err != nil {
-			return nil, fmt.Errorf("trace: conn line %d orig: %w", lineNo, err)
-		}
-		op, err := strconv.ParseUint(f[4], 10, 16)
-		if err != nil {
-			return nil, fmt.Errorf("trace: conn line %d orig_port: %w", lineNo, err)
-		}
-		c.OrigPort = uint16(op)
-		if c.Resp, err = netip.ParseAddr(f[5]); err != nil {
-			return nil, fmt.Errorf("trace: conn line %d resp: %w", lineNo, err)
-		}
-		rp, err := strconv.ParseUint(f[6], 10, 16)
-		if err != nil {
-			return nil, fmt.Errorf("trace: conn line %d resp_port: %w", lineNo, err)
-		}
-		c.RespPort = uint16(rp)
-		if c.OrigBytes, err = strconv.ParseInt(f[7], 10, 64); err != nil {
-			return nil, fmt.Errorf("trace: conn line %d orig_bytes: %w", lineNo, err)
-		}
-		if c.RespBytes, err = strconv.ParseInt(f[8], 10, 64); err != nil {
-			return nil, fmt.Errorf("trace: conn line %d resp_bytes: %w", lineNo, err)
-		}
-		out = append(out, c)
+		out = append(out, sc.Record())
+	}
+	if sc.parseFailed {
+		return nil, sc.Err()
 	}
 	return out, sc.Err()
 }
