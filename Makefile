@@ -15,7 +15,7 @@ FUZZTIME ?= 10s
 
 FUZZ_TARGETS := FuzzReadDNS FuzzReadConns FuzzReadDNSJSON FuzzReadConnsJSON
 
-.PHONY: check vet build test race obs-determinism soak bench bench-all bench-parallel fuzz cover
+.PHONY: check vet build test race obs-determinism soak bench bench-all bench-parallel bench-compare profile fuzz cover
 
 check: vet build race obs-determinism soak
 
@@ -62,11 +62,21 @@ cover:
 
 # Machine-readable benchmark record: the headline benchmarks rendered as
 # JSON (name, ns/op, allocs/op, and custom metrics like speedup_x) into
-# BENCH_PR3.json via cmd/benchjson.
+# BENCH_PR5.json via cmd/benchjson, with delta columns against the
+# PR 3 record when it exists.
+BENCH_BASELINE ?= BENCH_PR3.json
+BENCH_OUT ?= BENCH_PR5.json
+
 bench:
 	$(GO) test -bench='BenchmarkAnalyzeParallel$$|BenchmarkFaultLossSweep$$' \
-		-benchmem -benchtime=3x -run='^$$' | $(GO) run ./cmd/benchjson > BENCH_PR3.json
-	@cat BENCH_PR3.json
+		-benchmem -benchtime=3x -run='^$$' | \
+		$(GO) run ./cmd/benchjson $(if $(wildcard $(BENCH_BASELINE)),-baseline $(BENCH_BASELINE)) > $(BENCH_OUT)
+	@cat $(BENCH_OUT)
+
+# Diff the current benchmark record against the baseline without
+# re-running anything: reads both JSON files and prints the delta table.
+bench-compare:
+	$(GO) run ./cmd/benchjson -baseline $(BENCH_BASELINE) -compare $(BENCH_OUT) > /dev/null
 
 # Full paper reproduction: every table and figure as bench metrics.
 bench-all:
@@ -75,3 +85,19 @@ bench-all:
 # Scaling record: the sharded pipeline vs. its 1-worker baseline.
 bench-parallel:
 	$(GO) test -bench=BenchmarkAnalyzeParallel -run='^$$' -benchtime=3x
+
+# CPU and allocation profiles of the single-worker pipeline, plus the
+# top-function summaries. This is the workflow behind the ISSUE 5
+# optimizations (DESIGN.md §7e): profile, indict a function, fix it,
+# re-profile, and gate the win with an AllocsPerRun test.
+PROFILE_DIR ?= profiles
+
+profile:
+	mkdir -p $(PROFILE_DIR)
+	$(GO) test -bench='BenchmarkAnalyzeParallel/workers=1$$' -run='^$$' -benchtime=3x \
+		-cpuprofile=$(PROFILE_DIR)/cpu.out -memprofile=$(PROFILE_DIR)/mem.out \
+		-o $(PROFILE_DIR)/bench.test
+	@echo '--- top CPU ---'
+	$(GO) tool pprof -top -nodecount=15 $(PROFILE_DIR)/bench.test $(PROFILE_DIR)/cpu.out
+	@echo '--- top allocations (alloc_objects) ---'
+	$(GO) tool pprof -top -nodecount=15 -sample_index=alloc_objects $(PROFILE_DIR)/bench.test $(PROFILE_DIR)/mem.out

@@ -4,17 +4,31 @@
 // any custom metric a benchmark reports (e.g. speedup_x from
 // BenchmarkAnalyzeParallel) is carried in the "metrics" map.
 //
+// With -baseline OLD.json, each result that also appears in OLD.json
+// gains a "delta" object (ns/op and allocs/op ratios vs the baseline,
+// plus the speedup_x comparison when both sides report it), and a
+// human-readable delta table is printed to stderr.
+//
+// With -compare NEW.json, results are read from that earlier benchjson
+// output instead of stdin — this is what `make bench-compare` uses to
+// diff BENCH_PR5.json against BENCH_PR3.json without re-running the
+// benchmarks.
+//
 // Usage:
 //
 //	go test -bench=. -benchmem -run='^$' | benchjson > BENCH.json
+//	go test -bench=. -benchmem -run='^$' | benchjson -baseline BENCH_PR3.json > BENCH_PR5.json
+//	benchjson -baseline BENCH_PR3.json -compare BENCH_PR5.json > /dev/null
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -28,29 +42,69 @@ type result struct {
 	BytesPerOp float64            `json:"bytes_per_op,omitempty"`
 	AllocsOp   float64            `json:"allocs_per_op,omitempty"`
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	Delta      *delta             `json:"delta,omitempty"`
+}
+
+// delta compares one result against the same-named baseline result.
+// Ratios are new/old, so 0.5 means halved and 2.0 means doubled.
+type delta struct {
+	BaselineNsPerOp  float64 `json:"baseline_ns_per_op,omitempty"`
+	NsRatio          float64 `json:"ns_ratio,omitempty"`
+	BaselineAllocsOp float64 `json:"baseline_allocs_per_op,omitempty"`
+	AllocsRatio      float64 `json:"allocs_ratio,omitempty"`
+	BaselineSpeedupX float64 `json:"baseline_speedup_x,omitempty"`
+	SpeedupX         float64 `json:"speedup_x,omitempty"`
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
+	baselinePath := flag.String("baseline", "", "baseline JSON (a previous benchjson output) to diff against")
+	comparePath := flag.String("compare", "", "read results from this benchjson JSON instead of parsing bench output on stdin")
+	flag.Parse()
 
 	var results []result
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	for sc.Scan() {
-		line := sc.Text()
-		if !strings.HasPrefix(line, "Benchmark") {
-			continue
+	if *comparePath != "" {
+		m, err := readBaseline(*comparePath)
+		if err != nil {
+			log.Fatal(err)
 		}
-		r, ok := parseLine(line)
-		if !ok {
-			log.Printf("skipping malformed line: %s", line)
-			continue
+		// Re-sort by name for stable output; map order is random.
+		names := make([]string, 0, len(m))
+		for n := range m {
+			names = append(names, n)
 		}
-		results = append(results, r)
+		sort.Strings(names)
+		for _, n := range names {
+			r := m[n]
+			r.Delta = nil // recomputed below against the fresh baseline
+			results = append(results, r)
+		}
+	} else {
+		sc := bufio.NewScanner(os.Stdin)
+		sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+		for sc.Scan() {
+			line := sc.Text()
+			if !strings.HasPrefix(line, "Benchmark") {
+				continue
+			}
+			r, ok := parseLine(line)
+			if !ok {
+				log.Printf("skipping malformed line: %s", line)
+				continue
+			}
+			results = append(results, r)
+		}
+		if err := sc.Err(); err != nil {
+			log.Fatal(err)
+		}
 	}
-	if err := sc.Err(); err != nil {
-		log.Fatal(err)
+	if *baselinePath != "" {
+		baseline, err := readBaseline(*baselinePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		applyDeltas(results, baseline)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -61,6 +115,60 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: %d results\n", len(results))
+}
+
+// readBaseline loads a previous benchjson output keyed by name.
+func readBaseline(path string) (map[string]result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rs []result
+	if err := json.Unmarshal(data, &rs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]result, len(rs))
+	for _, r := range rs {
+		m[r.Name] = r
+	}
+	return m, nil
+}
+
+// applyDeltas attaches a delta to every result with a same-named
+// baseline entry and prints the comparison table to stderr.
+func applyDeltas(results []result, baseline map[string]result) {
+	w := bufio.NewWriter(os.Stderr)
+	defer w.Flush()
+	fmt.Fprintf(w, "%-60s %14s %14s %8s %12s %12s %8s\n",
+		"benchmark", "ns/op(old)", "ns/op(new)", "ns×", "allocs(old)", "allocs(new)", "allocs×")
+	for i := range results {
+		r := &results[i]
+		old, ok := baseline[r.Name]
+		if !ok {
+			continue
+		}
+		d := &delta{}
+		if old.NsPerOp > 0 && r.NsPerOp > 0 {
+			d.BaselineNsPerOp = old.NsPerOp
+			d.NsRatio = r.NsPerOp / old.NsPerOp
+		}
+		if old.AllocsOp > 0 && r.AllocsOp > 0 {
+			d.BaselineAllocsOp = old.AllocsOp
+			d.AllocsRatio = r.AllocsOp / old.AllocsOp
+		}
+		if sx := old.Metrics["speedup_x"]; sx > 0 {
+			d.BaselineSpeedupX = sx
+		}
+		if sx := r.Metrics["speedup_x"]; sx > 0 {
+			d.SpeedupX = sx
+		}
+		r.Delta = d
+		fmt.Fprintf(w, "%-60s %14.0f %14.0f %8.3f %12.0f %12.0f %8.4f\n",
+			r.Name, old.NsPerOp, r.NsPerOp, d.NsRatio, old.AllocsOp, r.AllocsOp, d.AllocsRatio)
+		if d.BaselineSpeedupX > 0 || d.SpeedupX > 0 {
+			fmt.Fprintf(w, "%-60s   speedup_x %0.4f -> %0.4f\n", "", d.BaselineSpeedupX, d.SpeedupX)
+		}
+	}
 }
 
 // parseLine parses one result line: a name, an iteration count, then

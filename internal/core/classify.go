@@ -50,6 +50,9 @@ func AnalyzeContext(ctx context.Context, ds *trace.Dataset, opts Options) (*Anal
 		DNSUsed:    make([]bool, len(ds.DNS)),
 		Thresholds: make(map[string]time.Duration),
 	}
+	sp = tr.StartPhase("intern")
+	a.buildSymbols()
+	sp.SetItems(len(ds.DNS))
 	sp = tr.StartPhase("shard")
 	a.buildShards()
 	sp.SetItems(len(a.shards))
@@ -135,24 +138,33 @@ func (a *Analysis) classifyShard(shardID int, counts *[numClasses]int) {
 	if len(sh.conns) == 0 {
 		return
 	}
-	idx := buildShardIndex(a.DS, sh.dns)
+	idx := a.buildShardIndex(sh.dns)
 	rng := stats.NewRNG(a.Opts.Seed + uint64(shardID))
+
+	// Tally into a local array and publish once at the end: the shared
+	// counts slice packs adjacent shards' slots into the same cache
+	// lines, and per-connection writes from concurrent workers would
+	// false-share them.
+	var local [numClasses]int
+	// fresh is the pairing scan's scratch, reused across the shard's
+	// connections so steady-state pairing allocates nothing.
+	var fresh []int32
 
 	for _, ci := range sh.conns {
 		conn := &a.DS.Conns[ci]
 		pc := &a.Paired[ci]
 		pc.Conn = int(ci)
-		pc.DNS, pc.Candidates = a.pair(idx, conn, rng)
+		pc.DNS, pc.Candidates, fresh = a.pair(idx, conn, rng, fresh)
 		if pc.DNS < 0 {
 			pc.Class = ClassN
-			counts[ClassN]++
+			local[ClassN]++
 			continue
 		}
 		d := &a.DS.DNS[pc.DNS]
 		pc.Gap = conn.TS - d.TS
 		pc.FirstUse = !a.DNSUsed[pc.DNS]
 		a.DNSUsed[pc.DNS] = true
-		pc.UsedExpired = conn.TS >= d.ExpiresAt()
+		pc.UsedExpired = conn.TS >= a.expiry[pc.DNS]
 
 		if pc.Gap > a.Opts.BlockThreshold {
 			// Record was on hand: local cache or prefetch.
@@ -161,15 +173,16 @@ func (a *Analysis) classifyShard(shardID int, counts *[numClasses]int) {
 			} else {
 				pc.Class = ClassLC
 			}
-		} else if d.Duration() <= a.thresholdFor(d.Resolver.String()) {
+		} else if d.Duration() <= a.thByRsym[a.rsym[pc.DNS]] {
 			// Blocked on the lookup: shared cache vs full resolution,
 			// decided by the per-resolver duration threshold.
 			pc.Class = ClassSC
 		} else {
 			pc.Class = ClassR
 		}
-		counts[pc.Class]++
+		local[pc.Class]++
 	}
+	*counts = local
 }
 
 // Table2Row is one line of Table 2.

@@ -183,6 +183,18 @@ type Analysis struct {
 	// classCounts tallies connections per class, computed once during
 	// classification so Count and Fraction are O(1).
 	classCounts [numClasses]int
+	// Symbol sidecar, built once (serially, so numbering is a function of
+	// dataset order alone) before the parallel phases. qsym/rsym/expiry
+	// are indexed by DNS record position and turn the hot paths'
+	// string-keyed maps and repeated MinTTL scans into slice lookups.
+	names  *trace.SymbolTable // query-name symbols
+	qsym   []trace.Sym        // per DNS record: query-name symbol
+	rsym   []int32            // per DNS record: resolver symbol
+	expiry []time.Duration    // per DNS record: precomputed ExpiresAt()
+	// resolverAddrs maps resolver symbols back to addresses
+	// (first-appearance order); thByRsym is Thresholds as a dense slice.
+	resolverAddrs []netip.Addr
+	thByRsym      []time.Duration
 	// shards partitions the dataset by originating client in
 	// first-appearance order. Clients are houses (the monitor sees one
 	// NAT'd address per residence), so the shards also drive the
@@ -191,8 +203,9 @@ type Analysis struct {
 	shards []clientShard
 	// refreshOnce guards authTTL/window, the lazily derived inputs shared
 	// by every refresh-policy simulation (possibly running concurrently).
+	// authTTL is indexed by query-name symbol.
 	refreshOnce sync.Once
-	authTTL     map[string]time.Duration
+	authTTL     []time.Duration
 	window      time.Duration
 	// fp caches the dataset fingerprint checkpoints key on (resume.go).
 	fp uint64
@@ -204,6 +217,31 @@ type clientShard struct {
 	client netip.Addr
 	conns  []int32
 	dns    []int32
+}
+
+// buildSymbols makes the single serial pass that fills the symbol
+// sidecar: query names intern to dense symbols, resolvers number in
+// first-appearance order, and each record's TTL expiry is computed once
+// instead of on every pairing probe.
+func (a *Analysis) buildSymbols() {
+	n := len(a.DS.DNS)
+	a.names = trace.NewSymbolTable()
+	a.qsym = make([]trace.Sym, n)
+	a.rsym = make([]int32, n)
+	a.expiry = make([]time.Duration, n)
+	rsyms := make(map[netip.Addr]int32, 8) // a handful of resolver platforms
+	for i := range a.DS.DNS {
+		d := &a.DS.DNS[i]
+		a.qsym[i] = a.names.Intern(d.Query)
+		a.expiry[i] = d.ExpiresAt()
+		rs, ok := rsyms[d.Resolver]
+		if !ok {
+			rs = int32(len(a.resolverAddrs))
+			rsyms[d.Resolver] = rs
+			a.resolverAddrs = append(a.resolverAddrs, d.Resolver)
+		}
+		a.rsym[i] = rs
+	}
 }
 
 // buildShards partitions the (time-sorted) dataset by client. Pairing

@@ -33,7 +33,7 @@ func (a *Analysis) DatasetStats() DatasetStats {
 		DNSTransactions: len(a.DS.DNS),
 		Connections:     len(a.DS.Conns),
 	}
-	houses := make(map[netip.Addr]bool)
+	houses := make(map[netip.Addr]bool, len(a.shards)) // shards are per-client
 	var tcp int
 	var window time.Duration
 	for i := range a.DS.Conns {

@@ -3,28 +3,62 @@ package core
 import (
 	"net/netip"
 	"sort"
+	"time"
 
 	"dnscontext/internal/stats"
 	"dnscontext/internal/trace"
 )
 
+// pairEnt is one candidate in a shard index bucket: the DNS record's
+// completion time and precomputed TTL expiry carried inline next to its
+// dataset index. The pairing scan — binary search plus backward expiry
+// sweep — reads only these entries, walking one contiguous bucket
+// instead of chasing pointers into the (much larger, scattered) record
+// array.
+type pairEnt struct {
+	ts     time.Duration
+	expiry time.Duration
+	idx    int32
+}
+
 // shardIndex is the DN-Hunter lookup structure for one client shard: it
-// maps each answered address to the shard's DNS records (dataset
-// indices, ascending by completion time) whose answers contain it. The
-// client is implicit — every record in a shard shares one — which is
-// exactly what lets the pipeline shard the trace with no cross-shard
-// pairing candidates.
-type shardIndex map[netip.Addr][]int32
+// maps each answered address to the shard's DNS records (ascending by
+// completion time) whose answers contain it. The client is implicit —
+// every record in a shard shares one — which is exactly what lets the
+// pipeline shard the trace with no cross-shard pairing candidates.
+type shardIndex map[netip.Addr][]pairEnt
 
 // buildShardIndex constructs the lookup structure over one shard's DNS
 // records (indices into ds.DNS, ascending). The dataset must be
 // time-sorted.
-func buildShardIndex(ds *trace.Dataset, dns []int32) shardIndex {
-	idx := make(shardIndex)
+//
+// A counting pre-pass sizes every bucket exactly: all buckets are
+// carved out of one shared backing slice, so the fill pass appends
+// within capacity and the grow-by-append reallocation churn of the
+// naive construction disappears.
+func (a *Analysis) buildShardIndex(dns []int32) shardIndex {
+	total := 0
+	// Distinct answered addresses are bounded by (and usually close to)
+	// the shard's record count.
+	counts := make(map[netip.Addr]int32, len(dns))
 	for _, i := range dns {
-		d := &ds.DNS[i]
+		for _, ans := range a.DS.DNS[i].Answers {
+			counts[ans.Addr]++
+			total++
+		}
+	}
+	backing := make([]pairEnt, total)
+	idx := make(shardIndex, len(counts))
+	off := int32(0)
+	for addr, c := range counts {
+		idx[addr] = backing[off:off : off+c]
+		off += c
+	}
+	for _, i := range dns {
+		d := &a.DS.DNS[i]
+		ent := pairEnt{ts: d.TS, expiry: a.expiry[i], idx: i}
 		for _, ans := range d.Answers {
-			idx[ans.Addr] = append(idx[ans.Addr], i)
+			idx[ans.Addr] = append(idx[ans.Addr], ent)
 		}
 	}
 	return idx
@@ -38,27 +72,32 @@ func buildShardIndex(ds *trace.Dataset, dns []int32) shardIndex {
 //
 // rng is only consulted under PairRandom, which picks uniformly among the
 // non-expired candidates.
-func (a *Analysis) pair(idx shardIndex, conn *trace.ConnRecord, rng *stats.RNG) (dnsIdx int, candidates int) {
+//
+// scratch is the caller-owned backing for the fresh-candidate scan; the
+// (possibly grown) scratch is returned for reuse, so a shard's pairing
+// loop settles into zero allocations per connection.
+func (a *Analysis) pair(idx shardIndex, conn *trace.ConnRecord, rng *stats.RNG, scratch []int32) (dnsIdx int, candidates int, _ []int32) {
 	recs := idx[conn.Resp]
 	if len(recs) == 0 {
-		return -1, 0
+		return -1, 0, scratch
 	}
 	// Binary search for the last record completing at or before the
-	// connection start.
+	// connection start. The completion times ride in the bucket entries,
+	// so the search never leaves the bucket's contiguous memory.
 	hi := sort.Search(len(recs), func(i int) bool {
-		return a.DS.DNS[recs[i]].TS > conn.TS
+		return recs[i].ts > conn.TS
 	})
 	if hi == 0 {
-		return -1, 0
+		return -1, 0, scratch
 	}
 	cand := recs[:hi]
 
-	// Count and locate non-expired candidates, scanning backwards.
-	var fresh []int32
+	// Count and locate non-expired candidates, scanning backwards
+	// against the expiry carried in each entry.
+	fresh := scratch[:0]
 	for i := len(cand) - 1; i >= 0; i-- {
-		d := &a.DS.DNS[cand[i]]
-		if conn.TS < d.ExpiresAt() {
-			fresh = append(fresh, cand[i])
+		if conn.TS < cand[i].expiry {
+			fresh = append(fresh, cand[i].idx)
 			continue
 		}
 		// Everything earlier with the same TTL profile is likelier
@@ -66,11 +105,11 @@ func (a *Analysis) pair(idx shardIndex, conn *trace.ConnRecord, rng *stats.RNG) 
 	}
 	if len(fresh) == 0 {
 		// All expired: most recent.
-		return int(cand[len(cand)-1]), 0
+		return int(cand[len(cand)-1].idx), 0, fresh
 	}
 	if a.Opts.Pairing == PairRandom && len(fresh) > 1 {
-		return int(fresh[rng.Intn(len(fresh))]), len(fresh)
+		return int(fresh[rng.Intn(len(fresh))]), len(fresh), fresh
 	}
 	// fresh[0] is the most recent (we appended backwards).
-	return int(fresh[0]), len(fresh)
+	return int(fresh[0]), len(fresh), fresh
 }

@@ -46,7 +46,7 @@ func (h *HouseSummary) UsesOnlyLocal() bool {
 
 // PerHouse computes per-house summaries, ordered by house index.
 func (a *Analysis) PerHouse(profiles []resolver.PlatformProfile) []HouseSummary {
-	byAddr := make(map[netip.Addr]*HouseSummary)
+	byAddr := make(map[netip.Addr]*HouseSummary, len(a.shards)) // shards are per-client
 	get := func(addr netip.Addr) *HouseSummary {
 		h, ok := byAddr[addr]
 		if !ok {

@@ -43,7 +43,7 @@ func (a *Analysis) RefreshSimulation(floor time.Duration) RefreshResult {
 	out := RefreshResult{TTLFloor: floor}
 	_, out.Window = a.refreshInputs()
 
-	houses := make(map[netip.Addr]bool)
+	houses := make(map[netip.Addr]bool, len(a.shards)) // shards are per-client
 	for i := range a.Paired {
 		if a.Paired[i].Class == ClassN {
 			continue

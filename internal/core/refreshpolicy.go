@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"dnscontext/internal/parallel"
+	"dnscontext/internal/trace"
 )
 
 // RefreshPolicy is a declarative rule for when a whole-house cache
@@ -96,16 +97,18 @@ type cacheShardTally struct {
 }
 
 // simulateShardCache replays one house's DNS-using connections through a
-// cache governed by pol (see SimulateCachePolicy).
+// cache governed by pol (see SimulateCachePolicy). Cache entries key on
+// query-name symbols, so the replay loop never hashes a string.
 func (a *Analysis) simulateShardCache(shardID int, floor time.Duration, pol RefreshPolicy,
-	authTTL map[string]time.Duration, window time.Duration) (out cacheShardTally) {
+	authTTL []time.Duration, window time.Duration) (out cacheShardTally) {
 	type state struct {
 		alive     bool
 		expiresAt time.Duration
 		lastUse   time.Duration
 		uses      int
 	}
-	states := make(map[string]*state)
+	sh := &a.shards[shardID]
+	states := make(map[trace.Sym]*state, len(sh.dns)/4+1)
 
 	// refreshesUntil counts the refresh lookups for an entry expiring at
 	// st.expiresAt, up to (not including) the first expiry the policy
@@ -128,14 +131,13 @@ func (a *Analysis) simulateShardCache(shardID int, floor time.Duration, pol Refr
 		return count
 	}
 
-	sh := &a.shards[shardID]
 	for _, ci := range sh.conns {
 		pc := &a.Paired[ci]
 		if pc.Class == ClassN {
 			continue
 		}
 		out.active = true
-		name := a.DS.DNS[pc.DNS].Query
+		name := a.qsym[pc.DNS]
 		ttl := authTTL[name]
 		now := a.DS.Conns[ci].TS
 
@@ -177,16 +179,17 @@ func (a *Analysis) simulateShardCache(shardID int, floor time.Duration, pol Refr
 	return out
 }
 
-// refreshInputs derives the per-name authoritative TTL approximation and
-// the window length (shared by every refresh simulation). The inputs are
-// computed once and cached; concurrent simulations share the result.
-func (a *Analysis) refreshInputs() (map[string]time.Duration, time.Duration) {
+// refreshInputs derives the per-name authoritative TTL approximation
+// (a slice indexed by query-name symbol) and the window length (shared
+// by every refresh simulation). The inputs are computed once and
+// cached; concurrent simulations share the result.
+func (a *Analysis) refreshInputs() ([]time.Duration, time.Duration) {
 	a.refreshOnce.Do(func() {
-		a.authTTL = make(map[string]time.Duration)
+		a.authTTL = make([]time.Duration, a.names.Len())
 		for i := range a.DS.DNS {
 			d := &a.DS.DNS[i]
-			if t := d.MinTTL(); t > a.authTTL[d.Query] {
-				a.authTTL[d.Query] = t
+			if t := d.MinTTL(); t > a.authTTL[a.qsym[i]] {
+				a.authTTL[a.qsym[i]] = t
 			}
 			if d.TS > a.window {
 				a.window = d.TS

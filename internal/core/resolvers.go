@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"net/netip"
-	"sort"
 	"time"
 
 	"dnscontext/internal/parallel"
@@ -23,14 +22,23 @@ const ConnectivityCheckHost = "connectivitycheck.gstatic.com"
 // threshold, i.e. roughly 2.5x the minimum; we round 2.5x the minimum up
 // to the next millisecond.
 //
-// The per-resolver sweeps are independent, so they run on the worker
-// pool; results land in a deterministically ordered slice before the map
-// is filled, keeping the outcome identical for every worker count.
+// A single pass over the resolver-symbol sidecar accumulates each
+// resolver's lookup count and minimum duration — no per-resolver
+// duration slices, no address-to-string conversions — then the
+// per-resolver threshold computations run on the worker pool; results
+// land in a deterministically ordered slice before the map is filled,
+// keeping the outcome identical for every worker count.
 func (a *Analysis) deriveThresholds(ctx context.Context) error {
-	durs := make(map[string][]time.Duration)
+	nRes := len(a.resolverAddrs)
+	counts := make([]int, nRes)
+	mins := make([]time.Duration, nRes)
 	for i := range a.DS.DNS {
-		d := &a.DS.DNS[i]
-		durs[d.Resolver.String()] = append(durs[d.Resolver.String()], d.Duration())
+		rs := a.rsym[i]
+		d := a.DS.DNS[i].Duration()
+		if counts[rs] == 0 || d < mins[rs] {
+			mins[rs] = d
+		}
+		counts[rs]++
 	}
 	// The paper's gate — 1,000 lookups out of 9.2M (~0.011%) — scales
 	// with trace size so shorter captures don't push moderately popular
@@ -42,23 +50,19 @@ func (a *Analysis) deriveThresholds(ctx context.Context) error {
 	if gate > a.Opts.SCRMinSamples {
 		gate = a.Opts.SCRMinSamples
 	}
-	popular := make([]string, 0, len(durs))
-	for res, ds := range durs {
-		if len(ds) >= gate {
-			popular = append(popular, res)
+	popular := make([]int32, 0, nRes)
+	for rs := 0; rs < nRes; rs++ {
+		if counts[rs] >= gate {
+			popular = append(popular, int32(rs))
 		}
 	}
-	sort.Strings(popular)
 
+	a.thByRsym = make([]time.Duration, nRes)
+	for rs := range a.thByRsym {
+		a.thByRsym[rs] = a.Opts.DefaultSCThreshold
+	}
 	ths, err := parallel.Map(ctx, a.Opts.Workers, len(popular), func(i int) (time.Duration, error) {
-		ds := durs[popular[i]]
-		min := ds[0]
-		for _, d := range ds[1:] {
-			if d < min {
-				min = d
-			}
-		}
-		th := time.Duration(float64(min) * 2.5)
+		th := time.Duration(float64(mins[popular[i]]) * 2.5)
 		// Round up to a whole millisecond, mirroring the paper's "small
 		// amount of rounding".
 		th = ((th + time.Millisecond - 1) / time.Millisecond) * time.Millisecond
@@ -70,8 +74,9 @@ func (a *Analysis) deriveThresholds(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	for i, res := range popular {
-		a.Thresholds[res] = ths[i]
+	for i, rs := range popular {
+		a.thByRsym[rs] = ths[i]
+		a.Thresholds[a.resolverAddrs[rs].String()] = ths[i]
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"dnscontext/internal/parallel"
+	"dnscontext/internal/trace"
 )
 
 // WholeHouse is §8's first what-if: would a TTL-honoring cache in each
@@ -58,14 +59,15 @@ func (a *Analysis) WholeHouse() WholeHouse {
 	return out
 }
 
-// wholeHouseShard replays one house. cache[name] is the expiry time of
-// the freshest record a whole-house cache would hold; we walk the
-// house's connections in time order, advancing a cursor over the house's
-// own DNS records, so the cache reflects exactly the lookups that
-// completed before each connection's own lookup started.
+// wholeHouseShard replays one house. cache[sym] is the expiry time of
+// the freshest record a whole-house cache would hold, keyed by
+// query-name symbol (no string hashing); we walk the house's
+// connections in time order, advancing a cursor over the house's own
+// DNS records, so the cache reflects exactly the lookups that completed
+// before each connection's own lookup started.
 func (a *Analysis) wholeHouseShard(shardID int) (out houseTally) {
 	sh := &a.shards[shardID]
-	cache := make(map[string]time.Duration) // name -> expiry
+	cache := make(map[trace.Sym]time.Duration, len(sh.dns)/4+1) // name sym -> expiry
 	dnsCursor := 0
 
 	for _, ci := range sh.conns {
@@ -78,13 +80,14 @@ func (a *Analysis) wholeHouseShard(shardID int) (out houseTally) {
 		// Advance the cache with every DNS response completed before this
 		// connection's lookup was issued.
 		for dnsCursor < len(sh.dns) && a.DS.DNS[sh.dns[dnsCursor]].TS < d.QueryTS {
-			rec := &a.DS.DNS[sh.dns[dnsCursor]]
+			ri := sh.dns[dnsCursor]
+			rec := &a.DS.DNS[ri]
 			dnsCursor++
 			if len(rec.Answers) == 0 {
 				continue
 			}
-			if prev, ok := cache[rec.Query]; !ok || rec.ExpiresAt() > prev {
-				cache[rec.Query] = rec.ExpiresAt()
+			if prev, ok := cache[a.qsym[ri]]; !ok || a.expiry[ri] > prev {
+				cache[a.qsym[ri]] = a.expiry[ri]
 			}
 		}
 
@@ -93,7 +96,7 @@ func (a *Analysis) wholeHouseShard(shardID int) (out houseTally) {
 		} else {
 			out.rTotal++
 		}
-		if exp, ok := cache[d.Query]; ok && d.QueryTS < exp {
+		if exp, ok := cache[a.qsym[pc.DNS]]; ok && d.QueryTS < exp {
 			out.moved++
 			if pc.Class == ClassSC {
 				out.scMoved++

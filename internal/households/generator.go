@@ -141,6 +141,10 @@ func Generate(cfg Config) (*trace.Dataset, *Ecosystem, error) {
 	g.sim.RunUntil(cfg.Warmup + cfg.Duration)
 	g.trim()
 	g.ds.SortByTime()
+	// The simulated resolvers hand each record its own small Answers
+	// backing; repack them into shared blocks so downstream passes walk
+	// contiguous memory instead of pointer-chasing tiny allocations.
+	g.ds.CompactAnswers()
 	eco := &Ecosystem{Zones: zones, Platforms: g.platforms, Profiles: g.profiles}
 	return g.ds, eco, nil
 }

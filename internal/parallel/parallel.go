@@ -147,17 +147,38 @@ type Shard[K comparable] struct {
 // ascending, so the result — and therefore any shard-ID-derived state
 // such as per-shard RNG streams — is a deterministic function of the
 // input alone.
+//
+// A counting pass sizes every shard before any Items are stored: the
+// member slices are carved from one n-element backing array, so the
+// whole partition costs one map, one count slice, and one backing
+// allocation instead of per-shard append-growth.
 func ShardBy[K comparable](n int, key func(int) K) []Shard[K] {
+	if n <= 0 {
+		return nil
+	}
 	pos := make(map[K]int)
-	var shards []Shard[K]
+	var keys []K
+	var counts []int32
 	for i := 0; i < n; i++ {
 		k := key(i)
 		p, ok := pos[k]
 		if !ok {
-			p = len(shards)
+			p = len(keys)
 			pos[k] = p
-			shards = append(shards, Shard[K]{Key: k})
+			keys = append(keys, k)
+			counts = append(counts, 0)
 		}
+		counts[p]++
+	}
+	backing := make([]int32, n)
+	shards := make([]Shard[K], len(keys))
+	off := int32(0)
+	for p := range shards {
+		shards[p] = Shard[K]{Key: keys[p], Items: backing[off:off : off+counts[p]]}
+		off += counts[p]
+	}
+	for i := 0; i < n; i++ {
+		p := pos[key(i)]
 		shards[p].Items = append(shards[p].Items, int32(i))
 	}
 	return shards

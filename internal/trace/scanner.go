@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"strings"
 
 	"dnscontext/internal/obs"
 )
@@ -152,6 +151,7 @@ type ScanStats struct {
 type scanner struct {
 	sc     *bufio.Scanner
 	policy ErrorPolicy
+	st     *parseState
 
 	line  int // physical line number of the last line read
 	lines int // data lines processed
@@ -170,8 +170,14 @@ type scanner struct {
 func newScanner(r io.Reader, policy ErrorPolicy) scanner {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
-	return scanner{sc: sc, policy: policy}
+	return scanner{sc: sc, policy: policy, st: newParseState()}
 }
+
+// Symbols returns the scanner's name intern table: every Record().Query
+// string yielded so far is one of its canonical strings. Callers that
+// outlive the scan (e.g. the analyzer) can reuse it to map names to
+// dense symbols without re-hashing.
+func (s *scanner) Symbols() *SymbolTable { return s.st.names }
 
 // observe mirrors the scanner's progress into reg under the given
 // stream label. A nil registry is a no-op.
@@ -187,14 +193,18 @@ func (s *scanner) observe(reg *obs.Registry, stream string) {
 
 // next advances to the next record: it feeds data lines to parse until
 // one succeeds, quarantining or aborting on failures per the policy.
-func (s *scanner) next(parse func(lineNo int, line string) error) bool {
+// Lines are handed to parse as views into the bufio.Scanner's buffer —
+// valid only for the duration of the call — so the per-line string of
+// the historical Text() path is never materialized; quarantined lines
+// copy the text at the moment of diversion.
+func (s *scanner) next(parse func(lineNo int, line []byte) error) bool {
 	if s.err != nil {
 		return false
 	}
 	for s.sc.Scan() {
 		s.line++
-		line := s.sc.Text()
-		if line == "" || strings.HasPrefix(line, "#") {
+		line := s.sc.Bytes()
+		if len(line) == 0 || line[0] == '#' {
 			continue
 		}
 		s.lines++
@@ -210,7 +220,7 @@ func (s *scanner) next(parse func(lineNo int, line string) error) bool {
 		}
 		s.nQuar++
 		s.quarantinedC.Inc()
-		q := Quarantined{Line: s.line, Text: line, Err: perr}
+		q := Quarantined{Line: s.line, Text: string(line), Err: perr}
 		if s.policy.Sink != nil {
 			s.policy.Sink(q)
 		} else {
@@ -263,8 +273,8 @@ func (s *DNSScanner) Observe(reg *obs.Registry) { s.observe(reg, "dns") }
 // Scan advances to the next record, reporting false at end of input or
 // error (see Err).
 func (s *DNSScanner) Scan() bool {
-	return s.next(func(lineNo int, line string) error {
-		rec, err := parseDNSLine(lineNo, line)
+	return s.next(func(lineNo int, line []byte) error {
+		rec, err := parseDNSLineBytes(lineNo, line, s.st)
 		if err != nil {
 			return err
 		}
@@ -295,8 +305,8 @@ func (s *ConnScanner) Observe(reg *obs.Registry) { s.observe(reg, "conn") }
 // Scan advances to the next record, reporting false at end of input or
 // error (see Err).
 func (s *ConnScanner) Scan() bool {
-	return s.next(func(lineNo int, line string) error {
-		rec, err := parseConnLine(lineNo, line)
+	return s.next(func(lineNo int, line []byte) error {
+		rec, err := parseConnLineBytes(lineNo, line, s.st)
 		if err != nil {
 			return err
 		}

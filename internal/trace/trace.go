@@ -145,10 +145,44 @@ type Dataset struct {
 }
 
 // SortByTime orders DNS records by response time and connections by start
-// time, the order every analysis pass assumes.
+// time, the order every analysis pass assumes. Already-ordered slices
+// (the common case: the generator emits in time order, and every pass
+// after the first sees sorted data) are detected in one linear scan and
+// left untouched.
 func (ds *Dataset) SortByTime() {
-	sort.SliceStable(ds.DNS, func(i, j int) bool { return ds.DNS[i].TS < ds.DNS[j].TS })
-	sort.SliceStable(ds.Conns, func(i, j int) bool { return ds.Conns[i].TS < ds.Conns[j].TS })
+	if !sort.SliceIsSorted(ds.DNS, func(i, j int) bool { return ds.DNS[i].TS < ds.DNS[j].TS }) {
+		sort.SliceStable(ds.DNS, func(i, j int) bool { return ds.DNS[i].TS < ds.DNS[j].TS })
+	}
+	if !sort.SliceIsSorted(ds.Conns, func(i, j int) bool { return ds.Conns[i].TS < ds.Conns[j].TS }) {
+		sort.SliceStable(ds.Conns, func(i, j int) bool { return ds.Conns[i].TS < ds.Conns[j].TS })
+	}
+}
+
+// CompactAnswers repacks every record's Answers into one shared backing
+// slice (struct-of-arrays layout): the hundreds of thousands of tiny
+// per-record backing arrays a generator or mutating pipeline leaves
+// behind collapse into a handful of large blocks, and answer scans in
+// the pairing index walk contiguous memory. Records with no answers
+// keep a nil slice. Values are unchanged; records must not share or
+// alias their Answers backing with the caller afterwards.
+func (ds *Dataset) CompactAnswers() {
+	total := 0
+	for i := range ds.DNS {
+		total += len(ds.DNS[i].Answers)
+	}
+	if total == 0 {
+		return
+	}
+	backing := make([]Answer, 0, total)
+	for i := range ds.DNS {
+		a := ds.DNS[i].Answers
+		if len(a) == 0 {
+			continue
+		}
+		off := len(backing)
+		backing = append(backing, a...)
+		ds.DNS[i].Answers = backing[off : off+len(a) : off+len(a)]
+	}
 }
 
 // HouseOf maps an in-network client address to its house index. The

@@ -2,10 +2,10 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"math"
-	"net/netip"
 	"strconv"
 	"strings"
 	"time"
@@ -74,52 +74,73 @@ func WriteDNS(w io.Writer, recs []DNSRecord) error {
 	return bw.Flush()
 }
 
-// parseDNSLine parses one data line of the DNS TSV format.
+// parseDNSLine parses one data line of the DNS TSV format. It is the
+// standalone-string form of parseDNSLineBytes, for callers without a
+// scanner's reusable parse state.
 func parseDNSLine(lineNo int, line string) (DNSRecord, error) {
+	return parseDNSLineBytes(lineNo, []byte(line), newParseState())
+}
+
+// parseDNSLineBytes parses one data line in place: fields are located
+// by index in the scanner's line buffer, numbers and addresses parse
+// without materializing per-field strings, the query name is interned
+// through st.names, and the answers land in st's shared arena. Accepted
+// inputs, values, and error text are exactly those of the historical
+// strings.Split parser.
+func parseDNSLineBytes(lineNo int, line []byte, st *parseState) (DNSRecord, error) {
 	var d DNSRecord
-	f := strings.Split(line, "\t")
+	st.fields = splitFields(line, st.fields)
+	f := st.fields
 	// 9 fields is the pre-fault format (no retries/tc columns);
 	// accept it so existing trace files keep loading.
 	if len(f) != 9 && len(f) != 11 {
 		return d, fmt.Errorf("trace: dns line %d: %d fields, want 9 or 11", lineNo, len(f))
 	}
 	var err error
-	if d.QueryTS, err = parseSecs(f[0]); err != nil {
+	if d.QueryTS, err = parseSecsBytes(f[0]); err != nil {
 		return d, fmt.Errorf("trace: dns line %d query_ts: %w", lineNo, err)
 	}
-	if d.TS, err = parseSecs(f[1]); err != nil {
+	if d.TS, err = parseSecsBytes(f[1]); err != nil {
 		return d, fmt.Errorf("trace: dns line %d ts: %w", lineNo, err)
 	}
-	if d.Client, err = netip.ParseAddr(f[2]); err != nil {
+	if d.Client, err = st.addrs.parse(f[2]); err != nil {
 		return d, fmt.Errorf("trace: dns line %d client: %w", lineNo, err)
 	}
-	if d.Resolver, err = netip.ParseAddr(f[3]); err != nil {
+	if d.Resolver, err = st.addrs.parse(f[3]); err != nil {
 		return d, fmt.Errorf("trace: dns line %d resolver: %w", lineNo, err)
 	}
-	id, err := strconv.ParseUint(f[4], 10, 16)
+	id, err := parseUintBytes(f[4], 16)
 	if err != nil {
 		return d, fmt.Errorf("trace: dns line %d id: %w", lineNo, err)
 	}
 	d.ID = uint16(id)
-	d.Query = f[5]
-	qt, err := strconv.ParseUint(f[6], 10, 16)
+	d.Query = st.names.Canonical(f[5])
+	qt, err := parseUintBytes(f[6], 16)
 	if err != nil {
 		return d, fmt.Errorf("trace: dns line %d qtype: %w", lineNo, err)
 	}
 	d.QType = uint16(qt)
-	rc, err := strconv.ParseUint(f[7], 10, 8)
+	rc, err := parseUintBytes(f[7], 8)
 	if err != nil {
 		return d, fmt.Errorf("trace: dns line %d rcode: %w", lineNo, err)
 	}
 	d.RCode = uint8(rc)
-	if f[8] != "-" {
-		for _, part := range strings.Split(f[8], ",") {
-			addr, ttlStr, ok := strings.Cut(part, "/")
+	if !bytes.Equal(f[8], dashField) {
+		st.answers = st.answers[:0]
+		rest := f[8]
+		for len(rest) > 0 {
+			var part []byte
+			if i := bytes.IndexByte(rest, ','); i >= 0 {
+				part, rest = rest[:i], rest[i+1:]
+			} else {
+				part, rest = rest, nil
+			}
+			addr, ttlStr, ok := bytes.Cut(part, slashSep)
 			if !ok {
 				return d, fmt.Errorf("trace: dns line %d answer %q missing ttl", lineNo, part)
 			}
 			var a Answer
-			if a.Addr, err = netip.ParseAddr(addr); err != nil {
+			if a.Addr, err = st.addrs.parse(addr); err != nil {
 				return d, fmt.Errorf("trace: dns line %d answer addr: %w", lineNo, err)
 			}
 			// Zone identifiers may contain commas, which would corrupt
@@ -128,22 +149,23 @@ func parseDNSLine(lineNo int, line string) (DNSRecord, error) {
 			if a.Addr.Zone() != "" {
 				return d, fmt.Errorf("trace: dns line %d answer addr %q has a zone", lineNo, addr)
 			}
-			if a.TTL, err = parseSecs(ttlStr); err != nil {
+			if a.TTL, err = parseSecsBytes(ttlStr); err != nil {
 				return d, fmt.Errorf("trace: dns line %d answer ttl: %w", lineNo, err)
 			}
-			d.Answers = append(d.Answers, a)
+			st.answers = append(st.answers, a)
 		}
+		d.Answers = st.arena.take(st.answers)
 	}
 	if len(f) == 11 {
-		rt, err := strconv.ParseUint(f[9], 10, 8)
+		rt, err := parseUintBytes(f[9], 8)
 		if err != nil {
 			return d, fmt.Errorf("trace: dns line %d retries: %w", lineNo, err)
 		}
 		d.Retries = uint8(rt)
-		switch f[10] {
-		case "T":
+		switch {
+		case len(f[10]) == 1 && f[10][0] == 'T':
 			d.TC = true
-		case "F":
+		case len(f[10]) == 1 && f[10][0] == 'F':
 			d.TC = false
 		default:
 			return d, fmt.Errorf("trace: dns line %d tc: %q, want T or F", lineNo, f[10])
@@ -151,6 +173,11 @@ func parseDNSLine(lineNo int, line string) (DNSRecord, error) {
 	}
 	return d, nil
 }
+
+var (
+	dashField = []byte("-")
+	slashSep  = []byte("/")
+)
 
 // ReadDNS parses TSV DNS records. It is the strict slice-based form of
 // DNSScanner: the first malformed line aborts the read.
@@ -183,47 +210,67 @@ func WriteConns(w io.Writer, recs []ConnRecord) error {
 	return bw.Flush()
 }
 
-// parseConnLine parses one data line of the connection TSV format.
+// parseConnLine parses one data line of the connection TSV format. It
+// is the standalone-string form of parseConnLineBytes.
 func parseConnLine(lineNo int, line string) (ConnRecord, error) {
+	return parseConnLineBytes(lineNo, []byte(line), newParseState())
+}
+
+// parseConnLineBytes parses one data line in place; see
+// parseDNSLineBytes for the zero-copy contract.
+func parseConnLineBytes(lineNo int, line []byte, st *parseState) (ConnRecord, error) {
 	var c ConnRecord
-	f := strings.Split(line, "\t")
+	st.fields = splitFields(line, st.fields)
+	f := st.fields
 	if len(f) != 9 {
 		return c, fmt.Errorf("trace: conn line %d: %d fields, want 9", lineNo, len(f))
 	}
 	var err error
-	if c.TS, err = parseSecs(f[0]); err != nil {
+	if c.TS, err = parseSecsBytes(f[0]); err != nil {
 		return c, fmt.Errorf("trace: conn line %d ts: %w", lineNo, err)
 	}
-	if c.Duration, err = parseSecs(f[1]); err != nil {
+	if c.Duration, err = parseSecsBytes(f[1]); err != nil {
 		return c, fmt.Errorf("trace: conn line %d duration: %w", lineNo, err)
 	}
-	if c.Proto, err = ParseProto(f[2]); err != nil {
-		return c, fmt.Errorf("trace: conn line %d: %w", lineNo, err)
+	switch {
+	case bytes.Equal(f[2], protoTCP):
+		c.Proto = TCP
+	case bytes.Equal(f[2], protoUDP):
+		c.Proto = UDP
+	default:
+		if c.Proto, err = ParseProto(string(f[2])); err != nil {
+			return c, fmt.Errorf("trace: conn line %d: %w", lineNo, err)
+		}
 	}
-	if c.Orig, err = netip.ParseAddr(f[3]); err != nil {
+	if c.Orig, err = st.addrs.parse(f[3]); err != nil {
 		return c, fmt.Errorf("trace: conn line %d orig: %w", lineNo, err)
 	}
-	op, err := strconv.ParseUint(f[4], 10, 16)
+	op, err := parseUintBytes(f[4], 16)
 	if err != nil {
 		return c, fmt.Errorf("trace: conn line %d orig_port: %w", lineNo, err)
 	}
 	c.OrigPort = uint16(op)
-	if c.Resp, err = netip.ParseAddr(f[5]); err != nil {
+	if c.Resp, err = st.addrs.parse(f[5]); err != nil {
 		return c, fmt.Errorf("trace: conn line %d resp: %w", lineNo, err)
 	}
-	rp, err := strconv.ParseUint(f[6], 10, 16)
+	rp, err := parseUintBytes(f[6], 16)
 	if err != nil {
 		return c, fmt.Errorf("trace: conn line %d resp_port: %w", lineNo, err)
 	}
 	c.RespPort = uint16(rp)
-	if c.OrigBytes, err = strconv.ParseInt(f[7], 10, 64); err != nil {
+	if c.OrigBytes, err = parseIntBytes(f[7]); err != nil {
 		return c, fmt.Errorf("trace: conn line %d orig_bytes: %w", lineNo, err)
 	}
-	if c.RespBytes, err = strconv.ParseInt(f[8], 10, 64); err != nil {
+	if c.RespBytes, err = parseIntBytes(f[8]); err != nil {
 		return c, fmt.Errorf("trace: conn line %d resp_bytes: %w", lineNo, err)
 	}
 	return c, nil
 }
+
+var (
+	protoTCP = []byte("tcp")
+	protoUDP = []byte("udp")
+)
 
 // ReadConns parses TSV connection records. It is the strict slice-based
 // form of ConnScanner: the first malformed line aborts the read.
