@@ -15,9 +15,9 @@ FUZZTIME ?= 10s
 
 FUZZ_TARGETS := FuzzReadDNS FuzzReadConns FuzzReadDNSJSON FuzzReadConnsJSON
 
-.PHONY: check vet build test race obs-determinism soak bench bench-all bench-parallel bench-compare profile fuzz cover
+.PHONY: check vet build test race obs-determinism stream-parity soak bench bench-all bench-parallel bench-compare profile fuzz cover
 
-check: vet build race obs-determinism soak
+check: vet build race obs-determinism stream-parity soak
 
 vet:
 	$(GO) vet ./...
@@ -36,6 +36,13 @@ race:
 # a named target keeps the invariant visible.
 obs-determinism:
 	$(GO) test ./internal/obs -run='TestObservabilityDeterminism|TestObservedSnapshotsAreDeterministic' -count=1
+
+# Stream-vs-in-memory parity: a forced-spill streaming run and a
+# multi-process shard merge must be digest-identical to the in-memory
+# pipeline (the PR 6 out-of-core invariant). Also covered by `race`, but
+# named so the gate is visible.
+stream-parity:
+	$(GO) test ./internal/core -run='TestStreamParityWithInMemory|TestMultiProcessMergeMatchesInMemory' -count=1
 
 # Chaos soak of the hardened DNS server under the race detector: several
 # seconds of mixed valid/garbage/panicking queries against a small queue
@@ -61,14 +68,14 @@ cover:
 	$(GO) tool cover -func=cover.out | tail -1
 
 # Machine-readable benchmark record: the headline benchmarks rendered as
-# JSON (name, ns/op, allocs/op, and custom metrics like speedup_x) into
-# BENCH_PR5.json via cmd/benchjson, with delta columns against the
-# PR 3 record when it exists.
-BENCH_BASELINE ?= BENCH_PR3.json
-BENCH_OUT ?= BENCH_PR5.json
+# JSON (name, ns/op, allocs/op, and custom metrics like speedup_x and
+# peak_heap_bytes) into BENCH_PR6.json via cmd/benchjson, with delta
+# columns against the PR 5 record when it exists.
+BENCH_BASELINE ?= BENCH_PR5.json
+BENCH_OUT ?= BENCH_PR6.json
 
 bench:
-	$(GO) test -bench='BenchmarkAnalyzeParallel$$|BenchmarkFaultLossSweep$$' \
+	$(GO) test -bench='BenchmarkAnalyzeParallel$$|BenchmarkFaultLossSweep$$|BenchmarkAnalyzeStream$$' \
 		-benchmem -benchtime=3x -run='^$$' | \
 		$(GO) run ./cmd/benchjson $(if $(wildcard $(BENCH_BASELINE)),-baseline $(BENCH_BASELINE)) > $(BENCH_OUT)
 	@cat $(BENCH_OUT)

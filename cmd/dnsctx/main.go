@@ -7,6 +7,18 @@
 //
 //	dnsctx -dns dns.log -conns conn.log
 //	dnsctx -generate -houses 50 -duration 12h
+//
+// Out-of-core streaming over traces bigger than RAM:
+//
+//	dnsctx -stream -dns dns.log -conns conn.log -memory-budget 256m
+//	dnsctx -stream -trace-dir captures/ -memory-budget 1g
+//
+// Multi-process map/reduce: each process collects a mergeable shard
+// over its slice of the trace, then one process reduces them:
+//
+//	dnsctx -stream -dns part1.dns.tsv -conns part1.conn.tsv -shard-out part1.shard
+//	dnsctx -stream -dns part2.dns.tsv -conns part2.conn.tsv -shard-out part2.shard
+//	dnsctx -merge part1.shard part2.shard
 package main
 
 import (
@@ -62,6 +74,13 @@ func main() {
 		ckResume   = flag.Bool("resume", false, "resume from the -checkpoint file if it exists")
 		ckInterval = flag.Int("checkpoint-interval", 0, "completed shards between snapshots; 0 = default (64)")
 
+		stream    = flag.Bool("stream", false, "stream the trace through the out-of-core analyzer instead of loading it whole")
+		traceDir  = flag.String("trace-dir", "", "directory of time-partitioned trace files (*.dns.tsv / *.conn.tsv) to stream (with -stream)")
+		memBudget = flag.String("memory-budget", "", "resident-record budget before spilling to disk, e.g. 256m or 2g; empty = unlimited (with -stream)")
+		spillDir  = flag.String("spill-dir", "", "directory for spill partitions; empty = fresh temp dir (with -stream)")
+		shardOut  = flag.String("shard-out", "", "also write the mergeable analysis shard to this file (with -stream or -merge)")
+		merge     = flag.Bool("merge", false, "merge shard files (the remaining arguments) and report the reduced analysis")
+
 		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics and /metrics.json on this address (e.g. :9090)")
 		withPprof    = flag.Bool("pprof", false, "also mount /debug/pprof on the metrics server")
 		hold         = flag.Duration("hold", 0, "keep the metrics server up this long after the report (with -metrics-addr)")
@@ -71,6 +90,60 @@ func main() {
 		memprofile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	// Flag-combination validation, before any work: misuse fails fast
+	// with a usage error instead of surfacing mid-run.
+	usageErr := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "dnsctx: %s\n", fmt.Sprintf(format, args...))
+		os.Exit(2)
+	}
+	if *ckResume && *ckPath == "" {
+		usageErr("-resume requires -checkpoint (there is no snapshot file to resume from)")
+	}
+	if *stream && (*ckPath != "" || *ckResume) {
+		usageErr("-stream cannot be combined with -checkpoint/-resume: the out-of-core path spills partial state to its spill dir instead of shard snapshots")
+	}
+	if *merge {
+		if *stream || *generate || *dnsIn != "" || *connIn != "" || *traceDir != "" {
+			usageErr("-merge reads only shard files (as arguments); it cannot be combined with -stream, -generate, -dns/-conns, or -trace-dir")
+		}
+		if flag.NArg() == 0 {
+			usageErr("-merge requires at least one shard file argument")
+		}
+	} else if flag.NArg() > 0 {
+		usageErr("unexpected arguments %q (shard files are only accepted with -merge)", flag.Args())
+	}
+	if !*stream {
+		if *traceDir != "" {
+			usageErr("-trace-dir requires -stream")
+		}
+		if *memBudget != "" {
+			usageErr("-memory-budget requires -stream (the in-memory path always holds the whole dataset)")
+		}
+		if *spillDir != "" {
+			usageErr("-spill-dir requires -stream")
+		}
+		if *shardOut != "" && !*merge {
+			usageErr("-shard-out requires -stream or -merge")
+		}
+	} else {
+		if *generate {
+			usageErr("-stream reads trace logs; it cannot be combined with -generate")
+		}
+		if *traceDir == "" && (*dnsIn == "" || *connIn == "") {
+			usageErr("-stream requires -dns AND -conns, or -trace-dir")
+		}
+		if *traceDir != "" && (*dnsIn != "" || *connIn != "") {
+			usageErr("pass either -trace-dir or -dns/-conns with -stream, not both")
+		}
+		if *format != "tsv" {
+			usageErr("-stream supports -format tsv only")
+		}
+	}
+	budget, err := parseBytes(*memBudget)
+	if err != nil {
+		usageErr("bad -memory-budget: %v", err)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -100,6 +173,9 @@ func main() {
 	var ds *dnscontext.Dataset
 	profiles := dnscontext.DefaultProfiles()
 	switch {
+	case *merge, *stream:
+		// No resident dataset: shards are read, or the source streams,
+		// after the options are assembled below.
 	case *generate:
 		cfg := dnscontext.DefaultGeneratorConfig()
 		cfg.Houses = *houses
@@ -155,7 +231,7 @@ func main() {
 			}
 		}
 	default:
-		log.Fatal("pass -dns AND -conns, or -generate")
+		log.Fatal("pass -dns AND -conns, -generate, -stream, or -merge")
 	}
 
 	opts := dnscontext.DefaultOptions()
@@ -175,11 +251,20 @@ func main() {
 		opts.Checkpoint = &dnscontext.AnalysisCheckpoint{
 			Path: *ckPath, Interval: *ckInterval, Resume: *ckResume,
 		}
-	} else if *ckResume {
-		log.Fatal("-resume requires -checkpoint")
 	}
+	opts.MemoryBudget = budget
+	opts.SpillDir = *spillDir
 
-	a, err := dnscontext.AnalyzeContext(context.Background(), ds, opts)
+	var a *dnscontext.Analysis
+	switch {
+	case *merge:
+		a, err = runMerge(flag.Args(), *shardOut)
+	case *stream:
+		a, err = runStream(opts, *traceDir, *dnsIn, *connIn, *shardOut,
+			*quarantine, *quarMaxErrs, *quarMaxRate, reg)
+	default:
+		a, err = dnscontext.AnalyzeContext(context.Background(), ds, opts)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -215,6 +300,10 @@ func main() {
 			log.Printf("timeline written to %s", *timelineJSON)
 		}
 	}
+	if a.Summary() && (*perHouse || *figures != "") {
+		log.Printf("note: -per-house and -figures need the resident dataset; skipped for the summary-grade streamed result")
+		*perHouse, *figures = false, ""
+	}
 	if *perHouse {
 		houses := a.PerHouse(profiles)
 		fmt.Printf("\n--- Per-house breakdown (%d houses, %.1f%% only-local; paper: ~16%%) ---\n",
@@ -248,6 +337,98 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+}
+
+// runMerge reduces shard files collected by separate dnsctx -stream
+// processes: read, merge, optionally re-serialize the merged shard, and
+// finalize to the reported analysis.
+func runMerge(paths []string, shardOut string) (*dnscontext.Analysis, error) {
+	shards := make([]*dnscontext.AnalysisShard, len(paths))
+	for i, path := range paths {
+		s, err := dnscontext.ReadAnalysisShard(path)
+		if err != nil {
+			return nil, err
+		}
+		shards[i] = s
+		log.Printf("loaded %s: %d clients, %d conns, %d dns", path, s.Clients(), s.ConnTotal(), s.DNSTotal())
+	}
+	merged, err := dnscontext.MergeShards(shards...)
+	if err != nil {
+		return nil, err
+	}
+	if shardOut != "" {
+		if err := dnscontext.WriteAnalysisShard(shardOut, merged); err != nil {
+			return nil, err
+		}
+		log.Printf("merged shard written to %s", shardOut)
+	}
+	return merged.Finalize(), nil
+}
+
+// runStream analyzes the trace out of core. With shardOut the map
+// phase's mergeable shard is persisted before finalizing, so the same
+// invocation both contributes to a multi-process merge and reports its
+// own slice.
+func runStream(opts dnscontext.Options, traceDir, dnsIn, connIn, shardOut string,
+	quarantine bool, quarMaxErrs int, quarMaxRate float64, reg *dnscontext.MetricsRegistry) (*dnscontext.Analysis, error) {
+	policy := dnscontext.StrictPolicy()
+	if quarantine {
+		policy = dnscontext.QuarantineBudget(quarMaxErrs, quarMaxRate)
+		policy.Sink = func(q dnscontext.Quarantined) {
+			log.Printf("quarantined line %d: %v", q.Line, q.Err)
+		}
+	}
+	var src dnscontext.Source
+	if traceDir != "" {
+		src = dnscontext.NewDirSource(traceDir, policy)
+	} else {
+		df, err := os.Open(dnsIn)
+		if err != nil {
+			return nil, err
+		}
+		defer df.Close()
+		cf, err := os.Open(connIn)
+		if err != nil {
+			return nil, err
+		}
+		defer cf.Close()
+		src = dnscontext.NewScannerSource(df, cf, policy)
+	}
+	an := dnscontext.NewAnalyzer(dnscontext.WithOptions(opts))
+	if shardOut == "" {
+		return an.AnalyzeSource(context.Background(), src)
+	}
+	shard, err := an.CollectShard(context.Background(), src)
+	if err != nil {
+		return nil, err
+	}
+	if err := dnscontext.WriteAnalysisShard(shardOut, shard); err != nil {
+		return nil, err
+	}
+	log.Printf("analysis shard written to %s (%d clients, %d conns)", shardOut, shard.Clients(), shard.ConnTotal())
+	return shard.Finalize(), nil
+}
+
+// parseBytes parses a byte count with an optional k/m/g suffix
+// (binary multiples); empty means 0 (unlimited).
+func parseBytes(s string) (int64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'k', 'K':
+		mult, s = 1<<10, s[:len(s)-1]
+	case 'm', 'M':
+		mult, s = 1<<20, s[:len(s)-1]
+	case 'g', 'G':
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	var n int64
+	if _, err := fmt.Sscanf(s, "%d", &n); err != nil || n < 0 {
+		return 0, fmt.Errorf("want a nonnegative byte count like 512k, 256m, or 2g, got %q", s)
+	}
+	return n * mult, nil
 }
 
 // parseOutages parses "start:dur[,start:dur...]" into outage windows,

@@ -29,8 +29,22 @@
 //
 // The analysis pipeline shards the trace by originating house and runs
 // on a bounded worker pool; the result is bit-identical for every worker
-// count. AnalyzeContext supports cooperative cancellation. The legacy
-// form Analyze(ds, Options) remains as a thin wrapper.
+// count. Every entry point is a thin wrapper over one context-aware
+// core path (Analyzer.AnalyzeContext); the legacy form
+// Analyze(ds, Options) remains for compatibility.
+//
+// # Traces bigger than RAM
+//
+// Analyzer.AnalyzeSource streams a trace through the same pipeline in
+// bounded memory: a Source yields records one at a time (from an
+// in-memory dataset, a TSV reader pair, or a directory of
+// time-partitioned trace files), and a memory budget
+// (WithMemoryBudget) decides when records spill to client-hashed
+// partition files instead of accumulating in RAM. The streamed result's
+// classification is bit-identical to the in-memory pipeline's. For
+// multi-process runs, Analyzer.CollectShard produces a mergeable
+// AnalysisShard per trace slice; MergeShards + Finalize reduce them to
+// the same result.
 //
 // The subsystems are available for separate use: the RFC 1035 codec
 // (internal/dnswire re-exported here as the Wire* identifiers), the
@@ -279,26 +293,68 @@ func WithInsignificance(abs time.Duration, rel float64) AnalyzerOption {
 // Options returns the Analyzer's resolved option set.
 func (an *Analyzer) Options() Options { return an.opts }
 
-// Analyze runs the pipeline over ds. The dataset is time-sorted in
-// place. Safe for concurrent use with distinct datasets.
-func (an *Analyzer) Analyze(ds *Dataset) *Analysis { return core.Analyze(ds, an.opts) }
-
-// AnalyzeContext is Analyze with cooperative cancellation: the worker
-// pool checks ctx between shards. A cancelled run returns a nil Analysis
-// and an error wrapping the context's error — never a partial result.
+// AnalyzeContext is the core analysis path every other entry point
+// wraps: cooperative cancellation via ctx (the worker pool checks it
+// between shards), one pipeline, one result shape. A cancelled run
+// returns a nil Analysis and an error wrapping the context's error —
+// never a partial result. The dataset is time-sorted in place. Safe
+// for concurrent use with distinct datasets.
+//
+// MemoryBudget/SpillDir are ignored here — the dataset is by
+// definition already resident; use AnalyzeSource for out-of-core runs.
 func (an *Analyzer) AnalyzeContext(ctx context.Context, ds *Dataset) (*Analysis, error) {
 	return core.AnalyzeContext(ctx, ds, an.opts)
 }
 
-// Analyze runs DN-Hunter pairing, the blocking heuristic, and the
-// N/LC/P/SC/R classification over ds. It is the legacy entry point, kept
-// as a thin wrapper over the Analyzer API.
-func Analyze(ds *Dataset, opts Options) *Analysis { return core.Analyze(ds, opts) }
+// Analyze is AnalyzeContext without cancellation: a thin wrapper
+// binding context.Background.
+func (an *Analyzer) Analyze(ds *Dataset) *Analysis {
+	a, err := an.AnalyzeContext(context.Background(), ds)
+	if err != nil {
+		// Unreachable: the only failure mode is context cancellation and
+		// Background never cancels.
+		panic(err)
+	}
+	return a
+}
 
-// AnalyzeContext is the cancellable form of Analyze; see
-// Analyzer.AnalyzeContext.
+// AnalyzeSource streams src through the pipeline in bounded memory;
+// see the package comment's "Traces bigger than RAM" and
+// Analysis.Summary for what a spilled (summary-grade) result carries.
+// Without a memory budget the whole source is ingested and the
+// in-memory pipeline runs; classification results are bit-identical
+// either way.
+func (an *Analyzer) AnalyzeSource(ctx context.Context, src Source) (*Analysis, error) {
+	return core.AnalyzeSource(ctx, src, an.opts)
+}
+
+// CollectShard runs the map phase only: it ingests and classifies src
+// exactly as AnalyzeSource but returns the mergeable AnalysisShard, so
+// several processes can each cover a client-disjoint slice of a trace
+// and MergeShards + Finalize reduce them to one Analysis.
+func (an *Analyzer) CollectShard(ctx context.Context, src Source) (*AnalysisShard, error) {
+	return core.CollectShard(ctx, src, an.opts)
+}
+
+// Analyze runs DN-Hunter pairing, the blocking heuristic, and the
+// N/LC/P/SC/R classification over ds: a thin non-cancellable wrapper
+// over the Analyzer core path.
+//
+// Deprecated: use NewAnalyzer(WithOptions(opts)).Analyze(ds), or
+// Analyzer.AnalyzeContext for cancellation. Kept for compatibility.
+func Analyze(ds *Dataset, opts Options) *Analysis {
+	return NewAnalyzer(WithOptions(opts)).Analyze(ds)
+}
+
+// AnalyzeContext is the package-level form of Analyzer.AnalyzeContext,
+// a thin wrapper for callers that assemble an Options struct directly.
 func AnalyzeContext(ctx context.Context, ds *Dataset, opts Options) (*Analysis, error) {
-	return core.AnalyzeContext(ctx, ds, opts)
+	return NewAnalyzer(WithOptions(opts)).AnalyzeContext(ctx, ds)
+}
+
+// AnalyzeSource is the package-level form of Analyzer.AnalyzeSource.
+func AnalyzeSource(ctx context.Context, src Source, opts Options) (*Analysis, error) {
+	return NewAnalyzer(WithOptions(opts)).AnalyzeSource(ctx, src)
 }
 
 // Observability types: the internal/obs subsystem. A registry collects
@@ -415,6 +471,91 @@ func QuarantineAll() ErrorPolicy { return trace.QuarantineAll() }
 // rate exceeds maxRate (0 = no rate check).
 func QuarantineBudget(maxErrors int, maxRate float64) ErrorPolicy {
 	return trace.QuarantineBudget(maxErrors, maxRate)
+}
+
+// Streaming analysis types: the out-of-core Source/shard surface.
+type (
+	// Source is a stream of the two trace datasets, the input side of
+	// the out-of-core analysis path. Implementations must yield each
+	// stream in nondecreasing time order (the analyzer verifies).
+	Source = trace.Source
+	// DatasetSource adapts an in-memory Dataset to the Source interface.
+	DatasetSource = trace.DatasetSource
+	// ScannerSource streams a Bro-style TSV reader pair through the
+	// quarantining scanners (one-shot: the readers are consumed).
+	ScannerSource = trace.ScannerSource
+	// DirSource streams a directory of time-partitioned trace files
+	// (*.dns.tsv / *.conn.tsv, concatenated in name order).
+	DirSource = trace.DirSource
+	// AnalysisShard is a mergeable partial analysis: the map-side output
+	// of the out-of-core pipeline. Merging is associative and
+	// commutative; Finalize reduces a shard to a summary-grade Analysis.
+	AnalysisShard = core.AnalysisShard
+)
+
+// ErrShardMismatch is matched (via errors.Is) when shards produced
+// under different result-affecting options — or covering overlapping
+// clients — refuse to merge.
+var ErrShardMismatch = core.ErrShardMismatch
+
+// NewDatasetSource returns a Source over an in-memory dataset.
+// Analyzer.AnalyzeSource short-circuits it to the zero-copy in-memory
+// pipeline when no memory budget is set.
+func NewDatasetSource(ds *Dataset) *DatasetSource { return trace.NewDatasetSource(ds) }
+
+// NewScannerSource returns a Source reading DNS records from dns and
+// connection summaries from conns under the given error policy. The
+// caller retains ownership of the readers (and closes any files).
+func NewScannerSource(dns, conns io.Reader, policy ErrorPolicy) *ScannerSource {
+	return trace.NewScannerSource(dns, conns, policy)
+}
+
+// NewDirSource returns a Source over the time-partitioned trace files
+// in dir: files ending in .dns.tsv/.dns.log form the DNS stream and
+// .conn.tsv/.conn.log the connection stream, each concatenated in
+// lexicographic name order.
+func NewDirSource(dir string, policy ErrorPolicy) *DirSource {
+	return trace.NewDirSource(dir, policy)
+}
+
+// MergeShards folds client-disjoint shards — possibly collected by
+// separate processes — into one. See AnalysisShard.Merge for the
+// compatibility rules.
+func MergeShards(shards ...*AnalysisShard) (*AnalysisShard, error) {
+	return core.MergeShards(shards...)
+}
+
+// WriteAnalysisShard atomically serializes a shard to path in the
+// checkpoint envelope (magic, CRC, atomic rename); ReadAnalysisShard
+// loads it back. The encoding is canonical, so equal shards serialize
+// to equal bytes.
+func WriteAnalysisShard(path string, s *AnalysisShard) error { return core.WriteShardFile(path, s) }
+
+// ReadAnalysisShard loads a shard written by WriteAnalysisShard.
+func ReadAnalysisShard(path string) (*AnalysisShard, error) { return core.ReadShardFile(path) }
+
+// WithMemoryBudget bounds how many bytes of trace records AnalyzeSource
+// keeps resident before spilling to disk; 0 (the default) means
+// unlimited. Spilling never changes classification results, only peak
+// memory — and whether the returned Analysis is summary-grade (see
+// Analysis.Summary). Ignored by Analyze/AnalyzeContext, which by
+// definition already hold the dataset.
+func WithMemoryBudget(bytes int64) AnalyzerOption {
+	return func(an *Analyzer) { an.opts.MemoryBudget = bytes }
+}
+
+// WithSpillDir sets where AnalyzeSource puts spill partitions when the
+// memory budget trips. Empty (the default) means a fresh directory
+// under the OS temp dir, removed when the analysis finishes.
+func WithSpillDir(dir string) AnalyzerOption {
+	return func(an *Analyzer) { an.opts.SpillDir = dir }
+}
+
+// WithSpillParts sets the number of hash partitions records spill into
+// (per stream); 0 means the default (32). Each partition must fit in
+// memory during the classify phase.
+func WithSpillParts(n int) AnalyzerOption {
+	return func(an *Analyzer) { an.opts.SpillParts = n }
 }
 
 // Checkpoint/resume: AnalysisCheckpoint configures periodic snapshots of

@@ -49,6 +49,8 @@ func AnalyzeContext(ctx context.Context, ds *trace.Dataset, opts Options) (*Anal
 		Paired:     make([]PairedConn, len(ds.Conns)),
 		DNSUsed:    make([]bool, len(ds.DNS)),
 		Thresholds: make(map[string]time.Duration),
+		connTotal:  len(ds.Conns),
+		dnsTotal:   len(ds.DNS),
 	}
 	sp = tr.StartPhase("intern")
 	a.buildSymbols()
@@ -122,7 +124,7 @@ func (a *Analysis) publishMetrics(reg *obs.Registry) {
 		"Per-client shards the pipeline partitioned the dataset into.").
 		Add(uint64(len(a.shards)))
 	reg.Counter("dnsctx_analyzer_dns_records_total",
-		"DNS records in the analyzed dataset.").Add(uint64(len(a.DS.DNS)))
+		"DNS records in the analyzed dataset.").Add(uint64(a.dnsTotal))
 }
 
 func analysisAborted(err error) error {
@@ -194,7 +196,7 @@ type Table2Row struct {
 
 // Table2 computes the DNS-information-origin breakdown.
 func (a *Analysis) Table2() []Table2Row {
-	total := len(a.Paired)
+	total := a.connTotal
 	rows := make([]Table2Row, 0, numClasses)
 	for c := ClassN; c < numClasses; c++ {
 		frac := 0.0

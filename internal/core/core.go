@@ -105,6 +105,24 @@ type Options struct {
 	// type in resume.go). Like Metrics/Trace it never influences the
 	// result, only whether work is recomputed or replayed.
 	Checkpoint *Checkpoint
+	// MemoryBudget bounds how many bytes of trace records AnalyzeSource
+	// keeps resident before spilling to disk. Zero (the default) means
+	// unlimited: the whole source is ingested in memory and the full
+	// in-memory pipeline runs. A nonzero budget never changes the
+	// analysis result, only whether it is computed in core or out of
+	// core — and whether the returned Analysis carries the dataset
+	// (see Analysis.Summary). Ignored by Analyze/AnalyzeContext, which
+	// by definition already hold the dataset.
+	MemoryBudget int64
+	// SpillDir is where AnalyzeSource puts spill partitions when the
+	// memory budget trips. Empty means a fresh directory under the OS
+	// temp dir, removed when the analysis finishes.
+	SpillDir string
+	// SpillParts is the number of hash partitions records spill into
+	// (per stream). Zero means the default (32). Each partition must
+	// fit in memory during the classify phase, so a trace N bytes over
+	// budget wants SpillParts comfortably above N/budget.
+	SpillParts int
 }
 
 // DefaultOptions returns the paper's parameters.
@@ -209,7 +227,41 @@ type Analysis struct {
 	window      time.Duration
 	// fp caches the dataset fingerprint checkpoints key on (resume.go).
 	fp uint64
+
+	// Summary-grade state. An Analysis reduced from streamed shards
+	// (AnalyzeSource over a source bigger than the memory budget, or
+	// AnalysisShard.Finalize) has no resident dataset: DS and Paired are
+	// nil, and the totals, failure stats, and per-connection digest
+	// computed during the reduce live here instead. The in-memory path
+	// fills the totals too, so accessors shared by both grades
+	// (Count/Fraction/Table2/Failures/...) read them uniformly.
+	summary   bool
+	dnsTotal  int
+	connTotal int
+	failures  *FailureStats
+	// digestOnce guards digest, the order-independent FNV fold over
+	// every per-connection outcome (see shard.go). For a summary
+	// analysis it is set during the reduce; for a full analysis it is
+	// derived on demand from Paired.
+	digestOnce sync.Once
+	digest     uint64
 }
+
+// Summary reports whether the analysis is summary-grade: reduced from
+// streamed shards without a resident dataset. Classification totals
+// (Count, Fraction, Table2, BlockedFraction, SharedCacheHitRate),
+// Thresholds, Failures, Digest, and WriteSummary are available either
+// way; the table/figure computations that walk the raw records (Report's
+// full form, Figure1/2/3, PerHouse, WholeHouse, refresh simulations)
+// need a full analysis.
+func (a *Analysis) Summary() bool { return a.summary }
+
+// TotalConns is the number of connections the analysis covers, resident
+// or not.
+func (a *Analysis) TotalConns() int { return a.connTotal }
+
+// TotalDNS is the number of DNS transactions the analysis covers.
+func (a *Analysis) TotalDNS() int { return a.dnsTotal }
 
 // clientShard is one per-client slice of the dataset: the client's
 // connection and DNS record indices, each ascending (= time order).
@@ -279,8 +331,8 @@ func (a *Analysis) Count(c Class) int {
 
 // Fraction returns the fraction of connections in class c.
 func (a *Analysis) Fraction(c Class) float64 {
-	if len(a.Paired) == 0 {
+	if a.connTotal == 0 {
 		return 0
 	}
-	return float64(a.Count(c)) / float64(len(a.Paired))
+	return float64(a.Count(c)) / float64(a.connTotal)
 }

@@ -57,8 +57,13 @@ func frac(n, total int) float64 {
 // Failures scans the DNS dataset for fault-path activity. The scan is
 // chunked across the analysis worker pool; summing per-chunk tallies is
 // order-independent integer arithmetic, so the result is identical for
-// every worker count.
+// every worker count. A summary-grade analysis has no dataset to scan;
+// it returns the stats accumulated during the streaming ingest, which
+// tally the same fields over the same records.
 func (a *Analysis) Failures() FailureStats {
+	if a.failures != nil {
+		return *a.failures
+	}
 	chunks := parallel.Chunks(len(a.DS.DNS), parallel.Workers(a.Opts.Workers))
 	parts, _ := parallel.Map(context.Background(), a.Opts.Workers, len(chunks),
 		func(ci int) (FailureStats, error) {

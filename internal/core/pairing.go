@@ -77,6 +77,16 @@ func (a *Analysis) buildShardIndex(dns []int32) shardIndex {
 // (possibly grown) scratch is returned for reuse, so a shard's pairing
 // loop settles into zero allocations per connection.
 func (a *Analysis) pair(idx shardIndex, conn *trace.ConnRecord, rng *stats.RNG, scratch []int32) (dnsIdx int, candidates int, _ []int32) {
+	return pairConn(a.Opts.Pairing, idx, conn, rng, scratch)
+}
+
+// pairConn is the policy-parameterized pairing scan shared by the
+// in-memory pipeline (where pairEnt.idx indexes the whole dataset) and
+// the streaming per-client classifier (where it indexes the client's
+// own record list). Sharing the scan — binary search, backward expiry
+// sweep, tie-breaking, RNG draw order — is what makes the two paths
+// bit-identical rather than merely similar.
+func pairConn(policy PairingPolicy, idx shardIndex, conn *trace.ConnRecord, rng *stats.RNG, scratch []int32) (dnsIdx int, candidates int, _ []int32) {
 	recs := idx[conn.Resp]
 	if len(recs) == 0 {
 		return -1, 0, scratch
@@ -107,7 +117,7 @@ func (a *Analysis) pair(idx shardIndex, conn *trace.ConnRecord, rng *stats.RNG, 
 		// All expired: most recent.
 		return int(cand[len(cand)-1].idx), 0, fresh
 	}
-	if a.Opts.Pairing == PairRandom && len(fresh) > 1 {
+	if policy == PairRandom && len(fresh) > 1 {
 		return int(fresh[rng.Intn(len(fresh))]), len(fresh), fresh
 	}
 	// fresh[0] is the most recent (we appended backwards).

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"dnscontext/internal/resolver"
@@ -10,8 +11,13 @@ import (
 )
 
 // Report renders the full paper reproduction — every table and figure —
-// as text. profiles supplies the resolver-platform address book.
+// as text. profiles supplies the resolver-platform address book. A
+// summary-grade analysis (no resident dataset) renders WriteSummary
+// instead, since the figure computations need the raw records.
 func (a *Analysis) Report(w io.Writer, profiles []resolver.PlatformProfile) error {
+	if a.DS == nil {
+		return a.WriteSummary(w)
+	}
 	// Errors from fmt.Fprintf to w are surfaced once at the end via this
 	// small tracking writer, keeping the body readable.
 	tw := &trackingWriter{w: w}
@@ -180,6 +186,53 @@ func (a *Analysis) Report(w io.Writer, profiles []resolver.PlatformProfile) erro
 	fmt.Fprintf(tw, "  %-22s %11.1f%% %11.1f%%\n", "Cache hits", 100*rf.Standard.HitRate, 100*rf.RefreshAll.HitRate)
 	fmt.Fprintf(tw, "  lookup multiplier: %.0fx (paper: ~144x)\n", rf.LookupMultiplier)
 
+	return tw.err
+}
+
+// WriteSummary renders the classification summary available in every
+// analysis grade: the totals, Table 2, the blocking and shared-cache
+// aggregates, the derived per-resolver thresholds, failure statistics,
+// and the result digest. The output is byte-identical whether the
+// analysis came from the in-memory pipeline, the out-of-core streaming
+// path, or a multi-process shard merge — the parity the stream tests
+// pin.
+func (a *Analysis) WriteSummary(w io.Writer) error {
+	tw := &trackingWriter{w: w}
+
+	fmt.Fprintf(tw, "=== dnscontext analysis summary ===\n")
+	fmt.Fprintf(tw, "connections: %d   dns transactions: %d\n\n", a.connTotal, a.dnsTotal)
+
+	fmt.Fprintf(tw, "--- Table 2: DNS information origin ---\n")
+	fmt.Fprintf(tw, "%-6s %-24s %10s %8s\n", "Class", "Desc.", "Conns", "% Conns")
+	desc := map[Class]string{
+		ClassN: "No DNS", ClassLC: "Local Cache", ClassP: "Prefetched",
+		ClassSC: "Shared Resolver Cache", ClassR: "Requires Resolution",
+	}
+	for _, row := range a.Table2() {
+		fmt.Fprintf(tw, "%-6s %-24s %10d %8.1f\n", row.Class, desc[row.Class], row.Conns, 100*row.Fraction)
+	}
+	fmt.Fprintf(tw, "blocked (SC+R): %.1f%%   shared-cache hit rate: %.1f%%\n\n",
+		100*a.BlockedFraction(), 100*a.SharedCacheHitRate())
+
+	fmt.Fprintf(tw, "--- per-resolver SC/R thresholds (default %v) ---\n", a.Opts.DefaultSCThreshold)
+	addrs := make([]string, 0, len(a.Thresholds))
+	for addr := range a.Thresholds {
+		addrs = append(addrs, addr)
+	}
+	sort.Strings(addrs)
+	for _, addr := range addrs {
+		fmt.Fprintf(tw, "  %-16s %v\n", addr, a.Thresholds[addr])
+	}
+	fmt.Fprintln(tw)
+
+	if fs := a.Failures(); fs.HasFailures() {
+		fmt.Fprintf(tw, "--- failure-path activity ---\n")
+		fmt.Fprintf(tw, "lookups: %d   servfail: %.2f%%   retried: %.2f%%   tcp-fallback: %.2f%%   mean attempts: %.3f\n\n",
+			fs.Lookups, 100*fs.ServFailFraction(), 100*fs.RetriedFraction(),
+			100*fs.TCPFallbackFraction(), fs.MeanAttempts())
+	}
+
+	fmt.Fprintf(tw, "digest: %016x\n", a.Digest())
 	return tw.err
 }
 

@@ -341,12 +341,18 @@ func (a *Analysis) fingerprint() uint64 {
 
 // optsKey hashes every option that influences analysis results.
 // Workers is deliberately excluded (results are worker-count
-// invariant), as are the observation hooks and the checkpoint config
-// itself.
-func (a *Analysis) optsKey() uint64 {
+// invariant), as are the observation hooks, the checkpoint config, and
+// the streaming memory budget (spilling never changes the answer, only
+// where intermediate state lives).
+func (a *Analysis) optsKey() uint64 { return optionsKey(&a.Opts) }
+
+// optionsKey is the standalone form of optsKey, shared with the
+// mergeable-shard layer: an AnalysisShard refuses to merge with one
+// produced under different result-affecting options, using exactly the
+// fingerprint checkpoints already pin.
+func optionsKey(o *Options) uint64 {
 	h := fnv.New64a()
 	put := func(v any) { _ = binary.Write(h, binary.LittleEndian, v) }
-	o := &a.Opts
 	put(int64(o.BlockThreshold))
 	put(int64(o.KneeThreshold))
 	put(int64(o.SCRMinSamples))

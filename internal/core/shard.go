@@ -1,0 +1,668 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/netip"
+	"sort"
+	"time"
+
+	"dnscontext/internal/checkpoint"
+)
+
+// AnalysisShard is a mergeable partial analysis: everything the
+// classification of one slice of a trace produces, minus anything that
+// depends on seeing the whole trace. It is the map-side output of the
+// out-of-core pipeline — AnalyzeSource folds per-client results into
+// one, and independent processes can each CollectShard over their slice
+// of a trace, serialize the shards (WriteShardFile), and reduce them
+// with Merge + Finalize into the same *Analysis a single in-memory run
+// would produce.
+//
+// What makes the merge exact is that a shard stores per-connection
+// *pairing facts* (which lookup paired, the gap, first-use and expiry
+// flags, the lookup's duration and resolver) rather than final classes.
+// The SC/R split depends on per-resolver duration thresholds derived
+// from whole-trace statistics, so a shard carries each resolver's
+// (lookup count, minimum duration) — an associative, commutative
+// summary — and Finalize re-derives the thresholds from the merged
+// statistics before assigning classes. Merging is therefore associative
+// and commutative: any grouping or ordering of the same shards
+// finalizes to identical results.
+//
+// The one sharding requirement is that a client's records must not be
+// split across shard inputs: pairing and first-use are per-client
+// notions, and Merge refuses shards whose client sets overlap. (Under
+// PairRandom, ambiguous pairings additionally draw from RNG streams
+// seeded by process-local shard ranks, so cross-process merges are only
+// guaranteed bit-identical under PairMostRecent, the default.)
+type AnalysisShard struct {
+	opts      Options
+	dnsTotal  int64
+	connTotal int64
+	resolvers []resolverStat
+	failures  FailureStats
+	clients   []clientResult
+}
+
+// resolverStat is one resolver's associative duration summary: enough
+// to re-derive its SC/R threshold after any number of merges.
+type resolverStat struct {
+	addr    netip.Addr
+	lookups int64
+	minDur  time.Duration
+}
+
+// clientResult is one client's classified slice: the number of DNS
+// transactions it issued and one entry per connection, in start-time
+// order.
+type clientResult struct {
+	client  netip.Addr
+	nDNS    int32
+	entries []connEntry
+}
+
+// connEntry is one connection's pairing facts, the shard analogue of
+// PairedConn with dataset indices replaced by client-local ones.
+type connEntry struct {
+	// localDNS indexes the paired lookup within the client's own
+	// DNS-record sequence (time order), or -1 when unpaired. Client-local
+	// indexing is what keeps entries meaningful across processes that
+	// never saw each other's datasets.
+	localDNS    int32
+	gap         time.Duration
+	candidates  int32
+	firstUse    bool
+	usedExpired bool
+	// lookupDur and res (an index into the shard's resolver table) defer
+	// the SC/R decision to Finalize, where merged thresholds exist.
+	lookupDur time.Duration
+	res       int32
+}
+
+// ErrShardMismatch is matched (via errors.Is) when shards produced
+// under different result-affecting options — or covering overlapping
+// clients — refuse to merge.
+var ErrShardMismatch = errors.New("analysis shards are incompatible")
+
+// DNSTotal is the number of DNS transactions the shard covers.
+func (s *AnalysisShard) DNSTotal() int { return int(s.dnsTotal) }
+
+// ConnTotal is the number of connections the shard covers.
+func (s *AnalysisShard) ConnTotal() int { return int(s.connTotal) }
+
+// Clients is the number of distinct clients the shard covers.
+func (s *AnalysisShard) Clients() int { return len(s.clients) }
+
+// Merge combines two shards into a new one, leaving both inputs
+// unchanged. It is associative and commutative; see the type comment
+// for the exactness argument. Shards from runs with different
+// result-affecting options, or with overlapping client sets, return an
+// error wrapping ErrShardMismatch.
+func (s *AnalysisShard) Merge(o *AnalysisShard) (*AnalysisShard, error) {
+	if optionsKey(&s.opts) != optionsKey(&o.opts) {
+		return nil, fmt.Errorf("%w: produced under different analysis options", ErrShardMismatch)
+	}
+	have := make(map[netip.Addr]bool, len(s.clients))
+	for i := range s.clients {
+		have[s.clients[i].client] = true
+	}
+	for i := range o.clients {
+		if have[o.clients[i].client] {
+			return nil, fmt.Errorf("%w: client %s appears in both shards (clients must not be split across shard inputs)",
+				ErrShardMismatch, o.clients[i].client)
+		}
+	}
+
+	m := &AnalysisShard{
+		opts:      s.opts,
+		dnsTotal:  s.dnsTotal + o.dnsTotal,
+		connTotal: s.connTotal + o.connTotal,
+		failures:  addFailures(s.failures, o.failures),
+		resolvers: append([]resolverStat(nil), s.resolvers...),
+	}
+	// Remap o's resolver symbols into the merged table: each shard
+	// numbered resolvers in its own first-appearance order, so the merge
+	// rebinds by address and sums the associative stats.
+	pos := make(map[netip.Addr]int32, len(m.resolvers))
+	for i := range m.resolvers {
+		pos[m.resolvers[i].addr] = int32(i)
+	}
+	remap := make([]int32, len(o.resolvers))
+	for i := range o.resolvers {
+		rs := &o.resolvers[i]
+		p, ok := pos[rs.addr]
+		if !ok {
+			p = int32(len(m.resolvers))
+			pos[rs.addr] = p
+			m.resolvers = append(m.resolvers, resolverStat{addr: rs.addr, minDur: rs.minDur})
+		}
+		mr := &m.resolvers[p]
+		if mr.lookups == 0 || rs.minDur < mr.minDur {
+			mr.minDur = rs.minDur
+		}
+		mr.lookups += rs.lookups
+		remap[i] = p
+	}
+
+	m.clients = append(m.clients, s.clients...)
+	for i := range o.clients {
+		c := o.clients[i]
+		if needsRemap(c.entries, remap) {
+			entries := append([]connEntry(nil), c.entries...)
+			for j := range entries {
+				if entries[j].res >= 0 {
+					entries[j].res = remap[entries[j].res]
+				}
+			}
+			c.entries = entries
+		}
+		m.clients = append(m.clients, c)
+	}
+	return m, nil
+}
+
+// needsRemap reports whether any entry's resolver symbol would change
+// under remap, so Merge can share entry slices in the common case of
+// identical resolver numbering.
+func needsRemap(entries []connEntry, remap []int32) bool {
+	for i := range entries {
+		if r := entries[i].res; r >= 0 && remap[r] != r {
+			return true
+		}
+	}
+	return false
+}
+
+func addFailures(a, b FailureStats) FailureStats {
+	return FailureStats{
+		Lookups:      a.Lookups + b.Lookups,
+		ServFails:    a.ServFails + b.ServFails,
+		Retried:      a.Retried + b.Retried,
+		TotalRetries: a.TotalRetries + b.TotalRetries,
+		TCPFallbacks: a.TCPFallbacks + b.TCPFallbacks,
+	}
+}
+
+// MergeShards folds any number of shards into one. At least one shard
+// is required.
+func MergeShards(shards ...*AnalysisShard) (*AnalysisShard, error) {
+	if len(shards) == 0 {
+		return nil, errors.New("dnscontext: no shards to merge")
+	}
+	m := shards[0]
+	for _, s := range shards[1:] {
+		var err error
+		if m, err = m.Merge(s); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// Finalize reduces the shard to a summary-grade *Analysis: it
+// re-derives the per-resolver SC/R thresholds from the merged resolver
+// statistics — the same arithmetic, gate, and rounding as the in-memory
+// deriveThresholds — assigns each connection its Table 2 class from the
+// stored pairing facts, and tallies the totals. The result reports
+// classification (Count/Fraction/Table2/BlockedFraction/
+// SharedCacheHitRate), Thresholds, Failures, Digest, and WriteSummary
+// exactly as the in-memory path would; see Analysis.Summary for what a
+// summary analysis cannot do.
+func (s *AnalysisShard) Finalize() *Analysis {
+	thresholds, thByRes := s.deriveThresholds()
+	a := &Analysis{
+		Opts:       s.opts,
+		Thresholds: thresholds,
+		summary:    true,
+		dnsTotal:   int(s.dnsTotal),
+		connTotal:  int(s.connTotal),
+		failures:   &FailureStats{},
+	}
+	*a.failures = s.failures
+
+	var digest uint64
+	for i := range s.clients {
+		c := &s.clients[i]
+		h := newDigest()
+		h.addr(c.client)
+		h.u64(uint64(c.nDNS))
+		for j := range c.entries {
+			e := &c.entries[j]
+			class := entryClass(e, &s.opts, thByRes)
+			a.classCounts[class]++
+			h.entry(e, class)
+		}
+		digest ^= uint64(h)
+	}
+	h := newDigest()
+	h.u64(uint64(s.connTotal))
+	h.u64(uint64(s.dnsTotal))
+	digest ^= uint64(h)
+	a.digestOnce.Do(func() { a.digest = digest })
+	return a
+}
+
+// entryClass derives the Table 2 class from one entry's pairing facts and
+// the finalized thresholds — the decision tree of classifyShard, minus
+// the dataset.
+func entryClass(e *connEntry, opts *Options, thByRes []time.Duration) Class {
+	if e.localDNS < 0 {
+		return ClassN
+	}
+	if e.gap > opts.BlockThreshold {
+		if e.firstUse {
+			return ClassP
+		}
+		return ClassLC
+	}
+	if e.lookupDur <= thByRes[e.res] {
+		return ClassSC
+	}
+	return ClassR
+}
+
+// deriveThresholds is the shard-side twin of Analysis.deriveThresholds:
+// identical gate scaling, 2.5x-minimum multiple, and millisecond
+// round-up, fed by the merged (count, min) statistics instead of a
+// dataset scan.
+func (s *AnalysisShard) deriveThresholds() (map[string]time.Duration, []time.Duration) {
+	gate := int64(s.dnsTotal) / 9200
+	if gate < 50 {
+		gate = 50
+	}
+	if gate > int64(s.opts.SCRMinSamples) {
+		gate = int64(s.opts.SCRMinSamples)
+	}
+	thresholds := make(map[string]time.Duration)
+	thByRes := make([]time.Duration, len(s.resolvers))
+	for i := range s.resolvers {
+		rs := &s.resolvers[i]
+		thByRes[i] = s.opts.DefaultSCThreshold
+		if rs.lookups < gate {
+			continue
+		}
+		th := time.Duration(float64(rs.minDur) * 2.5)
+		th = ((th + time.Millisecond - 1) / time.Millisecond) * time.Millisecond
+		if th < s.opts.DefaultSCThreshold {
+			th = s.opts.DefaultSCThreshold
+		}
+		thByRes[i] = th
+		thresholds[rs.addr.String()] = th
+	}
+	return thresholds, thByRes
+}
+
+// Shard converts a full in-memory analysis into the equivalent
+// AnalysisShard, the bridge that lets a resident run participate in a
+// distributed merge (and the reference point the streaming path is
+// tested against). The conversion rewrites dataset indices as
+// client-local ones and recomputes the per-resolver statistics the
+// in-memory pipeline consumed without storing.
+func (a *Analysis) Shard() *AnalysisShard {
+	s := &AnalysisShard{
+		opts:      a.Opts,
+		dnsTotal:  int64(len(a.DS.DNS)),
+		connTotal: int64(len(a.DS.Conns)),
+		failures:  a.Failures(),
+		resolvers: make([]resolverStat, len(a.resolverAddrs)),
+	}
+	for i, addr := range a.resolverAddrs {
+		s.resolvers[i].addr = addr
+	}
+	for i := range a.DS.DNS {
+		rs := &s.resolvers[a.rsym[i]]
+		d := a.DS.DNS[i].Duration()
+		if rs.lookups == 0 || d < rs.minDur {
+			rs.minDur = d
+		}
+		rs.lookups++
+	}
+	s.clients = make([]clientResult, len(a.shards))
+	for si := range a.shards {
+		sh := &a.shards[si]
+		c := &s.clients[si]
+		c.client = sh.client
+		c.nDNS = int32(len(sh.dns))
+		if len(sh.conns) == 0 {
+			continue
+		}
+		c.entries = make([]connEntry, len(sh.conns))
+		for j, ci := range sh.conns {
+			pc := &a.Paired[ci]
+			e := &c.entries[j]
+			if pc.DNS < 0 {
+				e.localDNS, e.res = -1, -1
+				continue
+			}
+			// sh.dns is ascending, so the client-local index is the
+			// global index's position within it.
+			e.localDNS = int32(sort.Search(len(sh.dns), func(k int) bool {
+				return sh.dns[k] >= int32(pc.DNS)
+			}))
+			e.gap = pc.Gap
+			e.candidates = int32(pc.Candidates)
+			e.firstUse = pc.FirstUse
+			e.usedExpired = pc.UsedExpired
+			e.lookupDur = a.DS.DNS[pc.DNS].Duration()
+			e.res = a.rsym[pc.DNS]
+		}
+	}
+	return s
+}
+
+// Digest is an order-independent fingerprint of every per-connection
+// outcome (pairing, gap, flags, class) plus the totals: per-client FNV
+// hashes XOR-folded, so it is identical for every worker count,
+// client order, and shard grouping. Equal digests across the in-memory,
+// streaming, and merged paths are the parity tests' success criterion.
+func (a *Analysis) Digest() uint64 {
+	a.digestOnce.Do(func() {
+		// Summary analyses had the digest installed during Finalize; this
+		// branch only runs for full analyses.
+		var digest uint64
+		for si := range a.shards {
+			sh := &a.shards[si]
+			h := newDigest()
+			h.addr(sh.client)
+			h.u64(uint64(len(sh.dns)))
+			for _, ci := range sh.conns {
+				pc := &a.Paired[ci]
+				var e connEntry
+				if pc.DNS < 0 {
+					e.localDNS, e.res = -1, -1
+				} else {
+					e.localDNS = int32(sort.Search(len(sh.dns), func(k int) bool {
+						return sh.dns[k] >= int32(pc.DNS)
+					}))
+					e.gap = pc.Gap
+					e.candidates = int32(pc.Candidates)
+					e.firstUse = pc.FirstUse
+					e.usedExpired = pc.UsedExpired
+				}
+				h.entry(&e, pc.Class)
+			}
+			digest ^= uint64(h)
+		}
+		h := newDigest()
+		h.u64(uint64(a.connTotal))
+		h.u64(uint64(a.dnsTotal))
+		digest ^= uint64(h)
+		a.digest = digest
+	})
+	return a.digest
+}
+
+// digestHash is an inline FNV-64a accumulator.
+type digestHash uint64
+
+func newDigest() digestHash { return 0xcbf29ce484222325 }
+
+func (h *digestHash) bytes(b []byte) {
+	v := uint64(*h)
+	for _, c := range b {
+		v ^= uint64(c)
+		v *= 0x100000001b3
+	}
+	*h = digestHash(v)
+}
+
+func (h *digestHash) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	h.bytes(b[:])
+}
+
+func (h *digestHash) addr(a netip.Addr) {
+	b := a.As16()
+	h.bytes(b[:])
+}
+
+// entry folds one connection outcome. Resolver symbols are shard-local
+// and therefore excluded; the class (which the resolver's threshold
+// decided) stands in for them.
+func (h *digestHash) entry(e *connEntry, class Class) {
+	h.u64(uint64(uint32(e.localDNS)))
+	h.u64(uint64(e.gap))
+	h.u64(uint64(uint32(e.candidates)))
+	var flags uint64
+	if e.firstUse {
+		flags |= 1
+	}
+	if e.usedExpired {
+		flags |= 2
+	}
+	h.u64(flags)
+	h.u64(uint64(class))
+}
+
+// shardFileVersion is the on-disk format version of serialized shards,
+// carried in the same checkpoint envelope (magic, CRC, atomic rename)
+// analyzer snapshots use.
+const shardFileVersion = 1
+
+// WriteShardFile atomically serializes the shard to path. The encoding
+// is canonical — resolvers and clients are written in address order —
+// so shards that merge to the same state serialize to the same bytes
+// regardless of the order their inputs arrived in.
+func WriteShardFile(path string, s *AnalysisShard) error {
+	return checkpoint.Save(path, shardFileVersion, s.encode())
+}
+
+// ReadShardFile loads a shard written by WriteShardFile.
+func ReadShardFile(path string) (*AnalysisShard, error) {
+	payload, err := checkpoint.Load(path, shardFileVersion)
+	if err != nil {
+		return nil, err
+	}
+	return decodeShardPayload(payload)
+}
+
+// encode serializes the shard. Layout (little-endian):
+//
+//	options: 8 result-affecting fields (the optionsKey inputs)
+//	i64 dnsTotal, i64 connTotal
+//	failures: 5 x i64
+//	u32 nResolvers; per resolver (addr order): addr, i64 lookups, i64 min
+//	u32 nClients; per client (addr order): addr, i32 nDNS, u32 nEntries;
+//	  per entry: i32 localDNS, i64 gap, i32 candidates, u8 flags,
+//	  i64 lookupDur, i32 res
+//
+// where addr is u8 length + raw bytes, and entry res symbols are
+// rewritten to the address-ordered resolver numbering.
+func (s *AnalysisShard) encode() []byte {
+	var buf bytes.Buffer
+	put := func(v any) { _ = binary.Write(&buf, binary.LittleEndian, v) }
+	putAddr := func(a netip.Addr) {
+		b := a.AsSlice()
+		put(uint8(len(b)))
+		buf.Write(b)
+	}
+	o := &s.opts
+	put(int64(o.BlockThreshold))
+	put(int64(o.KneeThreshold))
+	put(int64(o.SCRMinSamples))
+	put(int64(o.DefaultSCThreshold))
+	put(uint8(o.Pairing))
+	put(o.Seed)
+	put(int64(o.InsignificantAbs))
+	put(math.Float64bits(o.InsignificantRel))
+
+	put(s.dnsTotal)
+	put(s.connTotal)
+	put(int64(s.failures.Lookups))
+	put(int64(s.failures.ServFails))
+	put(int64(s.failures.Retried))
+	put(int64(s.failures.TotalRetries))
+	put(int64(s.failures.TCPFallbacks))
+
+	// Canonical resolver order, with a remap from the in-memory
+	// first-appearance numbering.
+	order := make([]int32, len(s.resolvers))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return s.resolvers[order[i]].addr.Compare(s.resolvers[order[j]].addr) < 0
+	})
+	remap := make([]int32, len(s.resolvers))
+	for canon, orig := range order {
+		remap[orig] = int32(canon)
+	}
+	put(uint32(len(s.resolvers)))
+	for _, orig := range order {
+		rs := &s.resolvers[orig]
+		putAddr(rs.addr)
+		put(rs.lookups)
+		put(int64(rs.minDur))
+	}
+
+	corder := make([]int32, len(s.clients))
+	for i := range corder {
+		corder[i] = int32(i)
+	}
+	sort.Slice(corder, func(i, j int) bool {
+		return s.clients[corder[i]].client.Compare(s.clients[corder[j]].client) < 0
+	})
+	put(uint32(len(s.clients)))
+	for _, ci := range corder {
+		c := &s.clients[ci]
+		putAddr(c.client)
+		put(c.nDNS)
+		put(uint32(len(c.entries)))
+		for j := range c.entries {
+			e := &c.entries[j]
+			res := e.res
+			if res >= 0 {
+				res = remap[res]
+			}
+			var flags uint8
+			if e.firstUse {
+				flags |= 1
+			}
+			if e.usedExpired {
+				flags |= 2
+			}
+			put(e.localDNS)
+			put(int64(e.gap))
+			put(e.candidates)
+			put(flags)
+			put(int64(e.lookupDur))
+			put(res)
+		}
+	}
+	return buf.Bytes()
+}
+
+func decodeShardPayload(payload []byte) (*AnalysisShard, error) {
+	r := bytes.NewReader(payload)
+	bad := func(what string, err error) (*AnalysisShard, error) {
+		return nil, fmt.Errorf("dnscontext: shard file: truncated %s: %w", what, err)
+	}
+	readAddr := func() (netip.Addr, error) {
+		var n uint8
+		if err := readLE(r, &n); err != nil {
+			return netip.Addr{}, err
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(r, b); err != nil {
+			return netip.Addr{}, err
+		}
+		a, ok := netip.AddrFromSlice(b)
+		if !ok {
+			return netip.Addr{}, fmt.Errorf("bad address length %d", n)
+		}
+		return a, nil
+	}
+
+	s := &AnalysisShard{}
+	var block, knee, minSamples, defTh, insAbs int64
+	var pairing uint8
+	var seed, insRelBits uint64
+	if err := readLE(r, &block, &knee, &minSamples, &defTh, &pairing, &seed, &insAbs, &insRelBits); err != nil {
+		return bad("options", err)
+	}
+	s.opts = Options{
+		BlockThreshold:     time.Duration(block),
+		KneeThreshold:      time.Duration(knee),
+		SCRMinSamples:      int(minSamples),
+		DefaultSCThreshold: time.Duration(defTh),
+		Pairing:            PairingPolicy(pairing),
+		Seed:               seed,
+		InsignificantAbs:   time.Duration(insAbs),
+		InsignificantRel:   math.Float64frombits(insRelBits),
+	}
+	var fl, fs, fr, ft, fc int64
+	if err := readLE(r, &s.dnsTotal, &s.connTotal, &fl, &fs, &fr, &ft, &fc); err != nil {
+		return bad("totals", err)
+	}
+	s.failures = FailureStats{
+		Lookups: int(fl), ServFails: int(fs), Retried: int(fr),
+		TotalRetries: int(ft), TCPFallbacks: int(fc),
+	}
+	var nRes uint32
+	if err := readLE(r, &nRes); err != nil {
+		return bad("resolver count", err)
+	}
+	s.resolvers = make([]resolverStat, nRes)
+	for i := range s.resolvers {
+		addr, err := readAddr()
+		if err != nil {
+			return bad("resolver address", err)
+		}
+		var minDur int64
+		if err := readLE(r, &s.resolvers[i].lookups, &minDur); err != nil {
+			return bad("resolver stats", err)
+		}
+		s.resolvers[i].addr = addr
+		s.resolvers[i].minDur = time.Duration(minDur)
+	}
+	var nClients uint32
+	if err := readLE(r, &nClients); err != nil {
+		return bad("client count", err)
+	}
+	s.clients = make([]clientResult, nClients)
+	for i := range s.clients {
+		c := &s.clients[i]
+		addr, err := readAddr()
+		if err != nil {
+			return bad("client address", err)
+		}
+		c.client = addr
+		var nEntries uint32
+		if err := readLE(r, &c.nDNS, &nEntries); err != nil {
+			return bad("client header", err)
+		}
+		if int64(nEntries) > s.connTotal {
+			return nil, fmt.Errorf("dnscontext: shard file: client %s claims %d entries of %d total connections",
+				addr, nEntries, s.connTotal)
+		}
+		if nEntries == 0 {
+			continue
+		}
+		c.entries = make([]connEntry, nEntries)
+		for j := range c.entries {
+			e := &c.entries[j]
+			var gap, lookupDur int64
+			var flags uint8
+			if err := readLE(r, &e.localDNS, &gap, &e.candidates, &flags, &lookupDur, &e.res); err != nil {
+				return bad("entry", err)
+			}
+			if e.res >= int32(nRes) {
+				return nil, fmt.Errorf("dnscontext: shard file: resolver symbol %d out of range", e.res)
+			}
+			e.gap = time.Duration(gap)
+			e.lookupDur = time.Duration(lookupDur)
+			e.firstUse = flags&1 != 0
+			e.usedExpired = flags&2 != 0
+		}
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("dnscontext: shard file: %d trailing bytes", r.Len())
+	}
+	return s, nil
+}

@@ -1,0 +1,333 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"time"
+
+	"dnscontext/internal/trace"
+)
+
+// Spill layer for the out-of-core analyzer. When AnalyzeSource's memory
+// budget trips, records stop accumulating in RAM and are hashed by
+// client into partition files — hash(client) % SpillParts, one file per
+// (stream, partition) — in arrival (= time) order. Because pairing is
+// strictly per-client, each partition is a self-contained slice of the
+// trace: the classify phase loads one partition at a time, so peak
+// memory is one partition plus the accumulating shard, not the trace.
+//
+// The format is a transient process-private scratch encoding — framed
+// little-endian records, no header or checksum — created and deleted
+// within one run; durability and versioning live in the checkpoint
+// envelope that shard files use, not here.
+
+// defaultSpillParts is the partition count when Options.SpillParts is 0.
+const defaultSpillParts = 32
+
+// spillWriter owns one stream's partition files.
+type spillWriter struct {
+	files []*os.File
+	bufs  []*bufio.Writer
+	// scratch is the per-record encode buffer, reused across writes.
+	scratch []byte
+}
+
+func newSpillWriter(dir, stream string, parts int) (*spillWriter, error) {
+	w := &spillWriter{
+		files: make([]*os.File, parts),
+		bufs:  make([]*bufio.Writer, parts),
+	}
+	for p := 0; p < parts; p++ {
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("%s-%03d.spill", stream, p)))
+		if err != nil {
+			w.close()
+			return nil, fmt.Errorf("dnscontext: creating spill partition: %w", err)
+		}
+		w.files[p] = f
+		w.bufs[p] = bufio.NewWriterSize(f, 1<<16)
+	}
+	return w, nil
+}
+
+// flushAll flushes every partition's buffer so readers see complete
+// frames.
+func (w *spillWriter) flushAll() error {
+	for _, b := range w.bufs {
+		if err := b.Flush(); err != nil {
+			return fmt.Errorf("dnscontext: flushing spill partition: %w", err)
+		}
+	}
+	return nil
+}
+
+func (w *spillWriter) close() {
+	for _, f := range w.files {
+		if f != nil {
+			f.Close()
+		}
+	}
+}
+
+// partitionOf assigns a client to a spill partition: FNV-64a over the
+// canonical 16-byte address form, mod the partition count. Stable
+// across processes, so distributed collectors partition identically.
+func partitionOf(client netip.Addr, parts int) int {
+	b := client.As16()
+	h := uint64(0xcbf29ce484222325)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 0x100000001b3
+	}
+	return int(h % uint64(parts))
+}
+
+// Record frames. Addresses are u8 length + raw bytes; strings and
+// answer lists carry u16 counts (the TSV formats they arrive from can't
+// exceed that).
+
+func appendAddr(b []byte, a netip.Addr) []byte {
+	s := a.AsSlice()
+	b = append(b, uint8(len(s)))
+	return append(b, s...)
+}
+
+func appendU16(b []byte, v uint16) []byte {
+	return binary.LittleEndian.AppendUint16(b, v)
+}
+
+func appendI64(b []byte, v int64) []byte {
+	return binary.LittleEndian.AppendUint64(b, uint64(v))
+}
+
+func appendDNSFrame(b []byte, d *trace.DNSRecord) []byte {
+	b = appendI64(b, int64(d.QueryTS))
+	b = appendI64(b, int64(d.TS))
+	b = appendAddr(b, d.Client)
+	b = appendAddr(b, d.Resolver)
+	b = appendU16(b, d.ID)
+	q := d.Query
+	if len(q) > 0xffff {
+		// Cannot happen for records parsed from the TSV logs; truncate
+		// rather than corrupt the frame if a synthetic record tries.
+		q = q[:0xffff]
+	}
+	b = appendU16(b, uint16(len(q)))
+	b = append(b, q...)
+	b = appendU16(b, d.QType)
+	b = append(b, d.RCode)
+	b = appendU16(b, uint16(len(d.Answers)))
+	for _, an := range d.Answers {
+		b = appendAddr(b, an.Addr)
+		b = appendI64(b, int64(an.TTL))
+	}
+	b = append(b, d.Retries)
+	if d.TC {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	return b
+}
+
+func appendConnFrame(b []byte, c *trace.ConnRecord) []byte {
+	b = appendI64(b, int64(c.TS))
+	b = appendI64(b, int64(c.Duration))
+	b = append(b, uint8(c.Proto))
+	b = appendAddr(b, c.Orig)
+	b = appendU16(b, c.OrigPort)
+	b = appendAddr(b, c.Resp)
+	b = appendU16(b, c.RespPort)
+	b = appendI64(b, c.OrigBytes)
+	b = appendI64(b, c.RespBytes)
+	return b
+}
+
+func (w *spillWriter) writeDNS(d *trace.DNSRecord, parts int) error {
+	w.scratch = appendDNSFrame(w.scratch[:0], d)
+	_, err := w.bufs[partitionOf(d.Client, parts)].Write(w.scratch)
+	return err
+}
+
+func (w *spillWriter) writeConn(c *trace.ConnRecord, parts int) error {
+	w.scratch = appendConnFrame(w.scratch[:0], c)
+	_, err := w.bufs[partitionOf(c.Orig, parts)].Write(w.scratch)
+	return err
+}
+
+// spillReader decodes one partition file's frames.
+type spillReader struct {
+	r    *bufio.Reader
+	path string
+}
+
+func openSpillPartition(path string) (*spillReader, *os.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &spillReader{r: bufio.NewReaderSize(f, 1<<16), path: path}, f, nil
+}
+
+func (r *spillReader) corrupt(err error) error {
+	return fmt.Errorf("dnscontext: spill partition %s: unexpected frame: %w", r.path, err)
+}
+
+func (r *spillReader) readAddr() (netip.Addr, error) {
+	n, err := r.r.ReadByte()
+	if err != nil {
+		return netip.Addr{}, err
+	}
+	var buf [16]byte
+	if int(n) > len(buf) {
+		return netip.Addr{}, fmt.Errorf("address length %d", n)
+	}
+	if _, err := io.ReadFull(r.r, buf[:n]); err != nil {
+		return netip.Addr{}, err
+	}
+	a, ok := netip.AddrFromSlice(buf[:n])
+	if !ok {
+		return netip.Addr{}, fmt.Errorf("address length %d", n)
+	}
+	return a, nil
+}
+
+func (r *spillReader) readU16() (uint16, error) {
+	var b [2]byte
+	if _, err := io.ReadFull(r.r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b[:]), nil
+}
+
+func (r *spillReader) readI64() (int64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r.r, b[:]); err != nil {
+		return 0, err
+	}
+	return int64(binary.LittleEndian.Uint64(b[:])), nil
+}
+
+// readDNS decodes the next DNS frame; io.EOF (clean, at a frame
+// boundary) signals the end of the partition.
+func (r *spillReader) readDNS() (trace.DNSRecord, error) {
+	var d trace.DNSRecord
+	qts, err := r.readI64()
+	if err != nil {
+		if err == io.EOF {
+			return d, io.EOF
+		}
+		return d, r.corrupt(err)
+	}
+	d.QueryTS = time.Duration(qts)
+	ts, err := r.readI64()
+	if err != nil {
+		return d, r.corrupt(err)
+	}
+	d.TS = time.Duration(ts)
+	if d.Client, err = r.readAddr(); err != nil {
+		return d, r.corrupt(err)
+	}
+	if d.Resolver, err = r.readAddr(); err != nil {
+		return d, r.corrupt(err)
+	}
+	if d.ID, err = r.readU16(); err != nil {
+		return d, r.corrupt(err)
+	}
+	qlen, err := r.readU16()
+	if err != nil {
+		return d, r.corrupt(err)
+	}
+	q := make([]byte, qlen)
+	if _, err := io.ReadFull(r.r, q); err != nil {
+		return d, r.corrupt(err)
+	}
+	d.Query = string(q)
+	if d.QType, err = r.readU16(); err != nil {
+		return d, r.corrupt(err)
+	}
+	if d.RCode, err = r.r.ReadByte(); err != nil {
+		return d, r.corrupt(err)
+	}
+	nAns, err := r.readU16()
+	if err != nil {
+		return d, r.corrupt(err)
+	}
+	if nAns > 0 {
+		d.Answers = make([]trace.Answer, nAns)
+		for i := range d.Answers {
+			if d.Answers[i].Addr, err = r.readAddr(); err != nil {
+				return d, r.corrupt(err)
+			}
+			ttl, err := r.readI64()
+			if err != nil {
+				return d, r.corrupt(err)
+			}
+			d.Answers[i].TTL = time.Duration(ttl)
+		}
+	}
+	if d.Retries, err = r.r.ReadByte(); err != nil {
+		return d, r.corrupt(err)
+	}
+	tc, err := r.r.ReadByte()
+	if err != nil {
+		return d, r.corrupt(err)
+	}
+	d.TC = tc != 0
+	return d, nil
+}
+
+// readConn decodes the next connection frame; io.EOF signals the end.
+func (r *spillReader) readConn() (trace.ConnRecord, error) {
+	var c trace.ConnRecord
+	ts, err := r.readI64()
+	if err != nil {
+		if err == io.EOF {
+			return c, io.EOF
+		}
+		return c, r.corrupt(err)
+	}
+	c.TS = time.Duration(ts)
+	dur, err := r.readI64()
+	if err != nil {
+		return c, r.corrupt(err)
+	}
+	c.Duration = time.Duration(dur)
+	proto, err := r.r.ReadByte()
+	if err != nil {
+		return c, r.corrupt(err)
+	}
+	c.Proto = trace.Proto(proto)
+	if c.Orig, err = r.readAddr(); err != nil {
+		return c, r.corrupt(err)
+	}
+	if c.OrigPort, err = r.readU16(); err != nil {
+		return c, r.corrupt(err)
+	}
+	if c.Resp, err = r.readAddr(); err != nil {
+		return c, r.corrupt(err)
+	}
+	if c.RespPort, err = r.readU16(); err != nil {
+		return c, r.corrupt(err)
+	}
+	if c.OrigBytes, err = r.readI64(); err != nil {
+		return c, r.corrupt(err)
+	}
+	if c.RespBytes, err = r.readI64(); err != nil {
+		return c, r.corrupt(err)
+	}
+	return c, nil
+}
+
+// retainedDNSBytes estimates the resident footprint of one DNS record
+// for budget accounting: struct, query string, and answer backing.
+func retainedDNSBytes(d *trace.DNSRecord) int64 {
+	return 120 + int64(len(d.Query)) + 24*int64(len(d.Answers))
+}
+
+// retainedConnBytes is the resident footprint of one connection record.
+func retainedConnBytes() int64 { return 80 }

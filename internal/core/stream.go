@@ -1,0 +1,534 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/netip"
+	"os"
+	"sync"
+	"time"
+
+	"dnscontext/internal/parallel"
+	"dnscontext/internal/stats"
+	"dnscontext/internal/trace"
+)
+
+// AnalyzeSource runs the full classification pipeline over a streaming
+// Source in bounded memory. With no memory budget (Options.MemoryBudget
+// zero) the source is ingested whole and the in-memory pipeline runs —
+// an in-memory DatasetSource short-circuits straight to AnalyzeContext
+// with zero copying. With a budget, ingestion retains records only
+// until the budget trips, then spills them to client-hashed partition
+// files and classifies one partition at a time, producing a
+// summary-grade Analysis (see Analysis.Summary) whose classification
+// results, thresholds, failure statistics, and Digest are bit-identical
+// to what the in-memory pipeline computes on the same trace.
+//
+// The streaming map phase is exposed separately as CollectShard for
+// multi-process runs: each process collects a shard over its slice of
+// the trace, and MergeShards + Finalize reduce them to the same result.
+func AnalyzeSource(ctx context.Context, src trace.Source, opts Options) (*Analysis, error) {
+	opts = opts.withDefaults()
+	if d, ok := src.(*trace.DatasetSource); ok && opts.MemoryBudget <= 0 {
+		return AnalyzeContext(ctx, d.DS, opts)
+	}
+	run := newStreamRun(opts)
+	defer run.cleanup()
+	if err := run.ingest(ctx, src); err != nil {
+		return nil, analysisAborted(err)
+	}
+	if !run.spilled {
+		return AnalyzeContext(ctx, &trace.Dataset{DNS: run.dns, Conns: run.conns}, opts)
+	}
+	sh, err := run.collect(ctx)
+	if err != nil {
+		return nil, analysisAborted(err)
+	}
+	sp := opts.Trace.StartPhase("reduce")
+	a := sh.Finalize()
+	sp.SetItems(len(sh.clients))
+	sp.End()
+	a.publishMetrics(opts.Metrics)
+	run.publishMetrics()
+	return a, nil
+}
+
+// CollectShard is the map phase of the out-of-core pipeline: it ingests
+// src exactly as AnalyzeSource does but stops at the mergeable
+// AnalysisShard instead of finalizing, so several processes can each
+// cover a client-disjoint slice of a trace and a final process can
+// MergeShards + Finalize them. Every option that affects results must
+// match across collectors (Merge verifies this); under PairRandom the
+// merged result is additionally sensitive to process-local shard ranks,
+// so cross-process exactness is only guaranteed under PairMostRecent.
+func CollectShard(ctx context.Context, src trace.Source, opts Options) (*AnalysisShard, error) {
+	opts = opts.withDefaults()
+	inMemory := func(ds *trace.Dataset) (*AnalysisShard, error) {
+		a, err := AnalyzeContext(ctx, ds, opts)
+		if err != nil {
+			return nil, err
+		}
+		return a.Shard(), nil
+	}
+	if d, ok := src.(*trace.DatasetSource); ok && opts.MemoryBudget <= 0 {
+		return inMemory(d.DS)
+	}
+	run := newStreamRun(opts)
+	defer run.cleanup()
+	if err := run.ingest(ctx, src); err != nil {
+		return nil, analysisAborted(err)
+	}
+	if !run.spilled {
+		return inMemory(&trace.Dataset{DNS: run.dns, Conns: run.conns})
+	}
+	sh, err := run.collect(ctx)
+	if err != nil {
+		return nil, analysisAborted(err)
+	}
+	run.publishMetrics()
+	return sh, nil
+}
+
+// streamRun is the state of one out-of-core ingest + classify pass.
+type streamRun struct {
+	opts  Options
+	parts int
+
+	// Resident mode: records retained until the budget trips.
+	dns          []trace.DNSRecord
+	conns        []trace.ConnRecord
+	retained     int64
+	peakRetained int64
+
+	// Spill mode.
+	spilled        bool
+	spillDir       string
+	ownsDir        bool
+	dnsW, connW    *spillWriter
+	spilledRecords int64
+
+	// Whole-trace accumulators, all associative: totals, failure stats,
+	// per-resolver (count, min) for threshold derivation, and the
+	// client first-appearance orders that reproduce the in-memory shard
+	// ranks (conn originators first, then DNS-only clients).
+	dnsTotal, connTotal int64
+	failures            FailureStats
+	rsyms               map[netip.Addr]int32
+	resolvers           []resolverStat
+	connRank            map[netip.Addr]int32
+	connOrder           []netip.Addr
+	dnsRank             map[netip.Addr]int32
+	dnsOrder            []netip.Addr
+}
+
+func newStreamRun(opts Options) *streamRun {
+	parts := opts.SpillParts
+	if parts <= 0 {
+		parts = defaultSpillParts
+	}
+	return &streamRun{
+		opts:     opts,
+		parts:    parts,
+		rsyms:    make(map[netip.Addr]int32),
+		connRank: make(map[netip.Addr]int32),
+		dnsRank:  make(map[netip.Addr]int32),
+	}
+}
+
+func (r *streamRun) cleanup() {
+	if r.dnsW != nil {
+		r.dnsW.close()
+	}
+	if r.connW != nil {
+		r.connW.close()
+	}
+	if r.spillDir != "" {
+		if r.ownsDir {
+			os.RemoveAll(r.spillDir)
+		} else {
+			// A caller-provided spill dir is theirs; only the scratch
+			// partitions this run created are removed.
+			for p := 0; p < r.parts; p++ {
+				os.Remove(spillPath(r.spillDir, "dns", p))
+				os.Remove(spillPath(r.spillDir, "conn", p))
+			}
+		}
+	}
+}
+
+func spillPath(dir, stream string, p int) string {
+	return fmt.Sprintf("%s/%s-%03d.spill", dir, stream, p)
+}
+
+// ingest scans the source — DNS first, then connections — verifying
+// time order, accumulating the whole-trace statistics, and retaining
+// records until the memory budget trips, after which records go to the
+// spill partitions instead.
+func (r *streamRun) ingest(ctx context.Context, src trace.Source) error {
+	tr := r.opts.Trace
+	sp := tr.StartPhase("ingest-dns")
+	var lastTS time.Duration
+	first := true
+	err := src.StreamDNS(func(d *trace.DNSRecord) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if !first && d.TS < lastTS {
+			return fmt.Errorf("source DNS stream out of order: response at %v after %v (sources must yield nondecreasing TS)", d.TS, lastTS)
+		}
+		first, lastTS = false, d.TS
+		r.observeDNS(d)
+		if r.spilled {
+			r.spilledRecords++
+			return r.dnsW.writeDNS(d, r.parts)
+		}
+		r.dns = append(r.dns, *d)
+		return r.account(retainedDNSBytes(d))
+	})
+	sp.SetItems(int(r.dnsTotal))
+	if err != nil {
+		return err
+	}
+
+	sp = tr.StartPhase("ingest-conns")
+	first, lastTS = true, 0
+	err = src.StreamConns(func(c *trace.ConnRecord) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if !first && c.TS < lastTS {
+			return fmt.Errorf("source connection stream out of order: start at %v after %v (sources must yield nondecreasing TS)", c.TS, lastTS)
+		}
+		first, lastTS = false, c.TS
+		r.observeConn(c)
+		if r.spilled {
+			r.spilledRecords++
+			return r.connW.writeConn(c, r.parts)
+		}
+		r.conns = append(r.conns, *c)
+		return r.account(retainedConnBytes())
+	})
+	sp.SetItems(int(r.connTotal))
+	sp.End()
+	if err != nil {
+		return err
+	}
+	if r.spilled {
+		if err := r.dnsW.flushAll(); err != nil {
+			return err
+		}
+		return r.connW.flushAll()
+	}
+	return nil
+}
+
+// observeDNS folds one DNS record into the whole-trace accumulators.
+func (r *streamRun) observeDNS(d *trace.DNSRecord) {
+	r.dnsTotal++
+	r.failures.Lookups++
+	if failureRecord(d) {
+		r.failures.ServFails++
+	}
+	if d.Retries > 0 {
+		r.failures.Retried++
+		r.failures.TotalRetries += int(d.Retries)
+	}
+	if d.TC {
+		r.failures.TCPFallbacks++
+	}
+	rs, ok := r.rsyms[d.Resolver]
+	if !ok {
+		rs = int32(len(r.resolvers))
+		r.rsyms[d.Resolver] = rs
+		r.resolvers = append(r.resolvers, resolverStat{addr: d.Resolver})
+	}
+	stat := &r.resolvers[rs]
+	dur := d.Duration()
+	if stat.lookups == 0 || dur < stat.minDur {
+		stat.minDur = dur
+	}
+	stat.lookups++
+	if _, ok := r.dnsRank[d.Client]; !ok {
+		r.dnsRank[d.Client] = int32(len(r.dnsOrder))
+		r.dnsOrder = append(r.dnsOrder, d.Client)
+	}
+}
+
+// observeConn folds one connection record into the accumulators.
+func (r *streamRun) observeConn(c *trace.ConnRecord) {
+	r.connTotal++
+	if _, ok := r.connRank[c.Orig]; !ok {
+		r.connRank[c.Orig] = int32(len(r.connOrder))
+		r.connOrder = append(r.connOrder, c.Orig)
+	}
+}
+
+// account charges n retained bytes against the budget, tripping the
+// spill when it is exceeded.
+func (r *streamRun) account(n int64) error {
+	r.retained += n
+	if r.retained > r.peakRetained {
+		r.peakRetained = r.retained
+	}
+	if r.opts.MemoryBudget > 0 && r.retained > r.opts.MemoryBudget {
+		return r.trip()
+	}
+	return nil
+}
+
+// trip switches the run to spill mode: create the partition files,
+// flush every retained record into them (preserving arrival order, so
+// per-client sequences stay time-ordered), and release the retained
+// slices.
+func (r *streamRun) trip() error {
+	dir := r.opts.SpillDir
+	if dir == "" {
+		d, err := os.MkdirTemp("", "dnsctx-spill-*")
+		if err != nil {
+			return fmt.Errorf("creating spill dir: %w", err)
+		}
+		dir, r.ownsDir = d, true
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("creating spill dir: %w", err)
+	}
+	r.spillDir = dir
+	var err error
+	if r.dnsW, err = newSpillWriter(dir, "dns", r.parts); err != nil {
+		return err
+	}
+	if r.connW, err = newSpillWriter(dir, "conn", r.parts); err != nil {
+		return err
+	}
+	for i := range r.dns {
+		if err := r.dnsW.writeDNS(&r.dns[i], r.parts); err != nil {
+			return err
+		}
+	}
+	for i := range r.conns {
+		if err := r.connW.writeConn(&r.conns[i], r.parts); err != nil {
+			return err
+		}
+	}
+	r.spilledRecords += int64(len(r.dns)) + int64(len(r.conns))
+	r.dns, r.conns = nil, nil
+	r.retained = 0
+	r.spilled = true
+	return nil
+}
+
+// clientWork is one client's complete record slice, ready to classify.
+type clientWork struct {
+	client netip.Addr
+	rank   int32
+	dns    []trace.DNSRecord
+	conns  []trace.ConnRecord
+}
+
+// collect classifies the spilled trace into an AnalysisShard. The
+// producer loads one partition at a time (each holds every record of
+// its clients, since partitioning hashes the client), the consumers
+// classify per client, and the fold is commutative, so the shard — and
+// everything finalized from it — is identical for every worker count.
+func (r *streamRun) collect(ctx context.Context) (*AnalysisShard, error) {
+	tr := r.opts.Trace
+	sp := tr.StartPhase("classify-spill")
+	// Shard ranks replicate buildShards: conn-originating clients in
+	// first-connection order, then DNS-only clients in first-lookup
+	// order. Ranks seed the per-client RNG streams, keeping PairRandom
+	// runs bit-identical to the in-memory pipeline.
+	rank := make(map[netip.Addr]int32, len(r.connOrder)+len(r.dnsOrder))
+	for i, c := range r.connOrder {
+		rank[c] = int32(i)
+	}
+	next := int32(len(r.connOrder))
+	for _, c := range r.dnsOrder {
+		if _, ok := rank[c]; !ok {
+			rank[c] = next
+			next++
+		}
+	}
+
+	sh := &AnalysisShard{
+		opts:      r.opts,
+		dnsTotal:  r.dnsTotal,
+		connTotal: r.connTotal,
+		failures:  r.failures,
+		resolvers: append([]resolverStat(nil), r.resolvers...),
+		clients:   make([]clientResult, 0, len(rank)),
+	}
+	var mu sync.Mutex
+
+	workers := parallel.Workers(r.opts.Workers)
+	produce := func(emit func(clientWork) error) error {
+		for p := 0; p < r.parts; p++ {
+			perClient, order, err := r.loadPartition(p)
+			if err != nil {
+				return err
+			}
+			for _, client := range order {
+				recs := perClient[client]
+				if err := emit(clientWork{client: client, rank: rank[client], dns: recs.dns, conns: recs.conns}); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	consume := func(w clientWork) error {
+		c := r.classifyClient(w)
+		mu.Lock()
+		sh.clients = append(sh.clients, c)
+		mu.Unlock()
+		return nil
+	}
+	// Buffer a handful of clients so the producer reads the next
+	// partition while consumers classify the previous one's tail.
+	if err := parallel.Stream(ctx, r.opts.Workers, workers*2, produce, consume); err != nil {
+		return nil, err
+	}
+	sp.SetItems(len(sh.clients))
+	sp.End()
+	return sh, nil
+}
+
+// partitionRecs is one client's records within a partition.
+type partitionRecs struct {
+	dns   []trace.DNSRecord
+	conns []trace.ConnRecord
+}
+
+// loadPartition reads partition p's two spill files, grouping records
+// by client in arrival order. Returned clients preserve first-appearance
+// order (DNS stream first), purely for reproducible scheduling; results
+// do not depend on it.
+func (r *streamRun) loadPartition(p int) (map[netip.Addr]*partitionRecs, []netip.Addr, error) {
+	perClient := make(map[netip.Addr]*partitionRecs)
+	var order []netip.Addr
+	get := func(client netip.Addr) *partitionRecs {
+		recs, ok := perClient[client]
+		if !ok {
+			recs = &partitionRecs{}
+			perClient[client] = recs
+			order = append(order, client)
+		}
+		return recs
+	}
+
+	dr, df, err := openSpillPartition(spillPath(r.spillDir, "dns", p))
+	if err != nil {
+		return nil, nil, err
+	}
+	for {
+		d, err := dr.readDNS()
+		if err != nil {
+			df.Close()
+			if err == io.EOF {
+				break
+			}
+			return nil, nil, err
+		}
+		recs := get(d.Client)
+		recs.dns = append(recs.dns, d)
+	}
+
+	cr, cf, err := openSpillPartition(spillPath(r.spillDir, "conn", p))
+	if err != nil {
+		return nil, nil, err
+	}
+	for {
+		c, err := cr.readConn()
+		if err != nil {
+			cf.Close()
+			if err == io.EOF {
+				break
+			}
+			return nil, nil, err
+		}
+		recs := get(c.Orig)
+		recs.conns = append(recs.conns, c)
+	}
+	return perClient, order, nil
+}
+
+// classifyClient pairs and classifies one client's connections against
+// its own lookups — the streaming twin of classifyShard, sharing
+// pairConn so the scan, tie-breaking, and RNG draw order are the same
+// code path. Indices in the result are client-local.
+func (r *streamRun) classifyClient(w clientWork) clientResult {
+	c := clientResult{client: w.client, nDNS: int32(len(w.dns))}
+	if len(w.conns) == 0 {
+		return c
+	}
+	expiry := make([]time.Duration, len(w.dns))
+	for i := range w.dns {
+		expiry[i] = w.dns[i].ExpiresAt()
+	}
+	idx := buildLocalIndex(w.dns, expiry)
+	rng := stats.NewRNG(r.opts.Seed + uint64(w.rank))
+	used := make([]bool, len(w.dns))
+	var fresh []int32
+	entries := make([]connEntry, len(w.conns))
+	for j := range w.conns {
+		conn := &w.conns[j]
+		e := &entries[j]
+		var l, cand int
+		l, cand, fresh = pairConn(r.opts.Pairing, idx, conn, rng, fresh)
+		if l < 0 {
+			e.localDNS, e.res = -1, -1
+			continue
+		}
+		d := &w.dns[l]
+		e.localDNS = int32(l)
+		e.gap = conn.TS - d.TS
+		e.candidates = int32(cand)
+		e.firstUse = !used[l]
+		used[l] = true
+		e.usedExpired = conn.TS >= expiry[l]
+		e.lookupDur = d.Duration()
+		e.res = r.rsyms[d.Resolver]
+	}
+	c.entries = entries
+	return c
+}
+
+// buildLocalIndex is buildShardIndex over a client-local record slice:
+// pairEnt indices address the slice itself rather than a dataset.
+func buildLocalIndex(dns []trace.DNSRecord, expiry []time.Duration) shardIndex {
+	total := 0
+	counts := make(map[netip.Addr]int32, len(dns))
+	for i := range dns {
+		for _, ans := range dns[i].Answers {
+			counts[ans.Addr]++
+			total++
+		}
+	}
+	backing := make([]pairEnt, total)
+	idx := make(shardIndex, len(counts))
+	off := int32(0)
+	for addr, n := range counts {
+		idx[addr] = backing[off:off : off+n]
+		off += n
+	}
+	for i := range dns {
+		ent := pairEnt{ts: dns[i].TS, expiry: expiry[i], idx: int32(i)}
+		for _, ans := range dns[i].Answers {
+			idx[ans.Addr] = append(idx[ans.Addr], ent)
+		}
+	}
+	return idx
+}
+
+// publishMetrics records the streaming run's counters.
+func (r *streamRun) publishMetrics() {
+	reg := r.opts.Metrics
+	if reg == nil || !r.spilled {
+		return
+	}
+	reg.Counter("dnsctx_stream_spilled_records_total",
+		"Trace records diverted to spill partitions by the memory budget.").
+		Add(uint64(r.spilledRecords))
+	reg.Counter("dnsctx_stream_spill_partitions_total",
+		"Spill partitions (per stream) the out-of-core classify phase consumed.").
+		Add(uint64(r.parts))
+}

@@ -109,6 +109,79 @@ func Map[T any](ctx context.Context, workers, n int, fn func(int) (T, error)) ([
 	return out, nil
 }
 
+// Stream overlaps production with consumption: produce runs on its own
+// goroutine, handing items through a channel with the given buffer,
+// while up to `workers` goroutines (0 means GOMAXPROCS) drain it. It is
+// the pipeline shape behind the out-of-core analyzer — the producer
+// reads the next spill partition from disk while consumers classify the
+// previous one — but it is generic: any "read ahead while workers
+// chew" stage fits.
+//
+// The first error from produce or any consume cancels everything and is
+// returned; emit returns a non-nil error once the stream is cancelled
+// so a blocked producer unwinds promptly. Consumption order is
+// unspecified; callers needing deterministic results must fold
+// commutatively or reorder downstream.
+func Stream[T any](ctx context.Context, workers, buffer int, produce func(emit func(T) error) error, consume func(T) error) error {
+	if buffer < 0 {
+		buffer = 0
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	ch := make(chan T, buffer)
+	var prodWG sync.WaitGroup
+	prodWG.Add(1)
+	go func() {
+		defer prodWG.Done()
+		defer close(ch)
+		emit := func(v T) error {
+			select {
+			case ch <- v:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		if err := produce(emit); err != nil {
+			fail(err)
+		}
+	}()
+
+	w := Workers(workers)
+	var consWG sync.WaitGroup
+	consWG.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer consWG.Done()
+			for v := range ch {
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				if err := consume(v); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	prodWG.Wait()
+	consWG.Wait()
+	return firstErr
+}
+
 // Range is a half-open index interval [Lo, Hi).
 type Range struct{ Lo, Hi int }
 

@@ -3,8 +3,10 @@ package parallel
 import (
 	"context"
 	"errors"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestForEachVisitsEveryIndex(t *testing.T) {
@@ -170,5 +172,126 @@ func TestShardByDeterministicOrder(t *testing.T) {
 				t.Fatalf("shard %d items %v, want %v", s, shards[s].Items, wantItems[s])
 			}
 		}
+	}
+}
+
+// TestStreamConsumesEverything checks every produced item is consumed
+// exactly once, at several worker counts and buffer sizes.
+func TestStreamConsumesEverything(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		for _, buffer := range []int{0, 1, 16} {
+			var sum atomic.Int64
+			produce := func(emit func(int) error) error {
+				for i := 1; i <= 100; i++ {
+					if err := emit(i); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			consume := func(v int) error {
+				sum.Add(int64(v))
+				return nil
+			}
+			if err := Stream(context.Background(), workers, buffer, produce, consume); err != nil {
+				t.Fatalf("workers=%d buffer=%d: %v", workers, buffer, err)
+			}
+			if got := sum.Load(); got != 5050 {
+				t.Errorf("workers=%d buffer=%d: consumed sum %d, want 5050", workers, buffer, got)
+			}
+		}
+	}
+}
+
+// TestStreamOverlapsProducerAndConsumer checks the defining property:
+// the producer can run ahead of consumption by the buffer's depth
+// instead of waiting for each item to finish.
+func TestStreamOverlapsProducerAndConsumer(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	produced := make(chan int, 16)
+	produce := func(emit func(int) error) error {
+		for i := 0; i < 4; i++ {
+			if err := emit(i); err != nil {
+				return err
+			}
+			produced <- i
+		}
+		close(produced)
+		return nil
+	}
+	var once sync.Once
+	consume := func(v int) error {
+		once.Do(func() { close(started) })
+		<-release
+		return nil
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- Stream(context.Background(), 1, 8, produce, consume)
+	}()
+	<-started
+	// With the lone consumer blocked, the producer must still drain its
+	// loop into the buffer.
+	for i := 0; i < 4; i++ {
+		select {
+		case <-produced:
+		case <-time.After(5 * time.Second):
+			t.Fatal("producer blocked behind a stalled consumer despite buffer capacity")
+		}
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamConsumerErrorCancelsProducer checks a consumer error
+// surfaces as the stream's error and unblocks a mid-emit producer.
+func TestStreamConsumerErrorCancelsProducer(t *testing.T) {
+	sentinel := errors.New("consumer failed")
+	produce := func(emit func(int) error) error {
+		for i := 0; ; i++ {
+			if err := emit(i); err != nil {
+				return err // cancellation unwinds the producer
+			}
+		}
+	}
+	consume := func(v int) error { return sentinel }
+	if err := Stream(context.Background(), 2, 0, produce, consume); !errors.Is(err, sentinel) {
+		t.Fatalf("stream error %v, want %v", err, sentinel)
+	}
+}
+
+// TestStreamProducerErrorPropagates checks a producer error is the
+// stream's result even when consumers finish cleanly.
+func TestStreamProducerErrorPropagates(t *testing.T) {
+	sentinel := errors.New("producer failed")
+	produce := func(emit func(int) error) error {
+		if err := emit(1); err != nil {
+			return err
+		}
+		return sentinel
+	}
+	if err := Stream(context.Background(), 2, 4, produce, func(int) error { return nil }); !errors.Is(err, sentinel) {
+		t.Fatalf("stream error %v, want %v", err, sentinel)
+	}
+}
+
+// TestStreamCancelledContext checks cancellation aborts both sides.
+func TestStreamCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Stream(ctx, 2, 0,
+		func(emit func(int) error) error {
+			for i := 0; ; i++ {
+				if err := emit(i); err != nil {
+					return err
+				}
+			}
+		},
+		func(int) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("stream error %v, want context.Canceled", err)
 	}
 }
