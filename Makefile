@@ -15,9 +15,9 @@ FUZZTIME ?= 10s
 
 FUZZ_TARGETS := FuzzReadDNS FuzzReadConns FuzzReadDNSJSON FuzzReadConnsJSON
 
-.PHONY: check vet build test race obs-determinism stream-parity soak bench bench-all bench-parallel bench-compare profile fuzz cover
+.PHONY: check vet build test race obs-determinism stream-parity transport-matrix soak bench bench-all bench-parallel bench-compare profile fuzz cover
 
-check: vet build race obs-determinism stream-parity soak
+check: vet build race obs-determinism stream-parity transport-matrix soak
 
 vet:
 	$(GO) vet ./...
@@ -44,6 +44,14 @@ obs-determinism:
 stream-parity:
 	$(GO) test ./internal/core -run='TestStreamParityWithInMemory|TestMultiProcessMergeMatchesInMemory' -count=1
 
+# Transport matrix: the default (Do53) transport must reproduce the
+# pre-transport golden hashes bit for bit, and every transport's trace
+# must analyze digest-identically at Workers 1, 2, and 8 under nonzero
+# faults (the PR 7 encrypted-transport invariant). Also covered by
+# `race`, but named so the gate is visible.
+transport-matrix:
+	$(GO) test ./internal/core -run='TestGoldenOutputsBitIdentical|TestExplicitUDPTransportMatchesGolden|TestTransportMatrixDigestParity' -count=1
+
 # Chaos soak of the hardened DNS server under the race detector: several
 # seconds of mixed valid/garbage/panicking queries against a small queue
 # and a live rate limiter, asserting the server answers throughout,
@@ -69,13 +77,13 @@ cover:
 
 # Machine-readable benchmark record: the headline benchmarks rendered as
 # JSON (name, ns/op, allocs/op, and custom metrics like speedup_x and
-# peak_heap_bytes) into BENCH_PR6.json via cmd/benchjson, with delta
-# columns against the PR 5 record when it exists.
-BENCH_BASELINE ?= BENCH_PR5.json
-BENCH_OUT ?= BENCH_PR6.json
+# peak_heap_bytes) into BENCH_PR7.json via cmd/benchjson, with delta
+# columns against the PR 6 record when it exists.
+BENCH_BASELINE ?= BENCH_PR6.json
+BENCH_OUT ?= BENCH_PR7.json
 
 bench:
-	$(GO) test -bench='BenchmarkAnalyzeParallel$$|BenchmarkFaultLossSweep$$|BenchmarkAnalyzeStream$$' \
+	$(GO) test -bench='BenchmarkAnalyzeParallel$$|BenchmarkFaultLossSweep$$|BenchmarkAnalyzeStream$$|BenchmarkTransportLookup$$|BenchmarkTransportWhatIf$$' \
 		-benchmem -benchtime=3x -run='^$$' | \
 		$(GO) run ./cmd/benchjson $(if $(wildcard $(BENCH_BASELINE)),-baseline $(BENCH_BASELINE)) > $(BENCH_OUT)
 	@cat $(BENCH_OUT)

@@ -58,6 +58,10 @@ func main() {
 		faultTruncate = flag.Int("fault-truncate", 0, "answers-per-response UDP truncation threshold, 0 = off (with -generate)")
 		faultStale    = flag.Duration("fault-stale-hold", 0, "serve-stale window for phone/laptop stubs under resolver failure (with -generate)")
 
+		transport       = flag.String("transport", "", "resolver wire transport for generation: udp, tcp, dot, or doh; empty = udp (with -generate)")
+		transportResume = flag.Bool("transport-resumption", false, "enable TLS session resumption for dot/doh (with -generate -transport)")
+		whatifTransport = flag.Bool("whatif-transport", false, "append the Do53/DoTCP/DoT/DoH transport delta table to the report")
+
 		block    = flag.Duration("block-threshold", 100*time.Millisecond, "blocked-connection gap threshold")
 		scrMin   = flag.Int("scr-min-samples", 1000, "min lookups for a per-resolver SC/R threshold")
 		scrDef   = flag.Duration("scr-default", 5*time.Millisecond, "default SC/R duration threshold")
@@ -96,6 +100,17 @@ func main() {
 	usageErr := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "dnsctx: %s\n", fmt.Sprintf(format, args...))
 		os.Exit(2)
+	}
+	if !*generate {
+		if *transport != "" {
+			usageErr("-transport requires -generate (read traces already carry their transport's timing)")
+		}
+		if *transportResume {
+			usageErr("-transport-resumption requires -generate")
+		}
+	}
+	if _, err := dnscontext.ParseTransport(*transport); err != nil {
+		usageErr("bad -transport: %v", err)
 	}
 	if *ckResume && *ckPath == "" {
 		usageErr("-resume requires -checkpoint (there is no snapshot file to resume from)")
@@ -185,6 +200,8 @@ func main() {
 		cfg.Faults.ExtraJitter = *faultJitter
 		cfg.Faults.TruncateOver = *faultTruncate
 		cfg.Faults.StaleHold = *faultStale
+		cfg.Transport.Kind = *transport
+		cfg.Transport.SessionResumption = *transportResume
 		cfg.Metrics = reg
 		if *faultOutage != "" {
 			windows, err := parseOutages(*faultOutage)
@@ -300,9 +317,16 @@ func main() {
 			log.Printf("timeline written to %s", *timelineJSON)
 		}
 	}
-	if a.Summary() && (*perHouse || *figures != "") {
-		log.Printf("note: -per-house and -figures need the resident dataset; skipped for the summary-grade streamed result")
-		*perHouse, *figures = false, ""
+	if a.Summary() && (*perHouse || *figures != "" || *whatifTransport) {
+		log.Printf("note: -per-house, -figures, and -whatif-transport need the resident dataset; skipped for the summary-grade streamed result")
+		*perHouse, *figures, *whatifTransport = false, "", false
+	}
+	if *whatifTransport {
+		rows := a.TransportWhatIf(profiles, dnscontext.DefaultTransportScenarios())
+		fmt.Println()
+		if err := dnscontext.WriteTransportTable(os.Stdout, rows, a.Opts.BlockThreshold); err != nil {
+			log.Fatal(err)
+		}
 	}
 	if *perHouse {
 		houses := a.PerHouse(profiles)

@@ -7,11 +7,19 @@
 //
 //	resolverbench -houses 50 -duration 12h
 //	resolverbench -loss-sweep -houses 20 -duration 4h
+//	resolverbench -transport-sweep -houses 20 -duration 4h
 //
 // With -loss-sweep the command instead runs the fault-injection
 // experiment: the same workload under increasing packet loss, with and
 // without a scheduled local-resolver outage, reporting the
 // failure-adjusted blocking distribution for each cell.
+//
+// With -transport-sweep it forward-simulates the same workload over each
+// wire transport (Do53, DoTCP, DoT, DoH — the TLS ones with and without
+// session resumption) across the loss sweep, reporting the blocked-on-DNS
+// fraction and the stream failure counters per cell. This is the
+// simulated ground truth the analytic dnsctx -whatif-transport table
+// approximates.
 package main
 
 import (
@@ -34,6 +42,7 @@ func main() {
 		duration    = flag.Duration("duration", 8*time.Hour, "window")
 		seed        = flag.Uint64("seed", 1, "seed")
 		lossSweep   = flag.Bool("loss-sweep", false, "run the fault-injection loss sweep instead of the platform comparison")
+		transpSweep = flag.Bool("transport-sweep", false, "run the transport × loss sweep instead of the platform comparison")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /metrics.json on this address (e.g. :9090)")
 		withPprof   = flag.Bool("pprof", false, "also mount /debug/pprof on the metrics server")
 	)
@@ -52,6 +61,10 @@ func main() {
 
 	if *lossSweep {
 		runLossSweep(*houses, *duration, *seed, reg)
+		return
+	}
+	if *transpSweep {
+		runTransportSweep(*houses, *duration, *seed, reg)
 		return
 	}
 
@@ -126,6 +139,60 @@ func main() {
 // sweepLosses are the loss rates of the fault-injection experiment:
 // pristine, 0.1%, 1%, and 5% per-transmission loss.
 var sweepLosses = []float64{0, 0.001, 0.01, 0.05}
+
+// transportCells are the transport-sweep scenarios: the Do53 baseline,
+// DoTCP, and the TLS transports with and without session resumption.
+var transportCells = []struct {
+	kind   string
+	resume bool
+	label  string
+}{
+	{"udp", false, "Do53"},
+	{"tcp", false, "DoTCP"},
+	{"dot", false, "DoT"},
+	{"dot", true, "DoT+res"},
+	{"doh", false, "DoH"},
+	{"doh", true, "DoH+res"},
+}
+
+// runTransportSweep forward-simulates each transport cell under each loss
+// rate and reports the blocking split plus the stream failure breakdown
+// (datagram timeouts vs stream connection resets, summed over platforms).
+func runTransportSweep(houses int, duration time.Duration, seed uint64, reg *dnscontext.MetricsRegistry) {
+	fmt.Printf("Transport × loss sweep (%d houses, %v, seed %d)\n\n", houses, duration, seed)
+	fmt.Printf("%-9s %-6s %6s %6s %6s %9s %9s %10s %10s\n",
+		"transport", "loss", "LC%", "SC%", "R%", "blocked%", "servfail%", "timeouts", "resets")
+	for _, cell := range transportCells {
+		for _, loss := range sweepLosses {
+			cfg := dnscontext.DefaultGeneratorConfig()
+			cfg.Houses = houses
+			cfg.Duration = duration
+			cfg.Warmup = duration / 2
+			cfg.Seed = seed
+			cfg.Metrics = reg
+			cfg.Faults.Loss = loss
+			cfg.Transport.Kind = cell.kind
+			cfg.Transport.SessionResumption = cell.resume
+			ds, eco, err := dnscontext.Generate(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			a := dnscontext.Analyze(ds, dnscontext.DefaultOptions())
+			fs := a.Failures()
+			var timeouts, resets uint64
+			for _, rec := range eco.Platforms {
+				t, r := rec.LossCounters()
+				timeouts += t
+				resets += r
+			}
+			fmt.Printf("%-9s %-6s %6.1f %6.1f %6.1f %9.1f %9.2f %10d %10d\n",
+				cell.label, fmt.Sprintf("%.1f%%", 100*loss),
+				100*a.Fraction(dnscontext.ClassLC),
+				100*a.Fraction(dnscontext.ClassSC), 100*a.Fraction(dnscontext.ClassR),
+				100*a.BlockedFraction(), 100*fs.ServFailFraction(), timeouts, resets)
+		}
+	}
+}
 
 // runLossSweep generates the same workload under each (loss, outage)
 // cell and reports the failure-adjusted blocking distribution: the

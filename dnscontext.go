@@ -114,7 +114,47 @@ type (
 	// FailureStats summarizes fault-path activity (retries, SERVFAILs,
 	// TCP fallbacks) in an analyzed trace; see Analysis.Failures.
 	FailureStats = core.FailureStats
+	// TransportKind identifies a resolver wire transport (Do53, DoTCP,
+	// DoT, DoH).
+	TransportKind = resolver.TransportKind
+	// StreamConfig parameterizes the stream transports' cost model
+	// (handshake RTTs, idle timeout, session resumption).
+	StreamConfig = resolver.StreamConfig
+	// TransportConfig switches a generation run's resolver platforms to
+	// an encrypted/stream transport; see GeneratorConfig.Transport. The
+	// zero value keeps Do53 and reproduces pre-transport runs bit for
+	// bit.
+	TransportConfig = households.TransportConfig
+	// TransportScenario is one cell of the transport what-if (a kind,
+	// optionally with TLS session resumption).
+	TransportScenario = core.TransportScenario
+	// TransportRow is one scenario's analytic re-costing of a trace; see
+	// Analysis.TransportWhatIf.
+	TransportRow = core.TransportRow
 )
+
+// Resolver wire transports.
+const (
+	TransportUDP   = resolver.TransportUDP
+	TransportTCP   = resolver.TransportTCP
+	TransportTLS   = resolver.TransportTLS
+	TransportHTTPS = resolver.TransportHTTPS
+)
+
+// ParseTransport maps a config/flag spelling ("udp", "tcp", "dot",
+// "doh"; empty = UDP) to its TransportKind.
+func ParseTransport(s string) (TransportKind, error) { return resolver.ParseTransport(s) }
+
+// DefaultTransportScenarios is the Do53/DoTCP/DoT/DoH comparison (TLS
+// transports with and without session resumption) that
+// Analysis.TransportWhatIf prices by default.
+func DefaultTransportScenarios() []TransportScenario { return core.DefaultTransportScenarios() }
+
+// WriteTransportTable renders transport what-if rows as the delta table
+// dnsctx -whatif-transport prints.
+func WriteTransportTable(w io.Writer, rows []TransportRow, blockThreshold time.Duration) error {
+	return core.WriteTransportTable(w, rows, blockThreshold)
+}
 
 // Retry policy presets: the resolv.conf-style default, the aggressive
 // Android/Bionic ladder, and single-shot IoT firmware.

@@ -82,6 +82,11 @@ type Server struct {
 	readerWG sync.WaitGroup
 	workerWG sync.WaitGroup
 
+	// TCP listener state (see tcp.go); nil/empty unless StartTCP ran.
+	tcpLn    net.Listener
+	tcpConns map[net.Conn]struct{}
+	tcpWG    sync.WaitGroup
+
 	// closeOnce makes socket teardown idempotent: Close and Shutdown
 	// (or two Closes) race safely and agree on the returned error.
 	closeOnce sync.Once
@@ -257,6 +262,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining = true
 	conn := s.conn
 	s.mu.Unlock()
+	s.closeTCP()
 	if conn == nil {
 		return nil
 	}
@@ -287,6 +293,7 @@ func (s *Server) Close() error {
 	s.closed = true
 	conn := s.conn
 	s.mu.Unlock()
+	s.closeTCP()
 	if conn == nil {
 		return nil
 	}

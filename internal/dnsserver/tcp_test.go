@@ -1,0 +1,156 @@
+package dnsserver
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"dnscontext/internal/dnswire"
+)
+
+func startZoneServerTCP(t *testing.T) (*Server, string, string) {
+	t.Helper()
+	srv, zones, _ := startZoneServer(t)
+	addr, err := srv.StartTCP("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot bind loopback TCP: %v", err)
+	}
+	return srv, zones.ByRank(0).Host, addr.String()
+}
+
+func TestQueryOverRealTCP(t *testing.T) {
+	_, host, addr := startZoneServerTCP(t)
+	c := &Client{Server: addr, Timeout: time.Second}
+
+	resp, err := c.QueryTCP(host, dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.RCode != dnswire.RCodeNoError {
+		t.Fatalf("rcode = %v, want NOERROR", resp.Header.RCode)
+	}
+	if len(resp.Answers) == 0 {
+		t.Fatal("no answers over TCP")
+	}
+
+	if _, err := c.QueryTCP("no-such-name.invalid", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTCPPersistentConnection drives several queries down one connection
+// by hand: RFC 7766 persistence means the server must answer each frame
+// in order without closing between them.
+func TestTCPPersistentConnection(t *testing.T) {
+	_, host, addr := startZoneServerTCP(t)
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(2 * time.Second))
+
+	for id := uint16(1); id <= 3; id++ {
+		q := dnswire.NewQuery(id, host, dnswire.TypeA)
+		wire, err := q.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dnswire.WriteTCPFrame(conn, wire); err != nil {
+			t.Fatalf("query %d: %v", id, err)
+		}
+		frame, err := dnswire.ReadTCPFrame(conn)
+		if err != nil {
+			t.Fatalf("query %d: connection did not persist: %v", id, err)
+		}
+		resp, err := dnswire.Decode(frame)
+		if err != nil {
+			t.Fatalf("query %d: %v", id, err)
+		}
+		if resp.Header.ID != id {
+			t.Fatalf("query %d: response ID %d", id, resp.Header.ID)
+		}
+	}
+}
+
+// TestClientDistinguishesTimeoutFromReset is the socket-level proof of
+// the failure-taxonomy split the resolver model counts (datagram-style
+// silence vs stream reset). A server that accepts and stays silent must
+// yield ErrTimeout; a server that kills the connection mid-exchange must
+// yield ErrReset.
+func TestClientDistinguishesTimeoutFromReset(t *testing.T) {
+	// Silent server: accepts, reads nothing, answers nothing.
+	silent, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot bind loopback TCP: %v", err)
+	}
+	defer silent.Close()
+	go func() {
+		for {
+			conn, err := silent.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // hold open until the listener dies
+		}
+	}()
+
+	c := &Client{Server: silent.Addr().String(), Timeout: 50 * time.Millisecond, Retries: 0}
+	if _, err := c.QueryTCP("example.com", dnswire.TypeA); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("silent server: got %v, want ErrTimeout", err)
+	}
+
+	// Resetting server: accepts, then closes as soon as the query frame
+	// arrives — mid-exchange from the client's point of view.
+	reset, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reset.Close()
+	go func() {
+		for {
+			conn, err := reset.Accept()
+			if err != nil {
+				return
+			}
+			_, _ = dnswire.ReadTCPFrame(conn)
+			conn.Close()
+		}
+	}()
+
+	c = &Client{Server: reset.Addr().String(), Timeout: time.Second, Retries: 2}
+	if _, err := c.QueryTCP("example.com", dnswire.TypeA); !errors.Is(err, ErrReset) {
+		t.Fatalf("resetting server: got %v, want ErrReset", err)
+	}
+}
+
+// TestTCPShutdownClosesConnections: teardown must unstick a client
+// blocked on a persistent connection rather than leak the goroutine.
+func TestTCPShutdownClosesConnections(t *testing.T) {
+	srv, _, addr := startZoneServerTCP(t)
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_ = conn.SetDeadline(time.Now().Add(2 * time.Second))
+		_, err := dnswire.ReadTCPFrame(conn)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the server register the conn
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("read succeeded after Close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("client still blocked after Close")
+	}
+}

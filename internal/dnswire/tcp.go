@@ -1,0 +1,65 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// DNS-over-TCP framing (RFC 1035 §4.2.2, profiled by RFC 7766): each
+// message is preceded by a two-octet big-endian length. The codec here is
+// shared by the dnsserver TCP listener, its TCP client mode, and the
+// framing property tests.
+
+// MaxTCPMessage is the largest frameable message: the length prefix is
+// 16 bits.
+const MaxTCPMessage = 1<<16 - 1
+
+// ErrTCPMessageTooLarge is returned when a message exceeds the 16-bit
+// length prefix.
+var ErrTCPMessageTooLarge = errors.New("dnswire: message exceeds 64 KiB TCP frame limit")
+
+// AppendTCPFrame appends msg's two-byte length prefix and msg to dst,
+// returning the extended slice.
+func AppendTCPFrame(dst, msg []byte) ([]byte, error) {
+	if len(msg) > MaxTCPMessage {
+		return dst, ErrTCPMessageTooLarge
+	}
+	var pfx [2]byte
+	binary.BigEndian.PutUint16(pfx[:], uint16(len(msg)))
+	return append(append(dst, pfx[:]...), msg...), nil
+}
+
+// WriteTCPFrame writes one length-prefixed message to w in a single Write
+// call (RFC 7766 §8 asks senders not to split the prefix from the
+// payload, to spare the receiver a coalescing pass).
+func WriteTCPFrame(w io.Writer, msg []byte) error {
+	buf, err := AppendTCPFrame(make([]byte, 0, 2+len(msg)), msg)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadTCPFrame reads one length-prefixed message from r. io.EOF is
+// returned untouched on a clean end-of-stream (no prefix bytes at all);
+// a stream that ends mid-prefix or mid-message returns
+// io.ErrUnexpectedEOF, so callers can tell an orderly close from a
+// truncated one.
+func ReadTCPFrame(r io.Reader) ([]byte, error) {
+	var pfx [2]byte
+	if _, err := io.ReadFull(r, pfx[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.BigEndian.Uint16(pfx[:]))
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(r, msg); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("dnswire: short TCP frame (want %d bytes): %w", n, err)
+	}
+	return msg, nil
+}

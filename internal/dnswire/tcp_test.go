@@ -1,0 +1,99 @@
+package dnswire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestTCPFrameRoundTrip(t *testing.T) {
+	msgs := [][]byte{
+		{},
+		{0xab},
+		[]byte("hello, dns"),
+		bytes.Repeat([]byte{0x5a}, 512),
+		bytes.Repeat([]byte{0x01}, MaxTCPMessage),
+	}
+	var buf bytes.Buffer
+	for _, m := range msgs {
+		if err := WriteTCPFrame(&buf, m); err != nil {
+			t.Fatalf("WriteTCPFrame(%d bytes): %v", len(m), err)
+		}
+	}
+	for i, want := range msgs {
+		got, err := ReadTCPFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: ReadTCPFrame: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: got %d bytes, want %d", i, len(got), len(want))
+		}
+	}
+	// The stream is now cleanly exhausted: plain io.EOF, not a
+	// truncation error.
+	if _, err := ReadTCPFrame(&buf); err != io.EOF {
+		t.Fatalf("at frame boundary: got %v, want io.EOF", err)
+	}
+}
+
+func TestTCPFrameTooLarge(t *testing.T) {
+	big := make([]byte, MaxTCPMessage+1)
+	if _, err := AppendTCPFrame(nil, big); !errors.Is(err, ErrTCPMessageTooLarge) {
+		t.Fatalf("AppendTCPFrame: got %v, want ErrTCPMessageTooLarge", err)
+	}
+	if err := WriteTCPFrame(io.Discard, big); !errors.Is(err, ErrTCPMessageTooLarge) {
+		t.Fatalf("WriteTCPFrame: got %v, want ErrTCPMessageTooLarge", err)
+	}
+}
+
+// TestTCPFrameTruncationEveryCutPoint feeds ReadTCPFrame a wire image
+// cut at every possible byte offset. A cut at a frame boundary must
+// read back the complete frames then end with clean io.EOF; a cut
+// mid-prefix or mid-body must surface io.ErrUnexpectedEOF, never a
+// short frame passed off as complete.
+func TestTCPFrameTruncationEveryCutPoint(t *testing.T) {
+	msgs := [][]byte{
+		[]byte("first"),
+		{},
+		[]byte("second-frame-payload"),
+	}
+	var wire []byte
+	boundaries := map[int]bool{0: true}
+	for _, m := range msgs {
+		var err error
+		wire, err = AppendTCPFrame(wire, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		boundaries[len(wire)] = true
+	}
+	for cut := 0; cut <= len(wire); cut++ {
+		r := bytes.NewReader(wire[:cut])
+		var frames int
+		var err error
+		for {
+			var frame []byte
+			frame, err = ReadTCPFrame(r)
+			if err != nil {
+				break
+			}
+			if !bytes.Equal(frame, msgs[frames]) {
+				t.Fatalf("cut %d: frame %d corrupted", cut, frames)
+			}
+			frames++
+		}
+		if boundaries[cut] {
+			if err != io.EOF {
+				t.Fatalf("cut %d (boundary): got %v, want io.EOF", cut, err)
+			}
+			continue
+		}
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut %d (mid-frame): got %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+		if err == io.EOF {
+			t.Fatalf("cut %d: truncation reported as clean EOF", cut)
+		}
+	}
+}

@@ -51,6 +51,26 @@ func (f FaultsConfig) IsZero() bool {
 		f.TruncateOver <= 0 && f.StaleHold <= 0
 }
 
+// TransportConfig selects the wire transport every resolver platform
+// speaks (the simulation models a deployment-wide transport switch, the
+// what-if question the paper leaves open). The zero value is Do53 over
+// UDP and reproduces pre-transport runs bit for bit — stream state is
+// then never allocated and no extra randomness is drawn.
+type TransportConfig struct {
+	// Kind names the transport: "" or "udp" (Do53), "tcp" (DoTCP,
+	// RFC 7766), "dot" (DoT, RFC 7858), or "doh" (DoH, RFC 8484).
+	Kind string
+	// SessionResumption enables TLS session tickets for dot/doh, so
+	// reconnects within the ticket lifetime pay a shortened handshake.
+	SessionResumption bool
+	// IdleTimeout overrides how long idle persistent connections are kept
+	// (zero takes the transport's calibrated default, 10 s).
+	IdleTimeout time.Duration
+}
+
+// IsZero reports whether the transport is the Do53 default.
+func (t TransportConfig) IsZero() bool { return t.Kind == "" }
+
 // Config parameterizes a generation run.
 type Config struct {
 	// Houses is the number of residences.
@@ -168,6 +188,11 @@ type Config struct {
 	// the resolution path. The zero value reproduces fault-free behavior
 	// exactly.
 	Faults FaultsConfig
+
+	// Transport switches every resolver platform to an encrypted/stream
+	// transport (DoTCP/DoT/DoH). The zero value keeps the paper's Do53
+	// and reproduces pre-transport runs bit for bit.
+	Transport TransportConfig
 
 	// Metrics, when non-nil, receives generator-side observability:
 	// per-platform resolver counters (cache hits/misses/evictions, retry

@@ -83,6 +83,10 @@ func Generate(cfg Config) (*trace.Dataset, *Ecosystem, error) {
 			return nil, nil, fmt.Errorf("households: Faults.LocalOutages[%d] = %v..%v not a valid window", i, w.Start, w.End)
 		}
 	}
+	tkind, err := resolver.ParseTransport(cfg.Transport.Kind)
+	if err != nil {
+		return nil, nil, fmt.Errorf("households: %w", err)
+	}
 	g := &Generator{
 		cfg: cfg,
 		sim: netsim.New(),
@@ -111,6 +115,15 @@ func Generate(cfg Config) (*trace.Dataset, *Ecosystem, error) {
 					g.profiles[i].Faults.Outages = append(g.profiles[i].Faults.Outages,
 						netsim.Window{Start: w.Start + cfg.Warmup, End: w.End + cfg.Warmup})
 				}
+			}
+		}
+	}
+	if tkind.Stream() {
+		for i := range g.profiles {
+			g.profiles[i].Transport = tkind
+			g.profiles[i].Stream = resolver.StreamConfig{
+				SessionResumption: cfg.Transport.SessionResumption,
+				IdleTimeout:       cfg.Transport.IdleTimeout,
 			}
 		}
 	}
@@ -211,7 +224,7 @@ func (g *Generator) lookup(d *device, now time.Duration, host string) lookupOutc
 	}
 	pid := d.pickPlatform(g.rng)
 	rec := g.platforms[pid]
-	res := rec.LookupWith(now, host, d.retry)
+	res := rec.LookupConn(d.connState(pid, rec), now, host, d.retry)
 	done := now + res.Duration
 
 	if d.dot {
@@ -677,7 +690,7 @@ func (g *Generator) connForVia(d *device, now time.Duration, name *zonedb.Name, 
 		g.connFor(d, now, name)
 		return
 	}
-	res := rec.LookupWith(now, name.Host, d.retry)
+	res := rec.LookupConn(d.connState(pid, rec), now, name.Host, d.retry)
 	done := now + res.Duration
 	g.ds.DNS = append(g.ds.DNS, trace.DNSRecord{
 		QueryTS: now, TS: done, Client: d.house.addr, Resolver: res.Resolver,

@@ -31,8 +31,15 @@ type device struct {
 	// resolv.conf ladder, IoT gear fires once and gives up.
 	retry resolver.RetryPolicy
 	// dot marks a device resolving over encrypted DNS (DoT): its lookups
-	// are invisible to the monitor except as TCP/853 connections.
+	// are invisible to the monitor except as TCP/853 connections. This is
+	// the trace-VISIBILITY knob (EncryptedDNSProb); the timing cost of
+	// stream transports is modeled separately by Config.Transport and the
+	// per-platform conns below.
 	dot bool
+	// conns holds the device's persistent-connection state per platform
+	// (stream transports only; nil map for Do53, so the zero-transport
+	// path allocates nothing).
+	conns map[resolver.PlatformID]*resolver.ConnState
 	// platformPick selects the resolver platform for each wire lookup.
 	platformPick *stats.Weighted
 	platforms    []resolver.PlatformID
@@ -220,6 +227,24 @@ func (g *Generator) buildDevice(h *house, kind deviceKind) *device {
 // pickPlatform selects the resolver platform for one wire lookup.
 func (d *device) pickPlatform(r *stats.RNG) resolver.PlatformID {
 	return d.platforms[d.platformPick.Pick(r)]
+}
+
+// connState returns the device's persistent-connection state toward rec,
+// allocating it on first use. Datagram platforms get nil — LookupConn
+// then matches the historical LookupWith path exactly.
+func (d *device) connState(pid resolver.PlatformID, rec *resolver.Recursive) *resolver.ConnState {
+	if !rec.Transport().Kind().Stream() {
+		return nil
+	}
+	if d.conns == nil {
+		d.conns = make(map[resolver.PlatformID]*resolver.ConnState, 4)
+	}
+	cs := d.conns[pid]
+	if cs == nil {
+		cs = &resolver.ConnState{}
+		d.conns[pid] = cs
+	}
+	return cs
 }
 
 // houseAddr places house idx at 10.1.x.y (see trace.HouseAddr).

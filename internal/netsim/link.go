@@ -46,6 +46,20 @@ func (l Link) RTT(r *stats.RNG) time.Duration {
 	return l.Delay(r) + l.Delay(r)
 }
 
+// ExpectedDelay is the analytic mean of Delay: (Base + Jitter) scaled by
+// the slow-episode mass. Used by RNG-free what-if re-costing, which must
+// not consume randomness.
+func (l Link) ExpectedDelay() time.Duration {
+	f := 1.0
+	if l.SlowProb > 0 && l.SlowFactor > 1 {
+		f = 1 + l.SlowProb*(l.SlowFactor-1)
+	}
+	return time.Duration(float64(l.Base+l.Jitter) * f)
+}
+
+// ExpectedRTT is the analytic mean round trip (two one-way delays).
+func (l Link) ExpectedRTT() time.Duration { return 2 * l.ExpectedDelay() }
+
 // DeliverUnder samples one delivery attempt at virtual time t under fault
 // profile f: the one-way delay (including any fault-injected extra
 // jitter) and whether the packet was lost. The loss draw happens after

@@ -1,0 +1,74 @@
+package netsim
+
+import (
+	"time"
+
+	"dnscontext/internal/stats"
+)
+
+// Stream is the liveness state of one persistent stream connection
+// (DNS-over-TCP, DoT, DoH) riding a Link. Unlike datagram delivery,
+// faults apply connection-scoped: a loss event does not silently eat one
+// packet — it kills the connection, and the caller must re-establish
+// (paying the handshake again) before the next exchange. The zero value
+// is a cold (never-established) connection.
+type Stream struct {
+	// Established reports whether the connection is currently open.
+	Established bool
+	// IdleDeadline is the virtual time past which an idle open connection
+	// is considered torn down (RFC 7766 encourages but bounds reuse; real
+	// stubs and resolvers close idle connections after seconds).
+	IdleDeadline time.Duration
+}
+
+// LiveAt reports whether the connection can carry an exchange at t: it
+// is established and has not idled out.
+func (s *Stream) LiveAt(t time.Duration) bool {
+	return s.Established && t <= s.IdleDeadline
+}
+
+// Reset tears the connection down (fault, RST, or deliberate close).
+func (s *Stream) Reset() { s.Established = false }
+
+// Touch marks the connection established and pushes the idle deadline to
+// t+idle. Called after every successful exchange — each use restarts the
+// idle clock, which is what makes bursts of lookups share one handshake.
+func (s *Stream) Touch(t, idle time.Duration) {
+	s.Established = true
+	s.IdleDeadline = t + idle
+}
+
+// EstablishUnder attempts a stream handshake of rtts round trips over l
+// starting at t, under fault profile f. Each round trip is two datagram
+// deliveries (out and back) drawn exactly like DeliverUnder, so the
+// fault model is shared with the datagram path; any lost delivery aborts
+// the handshake (ok=false) and the caller charges its per-attempt
+// timeout, not the partial delay. On success d is the full handshake
+// duration and the caller should Touch the stream.
+func (l Link) EstablishUnder(t time.Duration, rtts int, f FaultProfile, r *stats.RNG) (d time.Duration, ok bool) {
+	for i := 0; i < rtts; i++ {
+		owdOut, lostOut := l.DeliverUnder(t+d, f, r)
+		d += owdOut
+		if lostOut {
+			return d, false
+		}
+		owdBack, lostBack := l.DeliverUnder(t+d, f, r)
+		d += owdBack
+		if lostBack {
+			return d, false
+		}
+	}
+	return d, true
+}
+
+// DeliverStream is one in-connection delivery: the delay and loss draws
+// are identical to DeliverUnder, but a loss is connection-scoped — it
+// resets st (the peer's stream state is gone; the client sees a stalled
+// transfer or an RST), so the caller must re-establish before retrying.
+func (l Link) DeliverStream(st *Stream, t time.Duration, f FaultProfile, r *stats.RNG) (d time.Duration, reset bool) {
+	d, lost := l.DeliverUnder(t, f, r)
+	if lost {
+		st.Reset()
+	}
+	return d, lost
+}

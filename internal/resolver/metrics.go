@@ -16,6 +16,7 @@ type recMetrics struct {
 	retries      *obs.Counter
 	servfails    *obs.Counter
 	tcpFallbacks *obs.Counter
+	streamResets *obs.Counter
 	duration     *obs.Timer
 }
 
@@ -28,23 +29,26 @@ func (rr *Recursive) Instrument(reg *obs.Registry) {
 		return
 	}
 	plat := rr.Profile.ID.String()
+	tn := rr.transport.Kind().String()
 	rr.obs = recMetrics{
 		lookups: reg.CounterVec("dnsctx_resolver_lookups_total",
-			"Lookups the platform received from simulated clients.", "platform").With(plat),
+			"Lookups the platform received from simulated clients.", "platform", "transport").With(plat, tn),
 		hits: reg.CounterVec("dnsctx_resolver_cache_hits_total",
-			"Frontend cache accesses answered from the shared cache (including externally warm entries).", "platform").With(plat),
+			"Frontend cache accesses answered from the shared cache (including externally warm entries).", "platform", "transport").With(plat, tn),
 		misses: reg.CounterVec("dnsctx_resolver_cache_misses_total",
-			"Frontend cache accesses that required authoritative iteration.", "platform").With(plat),
+			"Frontend cache accesses that required authoritative iteration.", "platform", "transport").With(plat, tn),
 		timeouts: reg.CounterVec("dnsctx_resolver_timeouts_total",
-			"Client timeout waits caused by a lost query or response transmission.", "platform").With(plat),
+			"Client timeout waits caused by a lost datagram transmission or a lost stream handshake.", "platform", "transport").With(plat, tn),
 		retries: reg.CounterVec("dnsctx_resolver_retries_total",
-			"Client retransmissions beyond the first attempt.", "platform").With(plat),
+			"Client retransmissions (datagram) or reconnects (stream) beyond the first attempt.", "platform", "transport").With(plat, tn),
 		servfails: reg.CounterVec("dnsctx_resolver_servfail_total",
-			"Lookups that exhausted the retry ladder and synthesized SERVFAIL.", "platform").With(plat),
+			"Lookups that exhausted the retry ladder and synthesized SERVFAIL.", "platform", "transport").With(plat, tn),
 		tcpFallbacks: reg.CounterVec("dnsctx_resolver_tcp_fallback_total",
-			"UDP-truncated responses re-fetched over TCP.", "platform").With(plat),
+			"UDP-truncated responses re-fetched over TCP.", "platform", "transport").With(plat, tn),
+		streamResets: reg.CounterVec("dnsctx_resolver_stream_resets_total",
+			"Established stream connections killed by a fault mid-exchange (DoTCP/DoT/DoH reconnect path).", "platform", "transport").With(plat, tn),
 		duration: reg.TimerVec("dnsctx_resolver_lookup_seconds",
-			"Client-observed lookup duration, including retries and fallbacks.", "platform").With(plat),
+			"Client-observed lookup duration, including retries, handshakes, and fallbacks.", "platform", "transport").With(plat, tn),
 	}
 	evictions := reg.CounterVec("dnsctx_resolver_cache_evictions_total",
 		"Cache entries evicted by LRU capacity pressure.", "platform").With(plat)

@@ -64,6 +64,24 @@ type PlatformProfile struct {
 	// The zero value (the default profiles) is a pristine network and
 	// reproduces pre-fault behavior bit for bit.
 	Faults netsim.FaultProfile
+	// Transport is how clients reach the platform. The zero value is
+	// TransportUDP (the paper's Do53), which reproduces pre-transport
+	// behavior bit for bit; TransportTCP/TLS/HTTPS switch the platform to
+	// the corresponding stream transport.
+	Transport TransportKind
+	// Stream parameterizes the stream transports' cost model (idle
+	// timeout, handshake RTTs, session resumption); zero-valued fields
+	// take the calibrated defaults in StreamConfig.withDefaults. Ignored
+	// for TransportUDP.
+	Stream StreamConfig
+}
+
+// WithTransport returns a copy of the profile switched to the given
+// transport kind and stream configuration.
+func (p PlatformProfile) WithTransport(kind TransportKind, cfg StreamConfig) PlatformProfile {
+	p.Transport = kind
+	p.Stream = cfg
+	return p
 }
 
 // DefaultProfiles returns the calibrated platform set. RTTs follow the

@@ -40,6 +40,18 @@ type Result struct {
 	// up; Duration then covers the full timeout ladder and RCode is
 	// RCodeServFail.
 	ServFail bool
+	// Transport is the transport the lookup ran over (TransportUDP for
+	// the paper's Do53 platforms).
+	Transport TransportKind
+	// Reused is true when a stream lookup found a live persistent
+	// connection at its start and paid no handshake on the first attempt.
+	Reused bool
+	// Resumed is true when a stream lookup's (last) handshake was
+	// shortened by a TLS session ticket.
+	Resumed bool
+	// Handshake is the total connection-establishment time the lookup
+	// paid (zero for datagram transports and for reused connections).
+	Handshake time.Duration
 }
 
 // Retries is the number of retransmissions beyond the first attempt.
@@ -58,12 +70,18 @@ type Recursive struct {
 	auth    *Authority
 	rng     *stats.RNG
 
+	// transport is how clients reach the platform; built from the
+	// profile's Transport/Stream fields (UDPTransport when unset).
+	transport Transport
+
 	queries uint64
 	hits    uint64
 
 	retries      uint64
 	servfails    uint64
 	tcpFallbacks uint64
+	timeouts     uint64
+	streamResets uint64
 
 	// obs carries the optional per-platform instrument handles; the zero
 	// value (all nil) makes every observation a guarded no-op. See
@@ -81,8 +99,17 @@ func NewRecursive(profile PlatformProfile, auth *Authority, rng *stats.RNG) *Rec
 	for i := range parts {
 		parts[i] = NewCache(profile.CacheCapacity)
 	}
-	return &Recursive{Profile: profile, parts: parts, auth: auth, rng: rng}
+	return &Recursive{
+		Profile:   profile,
+		parts:     parts,
+		auth:      auth,
+		rng:       rng,
+		transport: NewTransport(profile.Transport, profile.Stream),
+	}
 }
+
+// Transport returns the transport the platform speaks.
+func (rr *Recursive) Transport() Transport { return rr.transport }
 
 // HitRate returns the platform's cumulative shared-cache hit rate. Hits
 // are counted at the frontend: a cached answer whose response packet is
@@ -98,6 +125,16 @@ func (rr *Recursive) HitRate() float64 {
 // retransmissions, client giveups, and TCP fallbacks after truncation.
 func (rr *Recursive) FailureCounters() (retries, servfails, tcpFallbacks uint64) {
 	return rr.retries, rr.servfails, rr.tcpFallbacks
+}
+
+// LossCounters breaks the platform's lost attempts down by mechanism:
+// datagram timeouts (a lost UDP transmission or a lost stream handshake,
+// both experienced as silence until the timer fires) versus stream
+// connection resets (an established DoTCP/DoT/DoH connection killed by a
+// fault mid-exchange, which the client sees as a broken stream and
+// answers with a reconnect, not a retransmit).
+func (rr *Recursive) LossCounters() (timeouts, streamResets uint64) {
+	return rr.timeouts, rr.streamResets
 }
 
 // Lookup resolves host with the default retry policy. With a zero fault
@@ -124,85 +161,23 @@ func (rr *Recursive) Lookup(now time.Duration, host string) Result {
 // exchange). With a zero FaultProfile every branch collapses to the
 // single-attempt path and consumes the exact RNG stream of the pre-fault
 // implementation, keeping historical runs bit-identical.
+//
+// The ladder itself lives in the platform's Transport (UDPTransport for
+// Do53 — see transport.go); stream transports replace retransmission
+// with reconnection. LookupWith runs every lookup cold; callers holding
+// a persistent connection use LookupConn.
 func (rr *Recursive) LookupWith(now time.Duration, host string, rp RetryPolicy) Result {
+	return rr.LookupConn(nil, now, host, rp)
+}
+
+// LookupConn is LookupWith with caller-held persistent-connection state:
+// cs carries one stub's live connection to this platform (and its TLS
+// session ticket) across lookups, so bursts share a handshake. A nil cs
+// is always cold. Datagram transports ignore cs entirely.
+func (rr *Recursive) LookupConn(cs *ConnState, now time.Duration, host string, rp RetryPolicy) Result {
 	rr.queries++
 	rr.obs.lookups.Inc()
-	faults := rr.Profile.Faults
-	timeout := rp.Timeout
-	maxAttempts := rp.attempts()
-	var elapsed time.Duration
-	var res Result
-	addrIdx := 0
-
-	for attempt := 0; attempt < maxAttempts; attempt++ {
-		res.Attempts = attempt + 1
-		if attempt > 0 {
-			rr.obs.retries.Inc()
-		}
-		sendAt := now + elapsed
-		// Pick the frontend: clients hash to frontends per flow in
-		// reality; per-query random choice models load-balanced anycast,
-		// which is what de-correlates Google's caches. Retries re-draw —
-		// the anycast route may shift under failure.
-		part := rr.parts[rr.rng.Intn(len(rr.parts))]
-		// The query reaches the frontend after one one-way delay; the
-		// answer returns after another. Both are sampled up front so the
-		// zero-fault draw order matches the pre-fault implementation.
-		owdOut, lostOut := rr.Profile.Link.DeliverUnder(sendAt, faults, rr.rng)
-		owdBack, lostBack := rr.Profile.Link.DeliverUnder(sendAt+owdOut, faults, rr.rng)
-		if attempt == 0 {
-			addrIdx = rr.rng.Intn(len(rr.Profile.Addrs))
-		} else if rp.RotateServers {
-			addrIdx = (addrIdx + 1) % len(rr.Profile.Addrs)
-		}
-		res.Resolver = rr.Profile.Addrs[addrIdx]
-
-		if lostOut {
-			// The query never arrived; the client waits out the timeout.
-			elapsed += timeout
-			timeout = rp.next(timeout)
-			rr.retries++
-			rr.obs.timeouts.Inc()
-			continue
-		}
-		arrival := sendAt + owdOut
-		answers, rcode, fromCache, iterate := rr.answerAt(part, arrival, host)
-		if lostBack {
-			// The response was lost on the way back. The frontend cache
-			// is warm now, so a retry may turn an R into an SC — exactly
-			// the ambiguity loss injects into the passive analysis.
-			elapsed += timeout
-			timeout = rp.next(timeout)
-			rr.retries++
-			rr.obs.timeouts.Inc()
-			continue
-		}
-
-		res.FromCache = fromCache
-		res.Answers = answers
-		res.RCode = rcode
-		res.Duration = elapsed + owdOut + iterate + owdBack
-		if faults.Truncated(len(answers)) {
-			// UDP truncation: the client re-asks over TCP — one handshake
-			// round trip plus the query/response exchange.
-			res.TCPFallback = true
-			rr.tcpFallbacks++
-			rr.obs.tcpFallbacks.Inc()
-			res.Duration += rr.Profile.Link.RTT(rr.rng) + rr.Profile.Link.RTT(rr.rng)
-		}
-		rr.obs.duration.Observe(res.Duration)
-		return res
-	}
-
-	// Every attempt lost: the client gives up with a synthesized
-	// SERVFAIL after the full timeout ladder.
-	res.ServFail = true
-	res.RCode = RCodeServFail
-	res.Duration = elapsed
-	rr.servfails++
-	rr.obs.servfails.Inc()
-	rr.obs.duration.Observe(res.Duration)
-	return res
+	return rr.transport.Exchange(rr, cs, now, host, rp)
 }
 
 // answerAt resolves host at one frontend at virtual time arrival,
