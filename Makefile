@@ -9,15 +9,20 @@
 GO ?= go
 
 # Per-target fuzzing budget for `make fuzz`. The corpora under
-# internal/trace/testdata/fuzz/ always replay as plain tests, so even
-# FUZZTIME=0 catches regressions.
+# testdata/fuzz/ always replay as plain tests, so even FUZZTIME=0
+# catches regressions. Targets are package:function pairs.
 FUZZTIME ?= 10s
 
-FUZZ_TARGETS := FuzzReadDNS FuzzReadConns FuzzReadDNSJSON FuzzReadConnsJSON
+FUZZ_TARGETS := \
+	./internal/trace:FuzzReadDNS \
+	./internal/trace:FuzzReadConns \
+	./internal/trace:FuzzReadDNSJSON \
+	./internal/trace:FuzzReadConnsJSON \
+	./internal/bulk:FuzzFeed
 
-.PHONY: check vet build test race obs-determinism stream-parity transport-matrix soak bench bench-all bench-parallel bench-compare profile fuzz cover
+.PHONY: check vet build test race obs-determinism stream-parity transport-matrix scan soak bench bench-all bench-parallel bench-compare scan-bench profile fuzz cover
 
-check: vet build race obs-determinism stream-parity transport-matrix soak
+check: vet build race obs-determinism stream-parity transport-matrix scan soak
 
 vet:
 	$(GO) vet ./...
@@ -52,6 +57,15 @@ stream-parity:
 transport-matrix:
 	$(GO) test ./internal/core -run='TestGoldenOutputsBitIdentical|TestExplicitUDPTransportMatchesGolden|TestTransportMatrixDigestParity' -count=1
 
+# Bulk-scan determinism gate: a pinned simulated scan (fixed seed,
+# synthetic feed) must reproduce the golden digest of its sorted JSONL
+# stream in testdata/scan_digest.txt, byte-identically at several
+# concurrencies (the PR 8 bulk-engine invariant). Intentional model
+# changes regenerate it with -update-scan-golden. Also covered by
+# `race`, but named so the gate is visible.
+scan:
+	$(GO) test ./internal/bulk -run='TestScanGoldenDigest|TestSimDeterministicAcrossConcurrency' -count=1
+
 # Chaos soak of the hardened DNS server under the race detector: several
 # seconds of mixed valid/garbage/panicking queries against a small queue
 # and a live rate limiter, asserting the server answers throughout,
@@ -62,12 +76,14 @@ SOAKTIME ?= 10s
 soak:
 	DNSCTX_SOAK=$(SOAKTIME) $(GO) test ./internal/dnsserver -race -run='^TestServerChaosSoak$$' -count=1 -v
 
-# Short-budget coverage-guided fuzzing of the trace codecs. Go allows
-# one -fuzz target per invocation, so loop.
+# Short-budget coverage-guided fuzzing of the trace codecs and the bulk
+# feed reader. Go allows one -fuzz target per invocation, so loop over
+# package:function pairs.
 fuzz:
-	@for t in $(FUZZ_TARGETS); do \
-		echo "--- fuzz $$t ($(FUZZTIME))"; \
-		$(GO) test ./internal/trace -run='^$$' -fuzz="^$$t$$" -fuzztime=$(FUZZTIME) || exit 1; \
+	@for pt in $(FUZZ_TARGETS); do \
+		pkg=$${pt%%:*}; t=$${pt##*:}; \
+		echo "--- fuzz $$pkg $$t ($(FUZZTIME))"; \
+		$(GO) test $$pkg -run='^$$' -fuzz="^$$t$$" -fuzztime=$(FUZZTIME) || exit 1; \
 	done
 
 # Aggregate statement coverage across all packages.
@@ -76,15 +92,25 @@ cover:
 	$(GO) tool cover -func=cover.out | tail -1
 
 # Machine-readable benchmark record: the headline benchmarks rendered as
-# JSON (name, ns/op, allocs/op, and custom metrics like speedup_x and
-# peak_heap_bytes) into BENCH_PR7.json via cmd/benchjson, with delta
-# columns against the PR 6 record when it exists.
-BENCH_BASELINE ?= BENCH_PR6.json
-BENCH_OUT ?= BENCH_PR7.json
+# JSON (name, ns/op, allocs/op, and custom metrics like speedup_x, qps,
+# and latency percentiles) into BENCH_PR8.json via cmd/benchjson, with
+# delta columns against the PR 7 record when it exists.
+BENCH_BASELINE ?= BENCH_PR7.json
+BENCH_OUT ?= BENCH_PR8.json
 
 bench:
-	$(GO) test -bench='BenchmarkAnalyzeParallel$$|BenchmarkFaultLossSweep$$|BenchmarkAnalyzeStream$$|BenchmarkTransportLookup$$|BenchmarkTransportWhatIf$$' \
-		-benchmem -benchtime=3x -run='^$$' | \
+	$(GO) test -bench='BenchmarkAnalyzeParallel$$|BenchmarkFaultLossSweep$$|BenchmarkAnalyzeStream$$|BenchmarkTransportLookup$$|BenchmarkTransportWhatIf$$|BenchmarkBulkScanSim$$|BenchmarkBulkScanLive$$' \
+		-benchmem -benchtime=3x -run='^$$' ./... | \
+		$(GO) run ./cmd/benchjson $(if $(wildcard $(BENCH_BASELINE)),-baseline $(BENCH_BASELINE)) > $(BENCH_OUT)
+	@cat $(BENCH_OUT)
+
+# Bulk-scan throughput record: the ≥1M-lookup simulated scan and the
+# live loopback scan, each once, into $(BENCH_OUT) with qps and p50/p99
+# latency as custom metrics (deltas against $(BENCH_BASELINE) where the
+# benchmark existed there).
+scan-bench:
+	$(GO) test ./internal/bulk -bench='BenchmarkBulkScanSim$$|BenchmarkBulkScanLive$$' \
+		-benchmem -benchtime=1x -run='^$$' | \
 		$(GO) run ./cmd/benchjson $(if $(wildcard $(BENCH_BASELINE)),-baseline $(BENCH_BASELINE)) > $(BENCH_OUT)
 	@cat $(BENCH_OUT)
 

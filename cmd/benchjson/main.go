@@ -54,6 +54,18 @@ type delta struct {
 	AllocsRatio      float64 `json:"allocs_ratio,omitempty"`
 	BaselineSpeedupX float64 `json:"baseline_speedup_x,omitempty"`
 	SpeedupX         float64 `json:"speedup_x,omitempty"`
+	// Metrics carries old/new/ratio for every custom metric (qps,
+	// p50_ms, p99_ms, peak_heap_bytes, ...) both sides report.
+	// speedup_x keeps its dedicated fields above for compatibility with
+	// earlier BENCH_*.json records and also appears here.
+	Metrics map[string]metricDelta `json:"metrics,omitempty"`
+}
+
+// metricDelta is one custom metric's comparison against the baseline.
+type metricDelta struct {
+	Old   float64 `json:"old"`
+	New   float64 `json:"new"`
+	Ratio float64 `json:"ratio,omitempty"` // new/old; 0 when old is 0
 }
 
 func main() {
@@ -162,11 +174,30 @@ func applyDeltas(results []result, baseline map[string]result) {
 		if sx := r.Metrics["speedup_x"]; sx > 0 {
 			d.SpeedupX = sx
 		}
+		// Every custom metric both sides report gets a generic delta:
+		// throughput (qps) and latency percentiles (p50_ms/p99_ms) from
+		// the bulk-scan benchmarks ride the same mechanism as speedup_x.
+		keys := make([]string, 0, len(r.Metrics))
+		for k, v := range r.Metrics {
+			if ov, ok := old.Metrics[k]; ok {
+				if d.Metrics == nil {
+					d.Metrics = make(map[string]metricDelta)
+				}
+				md := metricDelta{Old: ov, New: v}
+				if ov != 0 {
+					md.Ratio = v / ov
+				}
+				d.Metrics[k] = md
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
 		r.Delta = d
 		fmt.Fprintf(w, "%-60s %14.0f %14.0f %8.3f %12.0f %12.0f %8.4f\n",
 			r.Name, old.NsPerOp, r.NsPerOp, d.NsRatio, old.AllocsOp, r.AllocsOp, d.AllocsRatio)
-		if d.BaselineSpeedupX > 0 || d.SpeedupX > 0 {
-			fmt.Fprintf(w, "%-60s   speedup_x %0.4f -> %0.4f\n", "", d.BaselineSpeedupX, d.SpeedupX)
+		for _, k := range keys {
+			md := d.Metrics[k]
+			fmt.Fprintf(w, "%-60s   %s %0.4g -> %0.4g (%0.3fx)\n", "", k, md.Old, md.New, md.Ratio)
 		}
 	}
 }

@@ -1,0 +1,292 @@
+// Command dnsscan is the ZDNS-class bulk lookup engine: it resolves
+// millions of names per run against either the simulated resolver
+// hierarchy (deterministic under a seed) or a live dnsserver instance
+// over real UDP/TCP sockets, emitting one JSONL result per query and an
+// end-of-run summary (qps, outcome breakdown, latency percentiles).
+//
+// Usage:
+//
+//	dnsscan -n 1000000 > results.jsonl                  # simulated, synthetic feed
+//	dnsscan -names list.txt -concurrency 8              # simulated, file feed
+//	dnsscan -backend udp -server 127.0.0.1:5355 -names -   # live scan, names on stdin
+//	dnsscan -backend udp -selfserve -n 200000           # live scan against an in-process server
+//
+// The simulated backend is deterministic: the same -seed, feed, -shards,
+// and -sim-qps produce a byte-identical JSONL stream at any
+// -concurrency (make scan gates this). The live backend is a real load
+// generator; order and timing are whatever the network did.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"dnscontext/internal/bulk"
+	"dnscontext/internal/dnsserver"
+	"dnscontext/internal/dnswire"
+	"dnscontext/internal/obs"
+	"dnscontext/internal/resolver"
+	"dnscontext/internal/stats"
+	"dnscontext/internal/trace"
+	"dnscontext/internal/zonedb"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dnsscan: ")
+
+	var (
+		backend = flag.String("backend", "sim", "lookup backend: sim (simulated hierarchy), udp, or tcp (live dnsserver)")
+		names   = flag.String("names", "", "name feed file, one name [type] per line; \"-\" = stdin; empty = synthetic feed")
+		n       = flag.Int("n", 100000, "synthetic feed size (with no -names)")
+		qtype   = flag.String("type", "A", "default query type for the feed")
+		seed    = flag.Uint64("seed", 1, "seed for the namespace, shard RNGs, and synthetic feed")
+		missRate = flag.Float64("miss-rate", 0.01, "synthetic feed fraction of nonexistent names (NXDOMAIN exercise)")
+
+		concurrency = flag.Int("concurrency", 0, "parallelism: workers over shards (sim) / in-flight queries (live); 0 = default")
+		shards      = flag.Int("shards", 64, "independent resolver instances on the sim path (part of the experiment definition)")
+		simQPS      = flag.Float64("sim-qps", 50000, "virtual query arrival rate on the sim path")
+		platform    = flag.String("platform", "local", "sim resolver platform: local, google, opendns, cloudflare")
+		zoneNames   = flag.Int("zone-names", 0, "namespace size; 0 = default (20000)")
+		noCoalesce  = flag.Bool("no-coalesce", false, "disable in-flight query deduplication")
+
+		server    = flag.String("server", "", "live server address (with -backend udp/tcp)")
+		selfserve = flag.Bool("selfserve", false, "start an in-process dnsserver on 127.0.0.1:0 and scan against it")
+		sockets   = flag.Int("sockets", 8, "UDP sockets to shard the live client across")
+		timeout   = flag.Duration("timeout", 2*time.Second, "per-attempt timeout on the live path")
+		retries   = flag.Int("retries", 2, "additional attempts on the live path")
+		backoff   = flag.Float64("backoff", 1.5, "per-retry timeout multiplier on the live path")
+
+		out      = flag.String("o", "-", "JSONL output file; \"-\" = stdout")
+		quiet    = flag.Bool("quiet", false, "suppress the end-of-run summary on stderr")
+		skipMax  = flag.Int("skip-max", -1, "feed lines that may be skipped before aborting; -1 = unlimited")
+		skipRate = flag.Float64("skip-rate", 0, "abort when the skipped-line rate exceeds this fraction; 0 = no rate check")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /metrics.json on this address during the run")
+		withPprof   = flag.Bool("pprof", false, "also mount /debug/pprof on the metrics server")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "dnsscan: unexpected arguments: %v\n", flag.Args())
+		os.Exit(2)
+	}
+	usage := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "dnsscan: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	if *backend != "sim" && *backend != "udp" && *backend != "tcp" {
+		usage("-backend must be sim, udp, or tcp (got %q)", *backend)
+	}
+	if *backend == "sim" && (*server != "" || *selfserve) {
+		usage("-server/-selfserve require -backend udp or tcp")
+	}
+	if (*backend == "udp" || *backend == "tcp") && *server == "" && !*selfserve {
+		usage("-backend %s needs -server or -selfserve", *backend)
+	}
+	if *server != "" && *selfserve {
+		usage("-server and -selfserve are mutually exclusive")
+	}
+	defType, ok := parseType(*qtype)
+	if !ok {
+		usage("unknown -type %q", *qtype)
+	}
+	platID, ok := parsePlatform(*platform)
+	if !ok {
+		usage("unknown -platform %q", *platform)
+	}
+
+	// Output and metrics plumbing.
+	output := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		output = f
+	}
+	reg := obs.NewRegistry()
+	if *metricsAddr != "" {
+		ms, err := obs.Serve(*metricsAddr, reg, *withPprof)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ms.Close()
+		fmt.Fprintf(os.Stderr, "metrics at http://%s/metrics\n", ms.Addr())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := bulk.Options{
+		Concurrency: *concurrency,
+		NoCoalesce:  *noCoalesce,
+		Metrics:     reg,
+		Output:      output,
+	}
+
+	// The feed. A file/stdin feed quarantines malformed lines under the
+	// configured budget (the summary carries the skip count); the
+	// synthetic feed samples the namespace.
+	var (
+		src   bulk.Source
+		zones *zonedb.DB
+	)
+	newFileFeed := func() bulk.Source {
+		r := os.Stdin
+		if *names != "-" {
+			f, err := os.Open(*names)
+			if err != nil {
+				log.Fatal(err)
+			}
+			// Closed on process exit; the feed reads it to EOF.
+			r = f
+		}
+		policy := trace.ErrorPolicy{
+			Quarantine: true,
+			Budget:     trace.ErrorBudget{MaxErrors: *skipMax, MaxErrorRate: *skipRate},
+			Sink: func(q trace.Quarantined) {
+				fmt.Fprintf(os.Stderr, "dnsscan: skipping feed line %d: %v\n", q.Line, q.Err)
+			},
+		}
+		return bulk.NewFeed(r, defType, policy)
+	}
+
+	var sum *bulk.Summary
+	var runErr error
+	switch *backend {
+	case "sim":
+		be, err := bulk.NewSimBackend(bulk.SimConfig{
+			Shards:     *shards,
+			Seed:       *seed,
+			ArrivalQPS: *simQPS,
+			Platform:   platID,
+			ZoneNames:  *zoneNames,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *names != "" {
+			src = newFileFeed()
+		} else {
+			src = bulk.NewSyntheticSource(be.Zones(), bulk.SyntheticConfig{
+				N: *n, Seed: *seed + 1, MissFraction: *missRate, Type: defType,
+			})
+		}
+		sum, runErr = bulk.RunSim(ctx, src, be, opts)
+
+	case "udp", "tcp":
+		addr := *server
+		if *selfserve {
+			zcfg := zonedb.DefaultConfig()
+			if *zoneNames > 0 {
+				zcfg.NumNames = *zoneNames
+			}
+			var err error
+			zones, err = zonedb.New(zcfg, stats.NewRNG(*seed))
+			if err != nil {
+				log.Fatal(err)
+			}
+			srv := dnsserver.NewServerWith(dnsserver.ZoneHandler(zones), dnsserver.Config{Workers: 8, QueueDepth: 4096}, nil)
+			if *backend == "udp" {
+				bound, err := srv.Start("127.0.0.1:0")
+				if err != nil {
+					log.Fatal(err)
+				}
+				addr = bound.String()
+			} else {
+				bound, err := srv.StartTCP("127.0.0.1:0")
+				if err != nil {
+					log.Fatal(err)
+				}
+				addr = bound.String()
+			}
+			defer func() {
+				dctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				defer cancel()
+				if err := srv.Shutdown(dctx); err != nil {
+					srv.Close()
+				}
+			}()
+			fmt.Fprintf(os.Stderr, "selfserve: %d names on %s/%s\n", zones.Size(), *backend, addr)
+		}
+		if *names != "" {
+			src = newFileFeed()
+		} else {
+			if zones == nil {
+				zcfg := zonedb.DefaultConfig()
+				if *zoneNames > 0 {
+					zcfg.NumNames = *zoneNames
+				}
+				var err error
+				zones, err = zonedb.New(zcfg, stats.NewRNG(*seed))
+				if err != nil {
+					log.Fatal(err)
+				}
+			}
+			src = bulk.NewSyntheticSource(zones, bulk.SyntheticConfig{
+				N: *n, Seed: *seed + 1, MissFraction: *missRate, Type: defType,
+			})
+		}
+		var ex bulk.LiveExchanger
+		if *backend == "udp" {
+			pool, err := dnsserver.NewClientPool(addr, dnsserver.ClientPoolConfig{
+				Sockets: *sockets, Timeout: *timeout, Retries: *retries, Backoff: *backoff,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer pool.Close()
+			ex = pool
+		} else {
+			ex = &bulk.TCPExchanger{Client: &dnsserver.Client{Server: addr, Timeout: *timeout, Retries: *retries}}
+		}
+		sum, runErr = bulk.RunLive(ctx, src, ex, opts)
+	}
+
+	if runErr != nil {
+		log.Fatal(runErr)
+	}
+	if !*quiet {
+		if err := bulk.WriteSummary(os.Stderr, sum); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// parseType maps the -type flag to a dnswire.Type.
+func parseType(s string) (dnswire.Type, bool) {
+	switch s {
+	case "A", "a":
+		return dnswire.TypeA, true
+	case "AAAA", "aaaa":
+		return dnswire.TypeAAAA, true
+	case "TXT", "txt":
+		return dnswire.TypeTXT, true
+	case "MX", "mx":
+		return dnswire.TypeMX, true
+	case "ANY", "any":
+		return dnswire.TypeANY, true
+	}
+	return 0, false
+}
+
+// parsePlatform maps the -platform flag to a resolver.PlatformID.
+func parsePlatform(s string) (resolver.PlatformID, bool) {
+	switch s {
+	case "local":
+		return resolver.PlatformLocal, true
+	case "google":
+		return resolver.PlatformGoogle, true
+	case "opendns":
+		return resolver.PlatformOpenDNS, true
+	case "cloudflare":
+		return resolver.PlatformCloudflare, true
+	}
+	return 0, false
+}

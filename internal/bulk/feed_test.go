@@ -1,0 +1,191 @@
+package bulk
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"dnscontext/internal/dnswire"
+	"dnscontext/internal/trace"
+)
+
+func collect(t *testing.T, f *Feed) []Query {
+	t.Helper()
+	var qs []Query
+	for f.Scan() {
+		qs = append(qs, f.Query())
+	}
+	return qs
+}
+
+func TestFeedParsesNamesAndTypes(t *testing.T) {
+	in := "www.example.com\n" +
+		"# a comment\n" +
+		"\n" +
+		"mail.example.com AAAA\n" +
+		"  spaced.example.com \t TXT \n" +
+		"crlf.example.com\r\n" +
+		"_service._tcp.example.com ns\n" +
+		"wild.*.example.com"
+	f := NewFeed(strings.NewReader(in), dnswire.TypeA, trace.ErrorPolicy{})
+	got := collect(t, f)
+	if err := f.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Query{
+		{Name: "www.example.com", Type: dnswire.TypeA},
+		{Name: "mail.example.com", Type: dnswire.TypeAAAA},
+		{Name: "spaced.example.com", Type: dnswire.TypeTXT},
+		{Name: "crlf.example.com", Type: dnswire.TypeA},
+		{Name: "_service._tcp.example.com", Type: dnswire.TypeNS},
+		{Name: "wild.*.example.com", Type: dnswire.TypeA},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d queries, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("query %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	st := f.Stats()
+	if st.Lines != 6 || st.Queries != 6 || st.Skipped != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestFeedStrictFailsOnFirstBadLine(t *testing.T) {
+	in := "good.example\nbad name here extra\nnever.reached\n"
+	f := NewFeed(strings.NewReader(in), dnswire.TypeA, trace.ErrorPolicy{})
+	got := collect(t, f)
+	if len(got) != 1 || got[0].Name != "good.example" {
+		t.Fatalf("queries %+v", got)
+	}
+	if err := f.Err(); err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v, want a line-2 parse failure", err)
+	}
+}
+
+func TestFeedQuarantineSkipsAndCounts(t *testing.T) {
+	in := "good.example\n" +
+		"bad\x00null.example\n" + // NUL byte
+		"ok.example MX\n" +
+		strings.Repeat("x", 300) + "\n" + // name too long
+		"ok2.example BOGUSTYPE\n" + // unknown type
+		"last.example\n"
+	var sunk []trace.Quarantined
+	f := NewFeed(strings.NewReader(in), dnswire.TypeA, trace.ErrorPolicy{
+		Quarantine: true,
+		Budget:     trace.UnlimitedBudget(),
+		Sink:       func(q trace.Quarantined) { sunk = append(sunk, q) },
+	})
+	got := collect(t, f)
+	if err := f.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("queries %+v", got)
+	}
+	st := f.Stats()
+	if st.Lines != 6 || st.Queries != 3 || st.Skipped != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Lines != st.Queries+st.Skipped {
+		t.Fatalf("invariant broken: %+v", st)
+	}
+	if len(sunk) != 3 {
+		t.Fatalf("sink got %d records, want 3", len(sunk))
+	}
+	if sunk[0].Line != 2 || !errors.Is(sunk[0].Err, errBadNameChar) {
+		t.Fatalf("first quarantine %+v", sunk[0])
+	}
+	if !errors.Is(sunk[1].Err, errNameTooLong) {
+		t.Fatalf("second quarantine %+v", sunk[1])
+	}
+	if !errors.Is(sunk[2].Err, errBadType) {
+		t.Fatalf("third quarantine %+v", sunk[2])
+	}
+}
+
+func TestFeedBudgetTrips(t *testing.T) {
+	in := "bad one\nbad two\nbad three\ngood.example\n"
+	f := NewFeed(strings.NewReader(in), dnswire.TypeA, trace.ErrorPolicy{
+		Quarantine: true,
+		Budget:     trace.ErrorBudget{MaxErrors: 2},
+	})
+	got := collect(t, f)
+	if len(got) != 0 {
+		t.Fatalf("queries %+v", got)
+	}
+	var be *trace.BudgetError
+	if !errors.As(f.Err(), &be) {
+		t.Fatalf("err = %v, want *trace.BudgetError", f.Err())
+	}
+	if be.Quarantined != 3 {
+		t.Fatalf("budget error %+v", be)
+	}
+}
+
+func TestFeedOversizedLineSkipped(t *testing.T) {
+	// A line far beyond maxFeedLine must be consumed (not buffered whole)
+	// and quarantined; the feed then continues with the next line.
+	in := strings.Repeat("a", 1<<17) + "\nafter.example\n"
+	f := NewFeed(strings.NewReader(in), dnswire.TypeA, trace.ErrorPolicy{Quarantine: true, Budget: trace.UnlimitedBudget()})
+	got := collect(t, f)
+	if err := f.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Name != "after.example" {
+		t.Fatalf("queries %+v", got)
+	}
+	sk := f.Skipped()
+	if len(sk) != 1 || !errors.Is(sk[0].Err, errLineTooLong) {
+		t.Fatalf("skipped %+v", sk)
+	}
+	if len(sk[0].Text) > 128 {
+		t.Fatalf("quarantine retained %d bytes of an oversized line", len(sk[0].Text))
+	}
+}
+
+func TestFeedFinalLineWithoutNewline(t *testing.T) {
+	f := NewFeed(strings.NewReader("one.example\ntwo.example"), dnswire.TypeA, trace.ErrorPolicy{})
+	got := collect(t, f)
+	if err := f.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1].Name != "two.example" {
+		t.Fatalf("queries %+v", got)
+	}
+}
+
+func TestSyntheticSourceDeterministic(t *testing.T) {
+	b, err := NewSimBackend(SimConfig{Shards: 4, Seed: 7, ZoneNames: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SyntheticConfig{N: 500, Seed: 3, MissFraction: 0.1}
+	a := NewSyntheticSource(b.Zones(), cfg)
+	c := NewSyntheticSource(b.Zones(), cfg)
+	n, misses := 0, 0
+	for a.Scan() {
+		if !c.Scan() {
+			t.Fatal("streams diverge in length")
+		}
+		if a.Query() != c.Query() {
+			t.Fatalf("query %d: %+v vs %+v", n, a.Query(), c.Query())
+		}
+		if strings.HasPrefix(a.Query().Name, "void.miss") {
+			misses++
+		}
+		n++
+	}
+	if c.Scan() {
+		t.Fatal("streams diverge in length")
+	}
+	if n != 500 {
+		t.Fatalf("produced %d queries, want 500", n)
+	}
+	if misses == 0 || misses == n {
+		t.Fatalf("misses = %d of %d, want a strict fraction", misses, n)
+	}
+}

@@ -1,0 +1,66 @@
+package bulk
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dnscontext/internal/dnswire"
+	"dnscontext/internal/trace"
+)
+
+// FuzzFeed throws arbitrary bytes at the feed reader. Whatever the
+// input — malformed lines, embedded NULs, non-UTF8 bytes, megabyte
+// lines — the feed must never panic, every yielded query must satisfy
+// the documented name contract, and the skip accounting must balance
+// (Lines == Queries + Skipped).
+func FuzzFeed(f *testing.F) {
+	f.Add([]byte("www.example.com\nmail.example.com AAAA\n"))
+	f.Add([]byte("# comment\n\nname.example TXT\n"))
+	f.Add([]byte("bad name with spaces everywhere\n"))
+	f.Add([]byte("nul\x00byte.example\n"))
+	f.Add([]byte{0xff, 0xfe, 0x00, 0x41, 0x0a})
+	f.Add([]byte("no.trailing.newline"))
+	f.Add([]byte("name.example BOGUS\n"))
+	f.Add([]byte(strings.Repeat("x", 8192) + "\n"))
+	f.Add([]byte(strings.Repeat("a.example\n", 50)))
+	f.Add([]byte("\r\n\r\nname.example\r\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fd := NewFeed(bytes.NewReader(data), dnswire.TypeA, trace.ErrorPolicy{
+			Quarantine: true,
+			Budget:     trace.UnlimitedBudget(),
+		})
+		queries := 0
+		for fd.Scan() {
+			q := fd.Query()
+			if q.Name == "" || len(q.Name) > 253 {
+				t.Fatalf("yielded name %q violates the length contract", q.Name)
+			}
+			for i := 0; i < len(q.Name); i++ {
+				if !nameByteOK(q.Name[i]) {
+					t.Fatalf("yielded name %q contains forbidden byte %#x", q.Name, q.Name[i])
+				}
+			}
+			if q.Type == 0 {
+				t.Fatalf("yielded query %+v with zero type", q)
+			}
+			queries++
+		}
+		if err := fd.Err(); err != nil {
+			// An unlimited quarantine budget means the only acceptable stop
+			// is clean EOF; the reader cannot fail on a bytes.Reader.
+			t.Fatalf("feed error on in-memory input: %v", err)
+		}
+		st := fd.Stats()
+		if st.Queries != queries {
+			t.Fatalf("stats report %d queries, scan yielded %d", st.Queries, queries)
+		}
+		if st.Lines != st.Queries+st.Skipped {
+			t.Fatalf("accounting broken: %+v", st)
+		}
+		if len(fd.Skipped()) != st.Skipped {
+			t.Fatalf("retained %d quarantine records, stats say %d", len(fd.Skipped()), st.Skipped)
+		}
+	})
+}

@@ -1,0 +1,182 @@
+package bulk
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"dnscontext/internal/dnsserver"
+	"dnscontext/internal/dnswire"
+	"dnscontext/internal/trace"
+)
+
+// The live path: the same feed → coalesce → output pipeline, but the
+// exchange is a real wire exchange against a running dnsserver. There is
+// no determinism contract here — the kernel scheduler, the socket
+// buffers, and the server's shedding decide outcomes — which is exactly
+// the point: this is the load generator that exercises the hardened
+// server far beyond `make soak`.
+
+// LiveExchanger is the wire dependency of RunLive: one blocking exchange
+// per call, safe for arbitrary concurrency. *dnsserver.ClientPool is the
+// production implementation (sharded UDP sockets); tcpExchanger wraps
+// the per-connection TCP client; tests substitute counters.
+type LiveExchanger interface {
+	Query(ctx context.Context, name string, qtype dnswire.Type) (*dnswire.Message, error)
+}
+
+// TCPExchanger adapts the one-connection-per-query TCP client to the
+// engine. Retries follow the QueryTCP contract: timeouts retry,
+// mid-exchange resets do not.
+type TCPExchanger struct {
+	Client *dnsserver.Client
+}
+
+// Query performs one TCP exchange. ctx is honored only between
+// attempts (the underlying client uses deadlines, not contexts).
+func (t *TCPExchanger) Query(ctx context.Context, name string, qtype dnswire.Type) (*dnswire.Message, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return t.Client.QueryTCP(name, qtype)
+}
+
+// defaultLiveConcurrency bounds in-flight queries when Options leaves
+// Concurrency zero on the live path.
+const defaultLiveConcurrency = 128
+
+// RunLive streams src against a live exchanger with opts.Concurrency
+// workers (each holding at most one query in flight) and returns the run
+// summary. Output order is completion order; Result.Index makes the
+// stream canonically sortable. Queries for the same (name, type) that
+// overlap in flight share one wire exchange unless opts.NoCoalesce.
+func RunLive(ctx context.Context, src Source, ex LiveExchanger, opts Options) (*Summary, error) {
+	start := time.Now()
+	workers := opts.Concurrency
+	if workers <= 0 {
+		workers = defaultLiveConcurrency
+	}
+	met := newEngMetrics(opts.Metrics)
+	out := newResultWriter(opts.Output)
+	sum := &summarizer{}
+	co := newCoalescer(ctx)
+
+	type task struct {
+		idx uint64
+		q   Query
+	}
+	tasks := make(chan task, workers)
+	var (
+		wg       sync.WaitGroup
+		writeErr error
+		errOnce  sync.Once
+	)
+	fail := func(err error) { errOnce.Do(func() { writeErr = err }) }
+
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			lane := sum.newSink()
+			defer lane.flush()
+			for t := range tasks {
+				r := Result{Index: t.idx, Name: t.q.Name, Type: t.q.Type}
+				met.inflight.Add(1)
+				began := time.Now()
+				if opts.NoCoalesce {
+					msg, err := ex.Query(ctx, t.q.Name, t.q.Type)
+					fillLive(&r, msg, err, 0, false)
+				} else {
+					key := t.q.Name + "\x00" + t.q.Type.String()
+					res, coalesced, err := co.do(ctx, key, func(runCtx context.Context) (*dnswire.Message, int, error) {
+						msg, err := ex.Query(runCtx, t.q.Name, t.q.Type)
+						return msg, 0, err
+					})
+					if err != nil {
+						fillLive(&r, nil, err, 0, coalesced)
+					} else {
+						fillLive(&r, res.msg, res.err, res.attempts, coalesced)
+					}
+				}
+				r.Duration = time.Since(began)
+				met.inflight.Add(-1)
+				met.observe(&r)
+				lane.observe(&r)
+				if err := out.write(&r); err != nil {
+					fail(err)
+					return
+				}
+				if ctx.Err() != nil {
+					return
+				}
+			}
+		}()
+	}
+
+	var feedErr error
+	var n uint64
+feed:
+	for src.Scan() {
+		select {
+		case tasks <- task{idx: n, q: src.Query()}:
+			n++
+		case <-ctx.Done():
+			feedErr = ctx.Err()
+			break feed
+		}
+	}
+	if feedErr == nil {
+		feedErr = src.Err()
+	}
+	close(tasks)
+	wg.Wait()
+	if feedErr != nil {
+		return nil, feedErr
+	}
+	if writeErr != nil {
+		return nil, writeErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := out.flush(); err != nil {
+		return nil, err
+	}
+	skipped := 0
+	if f, ok := src.(*Feed); ok {
+		skipped = f.Stats().Skipped
+	}
+	return sum.finish(time.Since(start), skipped), nil
+}
+
+// fillLive classifies one live exchange outcome into the result.
+func fillLive(r *Result, msg *dnswire.Message, err error, attempts int, coalesced bool) {
+	r.Coalesced = coalesced
+	r.Attempts = attempts
+	if r.Attempts == 0 {
+		r.Attempts = 1
+	}
+	if err != nil {
+		r.Err = err
+		switch {
+		case errors.Is(err, dnsserver.ErrTimeout):
+			r.Status = StatusTimeout
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			r.Status = StatusError
+		default:
+			r.Status = StatusError
+		}
+		return
+	}
+	r.RCode = uint8(msg.Header.RCode)
+	r.Status = statusOfRCode(r.RCode)
+	for _, rr := range msg.Answers {
+		if (rr.Type == dnswire.TypeA || rr.Type == dnswire.TypeAAAA) && rr.Addr.IsValid() {
+			r.Answers = append(r.Answers, trace.Answer{
+				Addr: rr.Addr,
+				TTL:  time.Duration(rr.TTL) * time.Second,
+			})
+		}
+	}
+}

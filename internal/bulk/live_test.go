@@ -1,0 +1,166 @@
+package bulk
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"dnscontext/internal/dnsserver"
+	"dnscontext/internal/stats"
+	"dnscontext/internal/zonedb"
+)
+
+// startLiveServer boots an in-process dnsserver over real loopback UDP
+// for the live-path tests.
+func startLiveServer(t *testing.T) (*zonedb.DB, string) {
+	t.Helper()
+	zones, err := zonedb.New(zonedb.Config{
+		NumNames: 200, ZipfExponent: 1, CDNFraction: 0.3, CDNPoolSize: 5,
+	}, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := dnsserver.NewServerWith(dnsserver.ZoneHandler(zones), dnsserver.Config{Workers: 8, QueueDepth: 4096}, nil)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot bind loopback UDP: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return zones, addr.String()
+}
+
+// TestRunLiveAgainstServer drives a real scan — synthetic feed, client
+// pool, loopback wire — and checks the stream, the summary, and that the
+// run leaves nothing behind: no goroutines beyond baseline, no queries
+// in flight.
+func TestRunLiveAgainstServer(t *testing.T) {
+	zones, addr := startLiveServer(t)
+	baseline := runtime.NumGoroutine()
+
+	pool, err := dnsserver.NewClientPool(addr, dnsserver.ClientPoolConfig{
+		Sockets: 4, Timeout: 2 * time.Second, Retries: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 5000
+	src := NewSyntheticSource(zones, SyntheticConfig{N: n, Seed: 3, MissFraction: 0.05})
+	var buf bytes.Buffer
+	sum, err := RunLive(context.Background(), src, pool, Options{Concurrency: 256, Output: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if sum.Queries != n {
+		t.Fatalf("queries = %d, want %d", sum.Queries, n)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != n {
+		t.Fatalf("output lines = %d, want %d", got, n)
+	}
+	// A loopback scan must be essentially clean: every query answered,
+	// misses as NXDOMAIN, no timeouts eaten silently.
+	if sum.Count(StatusNoError) == 0 || sum.Count(StatusNXDomain) == 0 {
+		t.Fatalf("status breakdown %+v", sum.ByStatus)
+	}
+	if bad := sum.Count(StatusError); bad != 0 {
+		t.Fatalf("%d transport errors on loopback", bad)
+	}
+	if sum.Count(StatusNoError)+sum.Count(StatusNXDomain)+sum.Count(StatusTimeout) != n {
+		t.Fatalf("status breakdown %+v", sum.ByStatus)
+	}
+
+	if got := pool.InFlight(); got != 0 {
+		t.Fatalf("pool in-flight after run = %d, want 0", got)
+	}
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Engine workers and pool readers must all be gone.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines %d, baseline %d — the run leaked", runtime.NumGoroutine(), baseline)
+}
+
+// BenchmarkBulkScanLive measures the live path end to end: synthetic
+// feed → client pool → loopback UDP → in-process dnsserver. Smaller
+// than the sim benchmark (real sockets are the bottleneck, not the
+// engine) but still enough load to exercise the demux under pressure.
+func BenchmarkBulkScanLive(b *testing.B) {
+	zones, err := zonedb.New(zonedb.Config{
+		NumNames: 2000, ZipfExponent: 1, CDNFraction: 0.3, CDNPoolSize: 5,
+	}, stats.NewRNG(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := dnsserver.NewServerWith(dnsserver.ZoneHandler(zones), dnsserver.Config{Workers: 8, QueueDepth: 4096}, nil)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		b.Skipf("cannot bind loopback UDP: %v", err)
+	}
+	defer srv.Close()
+	pool, err := dnsserver.NewClientPool(addr.String(), dnsserver.ClientPoolConfig{
+		Sockets: 8, Timeout: 2 * time.Second, Retries: 2, Backoff: 1.5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pool.Close()
+
+	const n = 200_000
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sum *Summary
+	for i := 0; i < b.N; i++ {
+		src := NewSyntheticSource(zones, SyntheticConfig{N: n, Seed: 2, MissFraction: 0.01})
+		sum, err = RunLive(context.Background(), src, pool, Options{Concurrency: 2000})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(sum.QPS, "qps")
+	b.ReportMetric(sum.LatP50, "p50_ms")
+	b.ReportMetric(sum.LatP99, "p99_ms")
+	b.ReportMetric(float64(sum.Count(StatusTimeout)), "timeouts")
+	if sum.Queries != n {
+		b.Fatalf("queries = %d, want %d", sum.Queries, n)
+	}
+}
+
+// TestRunLiveCancel: cancelling the run context stops the engine
+// promptly with the context's error.
+func TestRunLiveCancel(t *testing.T) {
+	zones, addr := startLiveServer(t)
+	pool, err := dnsserver.NewClientPool(addr, dnsserver.ClientPoolConfig{Sockets: 2, Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	src := NewSyntheticSource(zones, SyntheticConfig{N: 1 << 30, Seed: 3})
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunLive(ctx, src, pool, Options{Concurrency: 64})
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("engine did not stop after cancel")
+	}
+}

@@ -1,0 +1,134 @@
+package bulk
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// resultWriter serializes results as JSONL. Encoding is hand-rolled into
+// a reused buffer: names are charset-validated at ingest, so no field
+// ever needs escaping, and the encoder allocates nothing per line. The
+// writer is safe for concurrent use (the live path's workers share it);
+// the simulated path emits batches in feed order under the same lock.
+type resultWriter struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	buf []byte
+	n   uint64
+}
+
+// newResultWriter wraps w; a nil w discards results but still counts.
+func newResultWriter(w io.Writer) *resultWriter {
+	if w == nil {
+		w = io.Discard
+	}
+	return &resultWriter{w: bufio.NewWriterSize(w, 1<<16), buf: make([]byte, 0, 512)}
+}
+
+// write emits one result line.
+func (rw *resultWriter) write(r *Result) error {
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	rw.buf = appendResult(rw.buf[:0], r)
+	rw.n++
+	_, err := rw.w.Write(rw.buf)
+	return err
+}
+
+// writeBatch emits a slice of results under one lock acquisition — the
+// simulated path's per-batch flush, preserving feed order.
+func (rw *resultWriter) writeBatch(rs []Result) error {
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	for i := range rs {
+		rw.buf = appendResult(rw.buf[:0], &rs[i])
+		rw.n++
+		if _, err := rw.w.Write(rw.buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flush drains the buffered writer.
+func (rw *resultWriter) flush() error {
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	return rw.w.Flush()
+}
+
+// appendResult appends r's JSONL line (with trailing newline) to buf.
+// Field order is fixed; default-false flags and empty collections are
+// omitted, so the encoding is a pure deterministic function of the
+// result — the property the simulated path's digest gate relies on.
+func appendResult(buf []byte, r *Result) []byte {
+	buf = append(buf, `{"i":`...)
+	buf = strconv.AppendUint(buf, r.Index, 10)
+	buf = append(buf, `,"name":"`...)
+	buf = append(buf, r.Name...)
+	buf = append(buf, `","type":"`...)
+	buf = append(buf, r.Type.String()...)
+	buf = append(buf, `","status":"`...)
+	buf = append(buf, r.Status.String()...)
+	buf = append(buf, `","rcode":`...)
+	buf = strconv.AppendUint(buf, uint64(r.RCode), 10)
+	buf = append(buf, `,"ms":`...)
+	buf = strconv.AppendFloat(buf, float64(r.Duration.Nanoseconds())/1e6, 'f', 3, 64)
+	buf = append(buf, `,"attempts":`...)
+	buf = strconv.AppendInt(buf, int64(r.Attempts), 10)
+	if r.Cache {
+		buf = append(buf, `,"cache":true`...)
+	}
+	if r.Coalesced {
+		buf = append(buf, `,"coalesced":true`...)
+	}
+	if r.TCPFallback {
+		buf = append(buf, `,"tcp":true`...)
+	}
+	if len(r.Answers) > 0 {
+		buf = append(buf, `,"answers":[`...)
+		for i, a := range r.Answers {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = append(buf, `{"addr":"`...)
+			buf = a.Addr.AppendTo(buf)
+			buf = append(buf, `","ttl":`...)
+			buf = strconv.AppendInt(buf, int64(a.TTL.Seconds()), 10)
+			buf = append(buf, '}')
+		}
+		buf = append(buf, ']')
+	}
+	if r.Err != nil {
+		buf = append(buf, `,"error":`...)
+		buf = strconv.AppendQuote(buf, r.Err.Error())
+	}
+	buf = append(buf, '}', '\n')
+	return buf
+}
+
+// WriteSummary renders the end-of-run summary as a human-readable block
+// (the stderr companion to the JSONL stream).
+func WriteSummary(w io.Writer, s *Summary) error {
+	_, err := fmt.Fprintf(w,
+		"queries      %d (%.0f qps over %v)\n"+
+			"  NOERROR    %d\n"+
+			"  NXDOMAIN   %d\n"+
+			"  SERVFAIL   %d\n"+
+			"  REFUSED    %d\n"+
+			"  TIMEOUT    %d\n"+
+			"  ERROR      %d\n"+
+			"coalesced    %d\n"+
+			"skipped      %d feed lines\n"+
+			"latency ms   p50 %.3f  p90 %.3f  p99 %.3f  max %.3f  mean %.3f\n",
+		s.Queries, s.QPS, s.Wall.Round(time.Millisecond),
+		s.Count(StatusNoError), s.Count(StatusNXDomain), s.Count(StatusServFail),
+		s.Count(StatusRefused), s.Count(StatusTimeout), s.Count(StatusError),
+		s.Coalesced, s.SkippedLines,
+		s.LatP50, s.LatP90, s.LatP99, s.LatMax, s.LatMean)
+	return err
+}

@@ -1,0 +1,308 @@
+package bulk
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"dnscontext/internal/parallel"
+	"dnscontext/internal/resolver"
+	"dnscontext/internal/stats"
+	"dnscontext/internal/trace"
+	"dnscontext/internal/zonedb"
+)
+
+// The simulated path. Determinism is the contract: the same (namespace
+// seed, engine seed, feed, shard count, arrival rate) produces the same
+// result for every query at ANY concurrency. The mechanism is sharding
+// by name: query i arrives at virtual time i·gap, is routed to shard
+// hash(name)%Shards, and each shard owns a fully independent resolver
+// platform instance (its own cache partitions and RNG stream, seeded
+// Seed+shardID) whose queries it processes in feed order. Workers
+// parallelize ACROSS shards; within a shard execution is sequential, so
+// the interleaving chosen by the scheduler can never reach the model.
+// The shard count is part of the experiment definition (it decides which
+// queries share a cache), the concurrency is not.
+
+// SimConfig parameterizes the simulated backend.
+type SimConfig struct {
+	// Shards is the number of independent resolver instances (default
+	// 64). Results depend on this value — it is the cache-sharing
+	// topology — and not on Options.Concurrency.
+	Shards int
+	// Seed drives every shard's RNG (shard k uses Seed+k) and, with
+	// ZoneConfig, the namespace build.
+	Seed uint64
+	// ArrivalQPS is the virtual query arrival rate; query i arrives at
+	// virtual time i/ArrivalQPS (default 50000).
+	ArrivalQPS float64
+	// Platform selects the resolver platform profile to scan through
+	// (default resolver.PlatformLocal).
+	Platform resolver.PlatformID
+	// ZoneNames sizes the synthetic namespace (default
+	// zonedb.DefaultConfig().NumNames).
+	ZoneNames int
+}
+
+func (c SimConfig) withDefaults() SimConfig {
+	if c.Shards <= 0 {
+		c.Shards = 64
+	}
+	if c.ArrivalQPS <= 0 {
+		c.ArrivalQPS = 50000
+	}
+	if c.ZoneNames <= 0 {
+		c.ZoneNames = zonedb.DefaultConfig().NumNames
+	}
+	return c
+}
+
+// simShard is one independent slice of the resolver hierarchy plus the
+// shard's in-flight coalescing window.
+type simShard struct {
+	rec *resolver.Recursive
+	// inflight maps a query key to its most recent wire exchange; a
+	// later query whose virtual arrival falls inside the exchange's
+	// window joins it instead of re-asking (see resolveOne).
+	inflight map[string]simWindow
+}
+
+// simWindow is one completed exchange's reusable span: its end in
+// virtual time plus the answer every subscriber shares (answers are
+// shared by reference — the resolver hands out fresh slices per lookup).
+type simWindow struct {
+	end      time.Duration
+	answers  []trace.Answer
+	rcode    uint8
+	cache    bool
+	attempts int
+	tcp      bool
+	servfail bool
+}
+
+// SimBackend is a sharded instance of the simulated resolver hierarchy,
+// ready to absorb a bulk scan.
+type SimBackend struct {
+	cfg    SimConfig
+	zones  *zonedb.DB
+	shards []*simShard
+	gap    time.Duration
+	retry  resolver.RetryPolicy
+}
+
+// NewSimBackend builds the namespace and cfg.Shards independent platform
+// instances. The same cfg always builds the same backend.
+func NewSimBackend(cfg SimConfig) (*SimBackend, error) {
+	cfg = cfg.withDefaults()
+	zcfg := zonedb.DefaultConfig()
+	zcfg.NumNames = cfg.ZoneNames
+	zones, err := zonedb.New(zcfg, stats.NewRNG(cfg.Seed))
+	if err != nil {
+		return nil, fmt.Errorf("bulk: %w", err)
+	}
+	var prof resolver.PlatformProfile
+	found := false
+	for _, p := range resolver.DefaultProfiles() {
+		if p.ID == cfg.Platform {
+			prof, found = p, true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("bulk: unknown platform %v", cfg.Platform)
+	}
+	auth := resolver.NewAuthority(zones)
+	b := &SimBackend{
+		cfg:   cfg,
+		zones: zones,
+		gap:   time.Duration(float64(time.Second) / cfg.ArrivalQPS),
+	}
+	for k := 0; k < cfg.Shards; k++ {
+		b.shards = append(b.shards, &simShard{
+			rec:      resolver.NewRecursive(prof, auth, stats.NewRNG(cfg.Seed+uint64(k)+1)),
+			inflight: make(map[string]simWindow),
+		})
+	}
+	return b, nil
+}
+
+// Zones returns the namespace the backend serves (the synthetic feed
+// samples from it).
+func (b *SimBackend) Zones() *zonedb.DB { return b.zones }
+
+// HitRate returns the mean shared-cache hit rate across shards.
+func (b *SimBackend) HitRate() float64 {
+	if len(b.shards) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, sh := range b.shards {
+		sum += sh.rec.HitRate()
+	}
+	return sum / float64(len(b.shards))
+}
+
+// simBatch is the engine's unit of streaming: queries are read from the
+// source in fixed-size batches, sharded, resolved in parallel across
+// shards, and emitted in feed order before the next batch is read, so
+// memory stays bounded by the batch size while shard state (caches,
+// coalescing windows) persists across batches.
+const simBatch = 1 << 15
+
+// RunSim streams src through the simulated backend and returns the run
+// summary. Results are written to opts.Output in feed order (the stream
+// itself is byte-deterministic, not merely its sorted digest).
+func RunSim(ctx context.Context, src Source, b *SimBackend, opts Options) (*Summary, error) {
+	start := time.Now()
+	workers := parallel.Workers(opts.Concurrency)
+	retry := opts.retry()
+	met := newEngMetrics(opts.Metrics)
+	out := newResultWriter(opts.Output)
+	sum := &summarizer{}
+
+	queries := make([]Query, 0, simBatch)
+	results := make([]Result, simBatch)
+	// Per-shard item lists, reused across batches.
+	items := make([][]int32, len(b.shards))
+	active := make([]int, 0, len(b.shards))
+
+	var base uint64
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		queries = queries[:0]
+		for len(queries) < simBatch && src.Scan() {
+			queries = append(queries, src.Query())
+		}
+		if err := src.Err(); err != nil {
+			return nil, err
+		}
+		if len(queries) == 0 {
+			break
+		}
+
+		// Shard the batch: stable hash of the name, feed order within
+		// each shard (ascending index ⇒ ascending virtual arrival).
+		active = active[:0]
+		for i := range queries {
+			k := int(fnv64a(queries[i].Name) % uint64(len(b.shards)))
+			if len(items[k]) == 0 {
+				active = append(active, k)
+			}
+			items[k] = append(items[k], int32(i))
+		}
+
+		met.inflight.Set(int64(len(queries)))
+		lane := sum.newSink() // batch-local; flushed under the summarizer lock
+		err := parallel.ForEach(ctx, workers, len(active), func(a int) error {
+			k := active[a]
+			sh := b.shards[k]
+			for _, idx := range items[k] {
+				q := &queries[idx]
+				r := &results[idx]
+				b.resolveOne(sh, base+uint64(idx), q, retry, opts.NoCoalesce, r)
+			}
+			return nil
+		})
+		met.inflight.Set(0)
+		if err != nil {
+			return nil, err
+		}
+
+		rs := results[:len(queries)]
+		for i := range rs {
+			met.observe(&rs[i])
+			lane.observe(&rs[i])
+		}
+		lane.flush()
+		if err := out.writeBatch(rs); err != nil {
+			return nil, err
+		}
+		for _, k := range active {
+			items[k] = items[k][:0]
+		}
+		base += uint64(len(queries))
+	}
+	if err := out.flush(); err != nil {
+		return nil, err
+	}
+	skipped := 0
+	if f, ok := src.(*Feed); ok {
+		skipped = f.Stats().Skipped
+	}
+	return sum.finish(time.Since(start), skipped), nil
+}
+
+// resolveOne resolves one query on its shard at virtual arrival time
+// gi·gap. Coalescing: queries for the same (name, type) whose arrival
+// falls inside the previous exchange's [start, end) window share that
+// exchange — they are the queries that, on a real wire, would have found
+// the exchange in flight. Subscribers inherit the leader's answer and
+// are charged only the remaining wait (end − arrival); this is
+// singleflight semantics replayed in virtual time, deterministic because
+// same-name queries always land on the same shard in feed order.
+func (b *SimBackend) resolveOne(sh *simShard, gi uint64, q *Query, rp resolver.RetryPolicy, noCoalesce bool, r *Result) {
+	arrival := time.Duration(gi) * b.gap
+	*r = Result{Index: gi, Name: q.Name, Type: q.Type}
+
+	key := q.Name + "\x00" + q.Type.String()
+	if !noCoalesce {
+		if w, ok := sh.inflight[key]; ok && arrival < w.end {
+			r.Status = windowStatus(&w)
+			r.RCode = w.rcode
+			r.Duration = w.end - arrival
+			r.Attempts = w.attempts
+			r.Coalesced = true
+			r.Cache = w.cache
+			r.TCPFallback = w.tcp
+			r.Answers = w.answers
+			return
+		}
+	}
+
+	res := sh.rec.LookupWith(arrival, q.Name, rp)
+	r.RCode = res.RCode
+	r.Duration = res.Duration
+	r.Attempts = res.Attempts
+	r.Cache = res.FromCache
+	r.TCPFallback = res.TCPFallback
+	r.Answers = res.Answers
+	if res.ServFail {
+		r.Status = StatusTimeout
+	} else {
+		r.Status = statusOfRCode(res.RCode)
+	}
+	if !noCoalesce {
+		sh.inflight[key] = simWindow{
+			end:      arrival + res.Duration,
+			answers:  res.Answers,
+			rcode:    res.RCode,
+			cache:    res.FromCache,
+			attempts: res.Attempts,
+			tcp:      res.TCPFallback,
+			servfail: res.ServFail,
+		}
+	}
+}
+
+func windowStatus(w *simWindow) Status {
+	if w.servfail {
+		return StatusTimeout
+	}
+	return statusOfRCode(w.rcode)
+}
+
+// fnv64a is the stable shard hash (FNV-1a over the name bytes).
+func fnv64a(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}

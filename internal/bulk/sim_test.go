@@ -1,0 +1,277 @@
+package bulk
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"dnscontext/internal/dnswire"
+	"dnscontext/internal/resolver"
+	"dnscontext/internal/trace"
+)
+
+// updateScanGolden regenerates testdata/scan_digest.txt instead of
+// comparing against it (for intentional model changes).
+var updateScanGolden = flag.Bool("update-scan-golden", false, "rewrite the scan golden digest")
+
+// traceQuarantineAll is the skip-everything feed policy used by tests.
+func traceQuarantineAll() trace.ErrorPolicy {
+	return trace.ErrorPolicy{Quarantine: true, Budget: trace.UnlimitedBudget()}
+}
+
+// runSimToBuf runs one simulated scan into a buffer with the given
+// concurrency; everything else about the run is pinned.
+func runSimToBuf(t *testing.T, cfg SimConfig, n, concurrency int) (*bytes.Buffer, *Summary) {
+	t.Helper()
+	b, err := NewSimBackend(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewSyntheticSource(b.Zones(), SyntheticConfig{N: n, Seed: cfg.Seed + 1, MissFraction: 0.02})
+	var buf bytes.Buffer
+	sum, err := RunSim(context.Background(), src, b, Options{Concurrency: concurrency, Output: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &buf, sum
+}
+
+// TestSimDeterministicAcrossConcurrency is the determinism contract:
+// the same seed + feed produce a byte-identical JSONL stream (stronger
+// than the sorted-digest criterion) at any concurrency.
+func TestSimDeterministicAcrossConcurrency(t *testing.T) {
+	cfg := SimConfig{Shards: 16, Seed: 42, ArrivalQPS: 20000, ZoneNames: 500}
+	const n = 20000
+	ref, refSum := runSimToBuf(t, cfg, n, 1)
+	for _, conc := range []int{4, 8} {
+		got, gotSum := runSimToBuf(t, cfg, n, conc)
+		if !bytes.Equal(ref.Bytes(), got.Bytes()) {
+			t.Fatalf("concurrency %d: output differs from the concurrency-1 run", conc)
+		}
+		if refSum.ByStatus != gotSum.ByStatus || refSum.Coalesced != gotSum.Coalesced {
+			t.Fatalf("concurrency %d: summary differs: %+v vs %+v", conc, refSum, gotSum)
+		}
+	}
+	if refSum.Queries != n {
+		t.Fatalf("queries = %d, want %d", refSum.Queries, n)
+	}
+	if refSum.Count(StatusNXDomain) == 0 {
+		t.Fatal("miss fraction produced no NXDOMAIN")
+	}
+	if refSum.Coalesced == 0 {
+		t.Fatal("popular names under a Zipf feed should coalesce")
+	}
+}
+
+// TestSimShardsArePartOfTheExperiment: unlike concurrency, the shard
+// count changes which queries share a cache, so it changes results.
+func TestSimShardsArePartOfTheExperiment(t *testing.T) {
+	const n = 5000
+	a, _ := runSimToBuf(t, SimConfig{Shards: 4, Seed: 42, ArrivalQPS: 20000, ZoneNames: 500}, n, 4)
+	b, _ := runSimToBuf(t, SimConfig{Shards: 32, Seed: 42, ArrivalQPS: 20000, ZoneNames: 500}, n, 4)
+	if bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("different shard counts produced identical streams; sharding is not reaching the model")
+	}
+}
+
+// TestSimNoCoalesceDisablesWindows: with coalescing off, no result may
+// carry the coalesced flag and the summary count stays zero.
+func TestSimNoCoalesceDisablesWindows(t *testing.T) {
+	cfg := SimConfig{Shards: 8, Seed: 42, ArrivalQPS: 50000, ZoneNames: 200}
+	b, err := NewSimBackend(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewSyntheticSource(b.Zones(), SyntheticConfig{N: 5000, Seed: 1})
+	var buf bytes.Buffer
+	sum, err := RunSim(context.Background(), src, b, Options{NoCoalesce: true, Output: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Coalesced != 0 {
+		t.Fatalf("coalesced = %d with NoCoalesce", sum.Coalesced)
+	}
+	if strings.Contains(buf.String(), `"coalesced":true`) {
+		t.Fatal("output carries coalesced results with NoCoalesce")
+	}
+}
+
+// TestSimJSONLWellFormed: every output line must be valid JSON with the
+// required fields — the hand-rolled encoder gets no second chances at
+// 1M lines per run.
+func TestSimJSONLWellFormed(t *testing.T) {
+	buf, _ := runSimToBuf(t, SimConfig{Shards: 8, Seed: 7, ArrivalQPS: 20000, ZoneNames: 300}, 2000, 4)
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 2000 {
+		t.Fatalf("lines = %d, want 2000", len(lines))
+	}
+	for i, line := range lines {
+		var rec struct {
+			I        *uint64 `json:"i"`
+			Name     string  `json:"name"`
+			Type     string  `json:"type"`
+			Status   string  `json:"status"`
+			RCode    *uint8  `json:"rcode"`
+			MS       float64 `json:"ms"`
+			Attempts int     `json:"attempts"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d: %v\n%s", i, err, line)
+		}
+		if rec.I == nil || *rec.I != uint64(i) {
+			t.Fatalf("line %d: index field %v", i, rec.I)
+		}
+		if rec.Name == "" || rec.Status == "" || rec.RCode == nil || rec.Attempts < 1 {
+			t.Fatalf("line %d: missing fields: %s", i, line)
+		}
+	}
+}
+
+// scanGoldenDigest computes the gate digest: sha256 over the sorted
+// JSONL lines (sorting makes the digest stream-order independent, so
+// the same gate can cover engines that emit out of feed order).
+func scanGoldenDigest(data []byte) string {
+	lines := strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
+	sort.Strings(lines)
+	h := sha256.New()
+	for _, l := range lines {
+		h.Write([]byte(l))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestScanGoldenDigest is the `make scan` gate: a pinned scan (fixed
+// seed, synthetic feed, default platform) must reproduce the digest
+// committed in testdata/scan_digest.txt at several concurrencies. A
+// mismatch means the simulated path's results changed — either a bug,
+// or an intentional model change that must update the golden file
+// (run with -update-scan-golden).
+func TestScanGoldenDigest(t *testing.T) {
+	cfg := SimConfig{Shards: 32, Seed: 1, ArrivalQPS: 50000, ZoneNames: 1000, Platform: resolver.PlatformLocal}
+	const n = 50000
+	golden := filepath.Join("testdata", "scan_digest.txt")
+
+	var digests []string
+	for _, conc := range []int{1, 8} {
+		buf, _ := runSimToBuf(t, cfg, n, conc)
+		digests = append(digests, scanGoldenDigest(buf.Bytes()))
+	}
+	if digests[0] != digests[1] {
+		t.Fatalf("digest varies with concurrency: %s vs %s", digests[0], digests[1])
+	}
+
+	if *updateScanGolden {
+		if err := os.WriteFile(golden, []byte(digests[0]+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (generate it with: go test ./internal/bulk -run TestScanGoldenDigest -update-scan-golden)", err)
+	}
+	if got := digests[0]; got != strings.TrimSpace(string(want)) {
+		t.Fatalf("scan digest %s, want %s\nthe simulated path's results changed; if intentional, regenerate with -update-scan-golden", got, strings.TrimSpace(string(want)))
+	}
+}
+
+// TestSimSummaryConsistency: the summary must agree with the stream it
+// summarizes.
+func TestSimSummaryConsistency(t *testing.T) {
+	buf, sum := runSimToBuf(t, SimConfig{Shards: 8, Seed: 9, ArrivalQPS: 20000, ZoneNames: 300}, 3000, 4)
+	var total uint64
+	for st := StatusNoError; st < numStatuses; st++ {
+		total += sum.Count(st)
+	}
+	if total != sum.Queries || sum.Queries != 3000 {
+		t.Fatalf("status counts sum to %d, queries %d", total, sum.Queries)
+	}
+	if got := uint64(strings.Count(buf.String(), "\n")); got != sum.Queries {
+		t.Fatalf("stream has %d lines, summary says %d", got, sum.Queries)
+	}
+	if sum.LatP50 <= 0 || sum.LatP99 < sum.LatP50 || sum.LatMax < sum.LatP99 {
+		t.Fatalf("latency percentiles out of order: %+v", sum)
+	}
+	coalesced := uint64(strings.Count(buf.String(), `"coalesced":true`))
+	if coalesced != sum.Coalesced {
+		t.Fatalf("stream has %d coalesced results, summary says %d", coalesced, sum.Coalesced)
+	}
+}
+
+// TestWriteSummary smoke-checks the human rollup.
+func TestWriteSummary(t *testing.T) {
+	_, sum := runSimToBuf(t, SimConfig{Shards: 4, Seed: 3, ArrivalQPS: 20000, ZoneNames: 200}, 1000, 2)
+	var buf bytes.Buffer
+	if err := WriteSummary(&buf, sum); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"queries", "qps", "NOERROR", "p50", "p99"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSimFeedSkipAccounting: a dirty file feed's skip count must reach
+// the summary.
+func TestSimFeedSkipAccounting(t *testing.T) {
+	b, err := NewSimBackend(SimConfig{Shards: 4, Seed: 5, ZoneNames: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for i := 0; i < 20; i++ {
+		names = append(names, b.Zones().ByRank(i).Host)
+	}
+	in := strings.Join(names[:10], "\n") + "\nbad line here extra\n" + strings.Join(names[10:], "\n") + "\n"
+	src := NewFeed(strings.NewReader(in), dnswire.TypeA, traceQuarantineAll())
+	sum, err := RunSim(context.Background(), src, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Queries != 20 || sum.SkippedLines != 1 {
+		t.Fatalf("queries %d skipped %d, want 20 and 1", sum.Queries, sum.SkippedLines)
+	}
+}
+
+func BenchmarkBulkScanSim(b *testing.B) {
+	const n = 1_000_000
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sum *Summary
+	for i := 0; i < b.N; i++ {
+		// A fresh backend per iteration: shard caches and coalescing
+		// windows are keyed to the virtual clock, which restarts with
+		// every run. Setup stays off the clock.
+		b.StopTimer()
+		be, err := NewSimBackend(SimConfig{Shards: 64, Seed: 1, ArrivalQPS: 50000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		src := NewSyntheticSource(be.Zones(), SyntheticConfig{N: n, Seed: 2, MissFraction: 0.01})
+		b.StartTimer()
+		sum, err = RunSim(context.Background(), src, be, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(sum.QPS, "qps")
+	b.ReportMetric(sum.LatP50, "p50_ms")
+	b.ReportMetric(sum.LatP99, "p99_ms")
+	b.ReportMetric(float64(sum.Coalesced), "coalesced")
+	if sum.Queries != n {
+		b.Fatalf("queries = %d, want %d", sum.Queries, n)
+	}
+}

@@ -138,6 +138,11 @@ func (s *Server) Start(addr string) (*net.UDPAddr, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dnsserver: %w", err)
 	}
+	// Bulk clients (cmd/dnsscan) burst tens of thousands of queries;
+	// a deep kernel buffer absorbs what the reader loop hasn't drained
+	// yet, so overload surfaces as a counted queue shed rather than a
+	// silent kernel drop. Best-effort: the OS caps it silently.
+	_ = conn.SetReadBuffer(4 << 20)
 	s.mu.Lock()
 	s.conn = conn
 	s.queue = make(chan packet, s.cfg.QueueDepth)

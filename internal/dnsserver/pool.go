@@ -1,0 +1,276 @@
+package dnsserver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dnscontext/internal/dnswire"
+)
+
+// Client-side sharded sockets. The basic Client opens a fresh UDP socket
+// per attempt, which is fine for a handful of interactive queries and
+// hopeless for a bulk scanner holding tens of thousands of queries in
+// flight: every attempt pays a dial, and the kernel churns through
+// ephemeral ports. ClientPool is the reusable dial path for concurrent
+// callers — it dials a small, fixed set of connected UDP sockets up
+// front, shards queries across them round-robin, and demultiplexes
+// responses back to waiters by DNS message ID, so any number of
+// goroutines can query through one pool with no per-query dial and no
+// lock on the wire path beyond the pending-table update.
+
+// Pool errors beyond the Client's ErrTimeout/ErrMismatch taxonomy.
+var (
+	// ErrPoolClosed is returned by Query once Close has been called.
+	ErrPoolClosed = errors.New("dnsserver: client pool closed")
+	// ErrPoolBusy is returned when a socket's 16-bit ID space is
+	// exhausted — more than ~65k queries in flight on one socket.
+	ErrPoolBusy = errors.New("dnsserver: too many queries in flight")
+)
+
+// ClientPoolConfig parameterizes a ClientPool. The zero value gets
+// sensible defaults: 4 sockets, 2 s per-attempt timeout, 2 retries,
+// flat backoff.
+type ClientPoolConfig struct {
+	// Sockets is the number of UDP sockets to shard queries across
+	// (default 4). More sockets spread kernel socket-buffer pressure and
+	// widen the usable ID space (each socket has its own 16-bit space).
+	Sockets int
+	// Timeout bounds the first attempt (default 2 s).
+	Timeout time.Duration
+	// Retries is the number of additional attempts (default 2). Each
+	// retry moves to the next socket — the pool analogue of anycast
+	// rotation — and re-sends under a fresh ID.
+	Retries int
+	// Backoff multiplies the timeout after each failed attempt; values
+	// below 1 are treated as 1 (flat), mirroring resolver.RetryPolicy.
+	Backoff float64
+	// MaxTimeout caps the per-attempt timeout after backoff (0 = uncapped).
+	MaxTimeout time.Duration
+}
+
+func (c ClientPoolConfig) withDefaults() ClientPoolConfig {
+	if c.Sockets <= 0 {
+		c.Sockets = 4
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Second
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.Backoff < 1 {
+		c.Backoff = 1
+	}
+	return c
+}
+
+// ClientPool is a concurrent-caller UDP DNS client over a fixed set of
+// shared sockets. It is safe for use by any number of goroutines; Close
+// releases the sockets and fails queries still waiting.
+type ClientPool struct {
+	cfg   ClientPoolConfig
+	socks []*poolSock
+	next  atomic.Uint64
+
+	inflight atomic.Int64
+	done     chan struct{} // closed by Close
+	closed   atomic.Bool
+	wg       sync.WaitGroup
+}
+
+// poolSock is one shared socket: a connected UDP conn, its pending-call
+// table keyed by message ID, and a reader goroutine demuxing responses.
+type poolSock struct {
+	conn    *net.UDPConn
+	mu      sync.Mutex
+	pending map[uint16]*poolCall
+	nextID  uint16
+}
+
+// poolCall is one waiter. The channel has capacity 1 and is written at
+// most once (the reader drops responses for unregistered IDs), so the
+// reader never blocks on a slow waiter.
+type poolCall struct {
+	ch chan *dnswire.Message
+}
+
+// NewClientPool dials cfg.Sockets connected UDP sockets to server and
+// starts their reader goroutines. The returned pool must be Closed.
+func NewClientPool(server string, cfg ClientPoolConfig) (*ClientPool, error) {
+	cfg = cfg.withDefaults()
+	raddr, err := net.ResolveUDPAddr("udp", server)
+	if err != nil {
+		return nil, fmt.Errorf("dnsserver: %w", err)
+	}
+	p := &ClientPool{cfg: cfg, done: make(chan struct{})}
+	for i := 0; i < cfg.Sockets; i++ {
+		conn, err := net.DialUDP("udp", nil, raddr)
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("dnsserver: %w", err)
+		}
+		// Thousands of responses can land between reader wakeups; a deep
+		// kernel buffer is what keeps burst loss off the retry ladder.
+		// Best-effort: the OS caps it silently.
+		_ = conn.SetReadBuffer(4 << 20)
+		s := &poolSock{conn: conn, pending: make(map[uint16]*poolCall)}
+		p.socks = append(p.socks, s)
+		p.wg.Add(1)
+		go p.readLoop(s)
+	}
+	return p, nil
+}
+
+// readLoop demuxes one socket's responses to their waiting calls. It
+// exits when the socket is closed; undecodable datagrams and responses
+// for IDs nobody is waiting on (late retransmission answers) are
+// dropped, as the one-shot Client does.
+func (p *ClientPool) readLoop(s *poolSock) {
+	defer p.wg.Done()
+	buf := make([]byte, 4096)
+	for {
+		n, err := s.conn.Read(buf)
+		if err != nil {
+			return // socket closed by Close
+		}
+		msg, err := dnswire.Decode(buf[:n])
+		if err != nil || !msg.Header.Response {
+			continue
+		}
+		s.mu.Lock()
+		call := s.pending[msg.Header.ID]
+		delete(s.pending, msg.Header.ID)
+		s.mu.Unlock()
+		if call != nil {
+			call.ch <- msg // cap 1, written once per registration
+		}
+	}
+}
+
+// register allocates an unused message ID on s and parks a call under
+// it. IDs are drawn from a wrapping counter, skipping taken slots, so
+// concurrent queries on one socket never collide.
+func (s *poolSock) register() (uint16, *poolCall, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.pending) >= 1<<16-1 {
+		return 0, nil, ErrPoolBusy
+	}
+	for {
+		s.nextID++
+		if _, taken := s.pending[s.nextID]; !taken {
+			break
+		}
+	}
+	call := &poolCall{ch: make(chan *dnswire.Message, 1)}
+	s.pending[s.nextID] = call
+	return s.nextID, call, nil
+}
+
+// unregister removes a call that timed out or was cancelled.
+func (s *poolSock) unregister(id uint16) {
+	s.mu.Lock()
+	delete(s.pending, id)
+	s.mu.Unlock()
+}
+
+// InFlight returns the number of Query calls currently outstanding — the
+// pool's in-flight gauge.
+func (p *ClientPool) InFlight() int64 { return p.inflight.Load() }
+
+// Query resolves one question through the pool: it encodes the query
+// under a socket-local ID, sends it on the next socket round-robin, and
+// waits for the demuxed response, retrying with exponential backoff (and
+// socket rotation) per the pool config. Timeouts follow the Client
+// contract: silence for the full ladder yields ErrTimeout; a response
+// answering a different question yields ErrMismatch. Cancelling ctx
+// abandons the query with ctx's error.
+func (p *ClientPool) Query(ctx context.Context, name string, qtype dnswire.Type) (*dnswire.Message, error) {
+	if p.closed.Load() {
+		return nil, ErrPoolClosed
+	}
+	p.inflight.Add(1)
+	defer p.inflight.Add(-1)
+
+	timeout := p.cfg.Timeout
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+
+	var lastErr error = ErrTimeout
+	for attempt := 0; attempt <= p.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			timeout = time.Duration(float64(timeout) * p.cfg.Backoff)
+			if p.cfg.MaxTimeout > 0 && timeout > p.cfg.MaxTimeout {
+				timeout = p.cfg.MaxTimeout
+			}
+		}
+		s := p.socks[p.next.Add(1)%uint64(len(p.socks))]
+		id, call, err := s.register()
+		if err != nil {
+			return nil, err
+		}
+		q := dnswire.NewQuery(id, name, qtype)
+		wire, err := q.Encode()
+		if err != nil {
+			s.unregister(id)
+			return nil, err
+		}
+		if _, err := s.conn.Write(wire); err != nil {
+			s.unregister(id)
+			if p.closed.Load() {
+				return nil, ErrPoolClosed
+			}
+			lastErr = err
+			continue
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(timeout)
+		select {
+		case msg := <-call.ch:
+			// The reader already unregistered the ID when it delivered.
+			if len(msg.Questions) == 0 ||
+				dnswire.CanonicalName(msg.Questions[0].Name) != dnswire.CanonicalName(name) {
+				return nil, ErrMismatch
+			}
+			return msg, nil
+		case <-timer.C:
+			s.unregister(id)
+			lastErr = ErrTimeout
+		case <-ctx.Done():
+			s.unregister(id)
+			return nil, ctx.Err()
+		case <-p.done:
+			s.unregister(id)
+			return nil, ErrPoolClosed
+		}
+	}
+	return nil, lastErr
+}
+
+// Close releases the pool's sockets, stops the reader goroutines, and
+// fails queries still waiting with ErrPoolClosed. Safe to call multiple
+// times.
+func (p *ClientPool) Close() error {
+	if p.closed.Swap(true) {
+		return nil
+	}
+	close(p.done)
+	var first error
+	for _, s := range p.socks {
+		if err := s.conn.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	p.wg.Wait()
+	return first
+}

@@ -1,0 +1,201 @@
+package dnsserver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"dnscontext/internal/dnswire"
+)
+
+func TestPoolQueryOverRealUDP(t *testing.T) {
+	_, zones, addr := startZoneServer(t)
+	pool, err := NewClientPool(addr, ClientPoolConfig{Sockets: 2, Timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	name := zones.ByRank(0)
+	resp, err := pool.Query(context.Background(), name.Host, dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.RCode != dnswire.RCodeNoError || !resp.Header.Authoritative {
+		t.Fatalf("header %+v", resp.Header)
+	}
+	addrs := resp.AnswerAddrs()
+	if len(addrs) != len(name.Addrs) || addrs[0] != name.Addrs[0] {
+		t.Fatalf("answers %v, want %v", addrs, name.Addrs)
+	}
+}
+
+func TestPoolConcurrentQueries(t *testing.T) {
+	_, zones, addr := startZoneServer(t)
+	pool, err := NewClientPool(addr, ClientPoolConfig{Sockets: 3, Timeout: 2 * time.Second, Retries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	// Many goroutines through the shared sockets: every query must come
+	// back matched to its own question despite the demux sharing IDs.
+	const n = 64
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			name := zones.ByRank(i % 10)
+			resp, err := pool.Query(context.Background(), name.Host, dnswire.TypeA)
+			if err == nil && len(resp.Questions) > 0 &&
+				dnswire.CanonicalName(resp.Questions[0].Name) != dnswire.CanonicalName(name.Host) {
+				err = fmt.Errorf("answer for %q, asked %q", resp.Questions[0].Name, name.Host)
+			}
+			if err == nil && len(resp.AnswerAddrs()) == 0 {
+				err = fmt.Errorf("no answers for %s", name.Host)
+			}
+			errs <- err
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := pool.InFlight(); got != 0 {
+		t.Fatalf("InFlight after drain = %d, want 0", got)
+	}
+}
+
+func TestPoolTimeout(t *testing.T) {
+	// A bound-but-silent socket: the pool must walk its retry ladder and
+	// give up with ErrTimeout, not hang.
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Skipf("cannot bind loopback UDP: %v", err)
+	}
+	defer conn.Close()
+	pool, err := NewClientPool(conn.LocalAddr().String(), ClientPoolConfig{
+		Sockets: 1, Timeout: 50 * time.Millisecond, Retries: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	start := time.Now()
+	_, err = pool.Query(context.Background(), "silent.example", dnswire.TypeA)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed < 90*time.Millisecond {
+		t.Fatalf("gave up after %v, before the ladder ran", elapsed)
+	}
+}
+
+func TestPoolContextCancel(t *testing.T) {
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Skipf("cannot bind loopback UDP: %v", err)
+	}
+	defer conn.Close()
+	pool, err := NewClientPool(conn.LocalAddr().String(), ClientPoolConfig{
+		Sockets: 1, Timeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := pool.Query(ctx, "silent.example", dnswire.TypeA); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestPoolCloseFailsWaiters(t *testing.T) {
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Skipf("cannot bind loopback UDP: %v", err)
+	}
+	defer conn.Close()
+	pool, err := NewClientPool(conn.LocalAddr().String(), ClientPoolConfig{
+		Sockets: 2, Timeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			_, err := pool.Query(context.Background(), "silent.example", dnswire.TypeA)
+			errs <- err
+		}()
+	}
+	time.Sleep(30 * time.Millisecond) // let the queries park
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if !errors.Is(err, ErrPoolClosed) {
+			t.Fatalf("waiter err = %v, want ErrPoolClosed", err)
+		}
+	}
+	// Close is idempotent and queries after Close fail fast.
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Query(context.Background(), "x.example", dnswire.TypeA); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("post-close err = %v, want ErrPoolClosed", err)
+	}
+}
+
+func TestPoolNoGoroutineLeak(t *testing.T) {
+	_, zones, addr := startZoneServer(t)
+	before := runtime.NumGoroutine()
+
+	pool, err := NewClientPool(addr, ClientPoolConfig{Sockets: 4, Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = pool.Query(context.Background(), zones.ByRank(i%10).Host, dnswire.TypeA)
+		}()
+	}
+	wg.Wait()
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The reader goroutines must be gone once Close returns; allow the
+	// runtime a beat to reap exiting goroutines.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines %d, baseline %d — pool leaked readers", runtime.NumGoroutine(), before)
+}

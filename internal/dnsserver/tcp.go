@@ -139,10 +139,27 @@ var ErrReset = errors.New("dnsserver: connection reset mid-exchange")
 
 // QueryTCP sends one question over a fresh TCP connection using RFC 7766
 // length-prefixed framing and returns the decoded response. Unlike the
-// UDP path, failures are distinguishable: a silent server yields
-// ErrTimeout, while a connection killed mid-exchange yields ErrReset.
-// Timeouts are retried like UDP; resets are not (the caller owns
-// reconnect policy, mirroring the simulated stream transports).
+// UDP path, failures are distinguishable, and the retry contract differs
+// by failure class:
+//
+//   - Timeout (ErrTimeout): the server stayed silent — the dial, write,
+//     or read deadline expired with the connection otherwise healthy.
+//     Indistinguishable from datagram loss, so QueryTCP retries it like
+//     the UDP path does, up to Retries additional attempts, each over a
+//     fresh connection with a fresh deadline.
+//   - Reset (ErrReset): the peer (or the network) killed the connection
+//     mid-exchange — EOF, unexpected EOF, or RST after the query was
+//     written. The server demonstrably received something and chose to
+//     drop the stream, so blind retransmission is wrong; QueryTCP
+//     returns ErrReset immediately without consuming the remaining
+//     attempts. The caller owns reconnect policy, mirroring the
+//     simulated stream transports (resolver.Recursive.LossCounters
+//     counts the two classes separately for the same reason).
+//
+// A response answering the wrong question yields ErrMismatch, also
+// without retry. Each attempt opens its own connection; QueryTCP never
+// reuses streams — callers needing connection reuse at scale should
+// drive the UDP ClientPool or hold their own persistent conns.
 func (c *Client) QueryTCP(name string, qtype dnswire.Type) (*dnswire.Message, error) {
 	timeout := c.Timeout
 	if timeout <= 0 {
