@@ -158,7 +158,18 @@ func (f *Feed) readLine() (line []byte, tooLong bool, err error) {
 	f.line++
 	line, err = f.br.ReadSlice('\n')
 	if err == nil {
-		return line[:len(line)-1], false, nil
+		line = line[:len(line)-1]
+		if len(line) > maxFeedLine {
+			// Fits the 64K read buffer but breaks the feed's bound: same
+			// contract as the overflow path below — truncated prefix,
+			// tooLong=true.
+			prefix := line
+			if len(prefix) > 128 {
+				prefix = prefix[:128]
+			}
+			return append([]byte(nil), prefix...), true, nil
+		}
+		return line, false, nil
 	}
 	if err == bufio.ErrBufferFull || len(line) > maxFeedLine {
 		// Keep a prefix for the skip record, then drain the rest.

@@ -147,6 +147,28 @@ func TestFeedOversizedLineSkipped(t *testing.T) {
 	}
 }
 
+func TestFeedMidSizedOversizedLineSkipped(t *testing.T) {
+	// Longer than maxFeedLine but well inside bufio's 64K read buffer:
+	// the bound must hold even when ReadSlice returns the whole line in
+	// one shot (no ErrBufferFull).
+	in := strings.Repeat("b", maxFeedLine+1) + "\nafter.example\n"
+	f := NewFeed(strings.NewReader(in), dnswire.TypeA, trace.ErrorPolicy{Quarantine: true, Budget: trace.UnlimitedBudget()})
+	got := collect(t, f)
+	if err := f.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Name != "after.example" {
+		t.Fatalf("queries %+v", got)
+	}
+	sk := f.Skipped()
+	if len(sk) != 1 || !errors.Is(sk[0].Err, errLineTooLong) {
+		t.Fatalf("skipped %+v", sk)
+	}
+	if len(sk[0].Text) > 128 {
+		t.Fatalf("quarantine retained %d bytes of an oversized line", len(sk[0].Text))
+	}
+}
+
 func TestFeedFinalLineWithoutNewline(t *testing.T) {
 	f := NewFeed(strings.NewReader("one.example\ntwo.example"), dnswire.TypeA, trace.ErrorPolicy{})
 	got := collect(t, f)

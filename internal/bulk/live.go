@@ -60,6 +60,11 @@ func RunLive(ctx context.Context, src Source, ex LiveExchanger, opts Options) (*
 	met := newEngMetrics(opts.Metrics)
 	out := newResultWriter(opts.Output)
 	sum := &summarizer{}
+	// The run context is cancelled on a sticky output error so the feeder
+	// (which blocks sending tasks) unwinds instead of waiting on workers
+	// that have stopped draining.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	co := newCoalescer(ctx)
 
 	type task struct {
@@ -72,7 +77,12 @@ func RunLive(ctx context.Context, src Source, ex LiveExchanger, opts Options) (*
 		writeErr error
 		errOnce  sync.Once
 	)
-	fail := func(err error) { errOnce.Do(func() { writeErr = err }) }
+	fail := func(err error) {
+		errOnce.Do(func() {
+			writeErr = err
+			cancel()
+		})
+	}
 
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -131,11 +141,13 @@ feed:
 	}
 	close(tasks)
 	wg.Wait()
-	if feedErr != nil {
-		return nil, feedErr
-	}
+	// writeErr wins: an output failure cancels the run context, so the
+	// feeder's context.Canceled is a symptom, not the cause.
 	if writeErr != nil {
 		return nil, writeErr
+	}
+	if feedErr != nil {
+		return nil, feedErr
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -159,12 +171,12 @@ func fillLive(r *Result, msg *dnswire.Message, err error, attempts int, coalesce
 	}
 	if err != nil {
 		r.Err = err
-		switch {
-		case errors.Is(err, dnsserver.ErrTimeout):
+		// Everything non-timeout — transport errors, encode failures,
+		// cancellation — is StatusError; a cancelled run discards its
+		// summary anyway, so cancellation earns no status of its own.
+		if errors.Is(err, dnsserver.ErrTimeout) {
 			r.Status = StatusTimeout
-		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-			r.Status = StatusError
-		default:
+		} else {
 			r.Status = StatusError
 		}
 		return

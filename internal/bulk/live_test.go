@@ -3,12 +3,15 @@ package bulk
 import (
 	"bytes"
 	"context"
+	"errors"
+	"fmt"
 	"runtime"
 	"strings"
 	"testing"
 	"time"
 
 	"dnscontext/internal/dnsserver"
+	"dnscontext/internal/dnswire"
 	"dnscontext/internal/stats"
 	"dnscontext/internal/zonedb"
 )
@@ -133,6 +136,53 @@ func BenchmarkBulkScanLive(b *testing.B) {
 	b.ReportMetric(float64(sum.Count(StatusTimeout)), "timeouts")
 	if sum.Queries != n {
 		b.Fatalf("queries = %d, want %d", sum.Queries, n)
+	}
+}
+
+// errWriter is a sticky output failure — every write fails, like -o on a
+// full disk.
+type errWriter struct{}
+
+func (errWriter) Write(p []byte) (int, error) { return 0, errors.New("disk full") }
+
+// okExchanger answers every query instantly without a network.
+type okExchanger struct{}
+
+func (okExchanger) Query(ctx context.Context, name string, qtype dnswire.Type) (*dnswire.Message, error) {
+	return &dnswire.Message{}, nil
+}
+
+// endlessSource yields queries forever; only the engine can stop the
+// feed.
+type endlessSource struct{ n int }
+
+func (s *endlessSource) Scan() bool { s.n++; return true }
+func (s *endlessSource) Query() Query {
+	return Query{Name: fmt.Sprintf("q%d.example", s.n), Type: dnswire.TypeA}
+}
+func (s *endlessSource) Err() error { return nil }
+
+// TestRunLiveWriteErrorStopsRun: a persistent output failure must abort
+// the run with the write error, not deadlock the feeder against workers
+// that stopped draining (the output is buffered, so the error surfaces
+// only once the 64K buffer fills — well into the endless feed).
+func TestRunLiveWriteErrorStopsRun(t *testing.T) {
+	var (
+		sum *Summary
+		err error
+	)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sum, err = RunLive(context.Background(), &endlessSource{}, okExchanger{}, Options{Concurrency: 8, Output: errWriter{}})
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunLive deadlocked on a sticky write error")
+	}
+	if sum != nil || err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("sum=%v err=%v, want the write error", sum, err)
 	}
 }
 

@@ -28,7 +28,8 @@ var (
 	// ErrPoolClosed is returned by Query once Close has been called.
 	ErrPoolClosed = errors.New("dnsserver: client pool closed")
 	// ErrPoolBusy is returned when a socket's 16-bit ID space is
-	// exhausted — more than ~65k queries in flight on one socket.
+	// exhausted — ~65k queries in flight (or recently timed out and
+	// still quarantined) on one socket.
 	ErrPoolBusy = errors.New("dnsserver: too many queries in flight")
 )
 
@@ -97,7 +98,23 @@ type poolSock struct {
 // reader never blocks on a slow waiter.
 type poolCall struct {
 	ch chan *dnswire.Message
+	// abandoned is the UnixNano instant the waiter gave up (timeout,
+	// cancel, pool close) while its query was still on the wire; zero
+	// means the waiter is live. An abandoned entry keeps its ID parked so
+	// a late response cannot be demuxed to a NEW query that reused the
+	// ID — that would surface as a spurious ErrMismatch for a different
+	// name, or worse, silently hand a stale answer to a retry of the same
+	// name. The ID is reclaimed when the late response finally lands (the
+	// reader deletes on delivery) or after idQuarantine elapses.
+	abandoned int64
 }
+
+// idQuarantine is how long an abandoned message ID stays parked before
+// register may hand it out again. Longer than any plausible late-response
+// arrival (server work + queueing + loopback/kernel buffering), short
+// enough that even a total-timeout storm parks only a small slice of a
+// socket's 65535-ID space.
+const idQuarantine = 3 * time.Second
 
 // NewClientPool dials cfg.Sockets connected UDP sockets to server and
 // starts their reader goroutines. The returned pool must be Closed.
@@ -153,18 +170,26 @@ func (p *ClientPool) readLoop(s *poolSock) {
 }
 
 // register allocates an unused message ID on s and parks a call under
-// it. IDs are drawn from a wrapping counter, skipping taken slots, so
-// concurrent queries on one socket never collide.
+// it. IDs are drawn from a wrapping counter, skipping slots that are
+// taken by live waiters or still quarantined, so concurrent queries on
+// one socket never collide and a late response never reaches a reused
+// ID's new waiter. Expired quarantine entries are reclaimed as the
+// counter walks past them.
 func (s *poolSock) register() (uint16, *poolCall, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(s.pending) >= 1<<16-1 {
 		return 0, nil, ErrPoolBusy
 	}
+	now := time.Now().UnixNano()
 	for {
 		s.nextID++
-		if _, taken := s.pending[s.nextID]; !taken {
+		c, taken := s.pending[s.nextID]
+		if !taken {
 			break
+		}
+		if c.abandoned != 0 && now-c.abandoned > int64(idQuarantine) {
+			break // quarantine over; reuse this slot
 		}
 	}
 	call := &poolCall{ch: make(chan *dnswire.Message, 1)}
@@ -172,10 +197,24 @@ func (s *poolSock) register() (uint16, *poolCall, error) {
 	return s.nextID, call, nil
 }
 
-// unregister removes a call that timed out or was cancelled.
+// unregister removes a call whose query never made it onto the wire
+// (encode or send failure) — no response can arrive, so the ID is
+// immediately reusable.
 func (s *poolSock) unregister(id uint16) {
 	s.mu.Lock()
 	delete(s.pending, id)
+	s.mu.Unlock()
+}
+
+// abandon marks a call whose waiter gave up after the query was sent.
+// The entry stays in the pending table, quarantining its ID (see
+// poolCall.abandoned); the reader still deletes it if the late response
+// arrives, ending the quarantine early.
+func (s *poolSock) abandon(id uint16) {
+	s.mu.Lock()
+	if c, ok := s.pending[id]; ok {
+		c.abandoned = time.Now().UnixNano()
+	}
 	s.mu.Unlock()
 }
 
@@ -244,13 +283,16 @@ func (p *ClientPool) Query(ctx context.Context, name string, qtype dnswire.Type)
 			}
 			return msg, nil
 		case <-timer.C:
-			s.unregister(id)
+			// The query is on the wire; quarantine the ID rather than
+			// freeing it so a late response can't be demuxed to whoever
+			// registers this ID next.
+			s.abandon(id)
 			lastErr = ErrTimeout
 		case <-ctx.Done():
-			s.unregister(id)
+			s.abandon(id)
 			return nil, ctx.Err()
 		case <-p.done:
-			s.unregister(id)
+			s.abandon(id)
 			return nil, ErrPoolClosed
 		}
 	}

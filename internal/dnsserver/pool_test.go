@@ -166,6 +166,65 @@ func TestPoolCloseFailsWaiters(t *testing.T) {
 	}
 }
 
+// TestPoolQuarantinesAbandonedIDs: a message ID whose waiter timed out
+// must not be handed to a new query while its late response could still
+// arrive — otherwise the demux delivers the old answer to the new
+// waiter (spurious ErrMismatch, or a stale answer for a retry of the
+// same name).
+func TestPoolQuarantinesAbandonedIDs(t *testing.T) {
+	s := &poolSock{pending: make(map[uint16]*poolCall)}
+	id, _, err := s.register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.abandon(id)
+
+	// Steer the allocator straight at the quarantined slot: it must walk
+	// past it, not reuse it.
+	s.nextID = id - 1
+	id2, _, err := s.register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 == id {
+		t.Fatal("abandoned ID reused while quarantined")
+	}
+	s.unregister(id2)
+
+	// Once the grace period has elapsed, the slot is reclaimed in place.
+	s.mu.Lock()
+	s.pending[id].abandoned = time.Now().Add(-idQuarantine - time.Second).UnixNano()
+	s.mu.Unlock()
+	s.nextID = id - 1
+	id3, call, err := s.register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id3 != id {
+		t.Fatalf("expired slot not reclaimed: got %d, want %d", id3, id)
+	}
+
+	// The late response arriving ends the quarantine early: the reader
+	// deletes on delivery, and the parked cap-1 channel never blocks it.
+	s.abandon(id3)
+	s.mu.Lock()
+	late := s.pending[id3]
+	delete(s.pending, id3)
+	s.mu.Unlock()
+	if late != call {
+		t.Fatal("pending table lost the abandoned call")
+	}
+	late.ch <- &dnswire.Message{}
+	s.nextID = id3 - 1
+	id4, _, err := s.register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id4 != id3 {
+		t.Fatalf("delivered slot not immediately reusable: got %d, want %d", id4, id3)
+	}
+}
+
 func TestPoolNoGoroutineLeak(t *testing.T) {
 	_, zones, addr := startZoneServer(t)
 	before := runtime.NumGoroutine()
