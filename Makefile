@@ -20,9 +20,9 @@ FUZZ_TARGETS := \
 	./internal/trace:FuzzReadConnsJSON \
 	./internal/bulk:FuzzFeed
 
-.PHONY: check vet build test race obs-determinism stream-parity transport-matrix scan soak bench bench-all bench-parallel bench-compare scan-bench profile fuzz cover
+.PHONY: check vet build test race obs-determinism stream-parity transport-matrix scan soak chaos bench bench-all bench-parallel bench-compare scan-bench profile fuzz cover
 
-check: vet build race obs-determinism stream-parity transport-matrix scan soak
+check: vet build race obs-determinism stream-parity transport-matrix scan soak chaos
 
 vet:
 	$(GO) vet ./...
@@ -76,6 +76,18 @@ SOAKTIME ?= 10s
 soak:
 	DNSCTX_SOAK=$(SOAKTIME) $(GO) test ./internal/dnsserver -race -run='^TestServerChaosSoak$$' -count=1 -v
 
+# Client-side chaos soak under the race detector: a CHAOSNAMES-name scan
+# driven through the real-socket fault proxy (≥2% loss, jitter,
+# reordering, duplication, and a blackhole window) with failover,
+# adaptive timeouts, hedging, and the circuit breaker all on, asserting
+# every feed index lands in the JSONL output exactly once — plus the
+# kill-and-resume equivalence proof (the PR 9 invariant).
+CHAOSNAMES ?= 100000
+
+chaos:
+	DNSCTX_CHAOS_NAMES=$(CHAOSNAMES) $(GO) test ./internal/bulk -race \
+		-run='^TestChaosSoak$$|^TestResumeAfterKill$$' -count=1 -timeout=10m -v
+
 # Short-budget coverage-guided fuzzing of the trace codecs and the bulk
 # feed reader. Go allows one -fuzz target per invocation, so loop over
 # package:function pairs.
@@ -93,23 +105,25 @@ cover:
 
 # Machine-readable benchmark record: the headline benchmarks rendered as
 # JSON (name, ns/op, allocs/op, and custom metrics like speedup_x, qps,
-# and latency percentiles) into BENCH_PR8.json via cmd/benchjson, with
-# delta columns against the PR 7 record when it exists.
-BENCH_BASELINE ?= BENCH_PR7.json
-BENCH_OUT ?= BENCH_PR8.json
+# and latency percentiles) into BENCH_PR9.json via cmd/benchjson, with
+# delta columns against the PR 8 record when it exists.
+BENCH_BASELINE ?= BENCH_PR8.json
+BENCH_OUT ?= BENCH_PR9.json
 
 bench:
-	$(GO) test -bench='BenchmarkAnalyzeParallel$$|BenchmarkFaultLossSweep$$|BenchmarkAnalyzeStream$$|BenchmarkTransportLookup$$|BenchmarkTransportWhatIf$$|BenchmarkBulkScanSim$$|BenchmarkBulkScanLive$$' \
+	$(GO) test -bench='BenchmarkAnalyzeParallel$$|BenchmarkFaultLossSweep$$|BenchmarkAnalyzeStream$$|BenchmarkTransportLookup$$|BenchmarkTransportWhatIf$$|BenchmarkBulkScanSim$$|BenchmarkBulkScanLive$$|BenchmarkBulkScanChaos' \
 		-benchmem -benchtime=3x -run='^$$' ./... | \
 		$(GO) run ./cmd/benchjson $(if $(wildcard $(BENCH_BASELINE)),-baseline $(BENCH_BASELINE)) > $(BENCH_OUT)
 	@cat $(BENCH_OUT)
 
-# Bulk-scan throughput record: the ≥1M-lookup simulated scan and the
-# live loopback scan, each once, into $(BENCH_OUT) with qps and p50/p99
-# latency as custom metrics (deltas against $(BENCH_BASELINE) where the
-# benchmark existed there).
+# Bulk-scan throughput record: the ≥1M-lookup simulated scan, the live
+# loopback scan, and the scan-under-2%-loss cell (fixed ladder vs
+# adaptive+hedging through the chaos proxy), each once, into
+# $(BENCH_OUT) with qps, p50/p99 latency, and timeout rate as custom
+# metrics (deltas against $(BENCH_BASELINE) where the benchmark existed
+# there).
 scan-bench:
-	$(GO) test ./internal/bulk -bench='BenchmarkBulkScanSim$$|BenchmarkBulkScanLive$$' \
+	$(GO) test ./internal/bulk -bench='BenchmarkBulkScanSim$$|BenchmarkBulkScanLive$$|BenchmarkBulkScanChaos' \
 		-benchmem -benchtime=1x -run='^$$' | \
 		$(GO) run ./cmd/benchjson $(if $(wildcard $(BENCH_BASELINE)),-baseline $(BENCH_BASELINE)) > $(BENCH_OUT)
 	@cat $(BENCH_OUT)

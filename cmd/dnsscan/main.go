@@ -21,14 +21,18 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"dnscontext/internal/bulk"
+	"dnscontext/internal/chaos"
 	"dnscontext/internal/dnsserver"
 	"dnscontext/internal/dnswire"
+	"dnscontext/internal/netsim"
 	"dnscontext/internal/obs"
 	"dnscontext/internal/resolver"
 	"dnscontext/internal/stats"
@@ -41,11 +45,11 @@ func main() {
 	log.SetPrefix("dnsscan: ")
 
 	var (
-		backend = flag.String("backend", "sim", "lookup backend: sim (simulated hierarchy), udp, or tcp (live dnsserver)")
-		names   = flag.String("names", "", "name feed file, one name [type] per line; \"-\" = stdin; empty = synthetic feed")
-		n       = flag.Int("n", 100000, "synthetic feed size (with no -names)")
-		qtype   = flag.String("type", "A", "default query type for the feed")
-		seed    = flag.Uint64("seed", 1, "seed for the namespace, shard RNGs, and synthetic feed")
+		backend  = flag.String("backend", "sim", "lookup backend: sim (simulated hierarchy), udp, or tcp (live dnsserver)")
+		names    = flag.String("names", "", "name feed file, one name [type] per line; \"-\" = stdin; empty = synthetic feed")
+		n        = flag.Int("n", 100000, "synthetic feed size (with no -names)")
+		qtype    = flag.String("type", "A", "default query type for the feed")
+		seed     = flag.Uint64("seed", 1, "seed for the namespace, shard RNGs, and synthetic feed")
 		missRate = flag.Float64("miss-rate", 0.01, "synthetic feed fraction of nonexistent names (NXDOMAIN exercise)")
 
 		concurrency = flag.Int("concurrency", 0, "parallelism: workers over shards (sim) / in-flight queries (live); 0 = default")
@@ -55,12 +59,34 @@ func main() {
 		zoneNames   = flag.Int("zone-names", 0, "namespace size; 0 = default (20000)")
 		noCoalesce  = flag.Bool("no-coalesce", false, "disable in-flight query deduplication")
 
-		server    = flag.String("server", "", "live server address (with -backend udp/tcp)")
-		selfserve = flag.Bool("selfserve", false, "start an in-process dnsserver on 127.0.0.1:0 and scan against it")
-		sockets   = flag.Int("sockets", 8, "UDP sockets to shard the live client across")
-		timeout   = flag.Duration("timeout", 2*time.Second, "per-attempt timeout on the live path")
-		retries   = flag.Int("retries", 2, "additional attempts on the live path")
-		backoff   = flag.Float64("backoff", 1.5, "per-retry timeout multiplier on the live path")
+		server     = flag.String("server", "", "live server address (with -backend udp/tcp)")
+		servers    = flag.String("servers", "", "comma-separated live upstreams for multi-upstream failover (udp backend)")
+		selfserve  = flag.Bool("selfserve", false, "start an in-process dnsserver on 127.0.0.1:0 and scan against it")
+		sockets    = flag.Int("sockets", 8, "UDP sockets to shard the live client across")
+		timeout    = flag.Duration("timeout", 2*time.Second, "per-attempt timeout on the live path")
+		retries    = flag.Int("retries", 2, "additional attempts on the live path")
+		backoff    = flag.Float64("backoff", 1.5, "per-retry timeout multiplier on the live path")
+		maxTimeout = flag.Duration("max-timeout", 0, "cap on any attempt's timeout (and the adaptive ceiling); 0 = uncapped")
+
+		adaptive   = flag.Bool("adaptive-timeout", false, "RFC 6298 adaptive per-attempt timeouts (SRTT/RTTVAR per upstream; udp backend)")
+		hedge      = flag.Bool("hedge", false, "send a hedged second request after the latency horizon (udp backend)")
+		hedgeAfter = flag.Duration("hedge-after", 0, "fixed hedge delay; 0 derives it from the RTT estimator")
+		breaker    = flag.Bool("breaker", false, "per-upstream circuit breaker (closed/open/half-open; udp backend)")
+
+		ckptPath     = flag.String("checkpoint", "", "checkpoint file: persist scan progress for resume (live path, requires -o FILE)")
+		ckptInterval = flag.Duration("checkpoint-interval", 2*time.Second, "how often to persist scan progress")
+		resume       = flag.Bool("resume", false, "resume from -checkpoint: truncate output to the recorded offset and skip completed indices")
+
+		chaosOn        = flag.Bool("chaos", false, "route the scan through an in-process fault proxy per upstream")
+		chaosLoss      = flag.Float64("chaos-loss", 0, "fault proxy datagram loss probability")
+		chaosDelay     = flag.Duration("chaos-delay", 0, "fault proxy fixed delay per delivery")
+		chaosJitter    = flag.Duration("chaos-jitter", 0, "fault proxy mean exponential extra jitter")
+		chaosReorder   = flag.Float64("chaos-reorder", 0, "fault proxy reorder probability (extra hold-back)")
+		chaosDup       = flag.Float64("chaos-dup", 0, "fault proxy duplication probability")
+		chaosCorrupt   = flag.Float64("chaos-corrupt", 0, "fault proxy byte-corruption probability")
+		chaosReset     = flag.Float64("chaos-reset", 0, "fault proxy per-chunk TCP mid-stream reset probability (tcp backend)")
+		chaosBlackhole = flag.String("chaos-blackhole", "", "fault proxy blackhole windows, start:dur[,start:dur...] relative to scan start")
+		chaosSeed      = flag.Uint64("chaos-seed", 1, "fault proxy RNG seed (same seed, same per-datagram fates)")
 
 		out      = flag.String("o", "-", "JSONL output file; \"-\" = stdout")
 		quiet    = flag.Bool("quiet", false, "suppress the end-of-run summary on stderr")
@@ -82,14 +108,30 @@ func main() {
 	if *backend != "sim" && *backend != "udp" && *backend != "tcp" {
 		usage("-backend must be sim, udp, or tcp (got %q)", *backend)
 	}
-	if *backend == "sim" && (*server != "" || *selfserve) {
-		usage("-server/-selfserve require -backend udp or tcp")
+	if *backend == "sim" && (*server != "" || *servers != "" || *selfserve) {
+		usage("-server/-servers/-selfserve require -backend udp or tcp")
 	}
-	if (*backend == "udp" || *backend == "tcp") && *server == "" && !*selfserve {
-		usage("-backend %s needs -server or -selfserve", *backend)
+	if (*backend == "udp" || *backend == "tcp") && *server == "" && *servers == "" && !*selfserve {
+		usage("-backend %s needs -server, -servers, or -selfserve", *backend)
 	}
-	if *server != "" && *selfserve {
-		usage("-server and -selfserve are mutually exclusive")
+	if (*server != "" || *servers != "") && *selfserve {
+		usage("-server/-servers and -selfserve are mutually exclusive")
+	}
+	if *backend != "udp" && (*servers != "" || *adaptive || *hedge || *breaker) {
+		usage("-servers/-adaptive-timeout/-hedge/-breaker are client-pool features: -backend udp only")
+	}
+	if *ckptPath != "" && *backend == "sim" {
+		usage("-checkpoint applies to the live path (sim runs re-run deterministically)")
+	}
+	if *ckptPath != "" && *out == "-" {
+		usage("-checkpoint needs a real output file (-o FILE), not stdout")
+	}
+	if *resume && *ckptPath == "" {
+		usage("-resume needs -checkpoint")
+	}
+	blackholes, err := parseBlackholes(*chaosBlackhole)
+	if err != nil {
+		usage("bad -chaos-blackhole: %v", err)
 	}
 	defType, ok := parseType(*qtype)
 	if !ok {
@@ -100,10 +142,16 @@ func main() {
 		usage("unknown -platform %q", *platform)
 	}
 
-	// Output and metrics plumbing.
+	// Output and metrics plumbing. A resumed run must keep the prior
+	// output: RunLive truncates it back to the checkpointed offset
+	// itself, discarding only the torn tail.
 	output := os.Stdout
 	if *out != "-" {
-		f, err := os.Create(*out)
+		mode := os.O_RDWR | os.O_CREATE | os.O_TRUNC
+		if *resume {
+			mode = os.O_RDWR | os.O_CREATE
+		}
+		f, err := os.OpenFile(*out, mode, 0o644)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -128,6 +176,20 @@ func main() {
 		NoCoalesce:  *noCoalesce,
 		Metrics:     reg,
 		Output:      output,
+	}
+	if *ckptPath != "" {
+		// The feed signature ties the checkpoint to the feed identity:
+		// resuming against a different feed would silently stitch two scans
+		// together, so it is refused.
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%s|%s|%s|%d|%d|%g|%d", *backend, *names, *qtype, *n, *seed, *missRate, *zoneNames)
+		opts.Checkpoint = &bulk.CheckpointConfig{
+			Path:     *ckptPath,
+			Interval: *ckptInterval,
+			FeedSig:  h.Sum64(),
+			Resume:   *resume,
+			File:     output,
+		}
 	}
 
 	// The feed. A file/stdin feed quarantines malformed lines under the
@@ -233,23 +295,80 @@ func main() {
 				N: *n, Seed: *seed + 1, MissFraction: *missRate, Type: defType,
 			})
 		}
+		// The upstream set: -servers, or the single -server/-selfserve
+		// address.
+		upstreams := []string{addr}
+		if *servers != "" {
+			upstreams = strings.Split(*servers, ",")
+		}
+		// Chaos: interpose an in-process fault proxy per upstream and point
+		// the client at the proxies instead.
+		if *chaosOn {
+			prof := chaos.Profile{
+				Loss:       *chaosLoss,
+				Delay:      *chaosDelay,
+				Jitter:     *chaosJitter,
+				Reorder:    *chaosReorder,
+				Duplicate:  *chaosDup,
+				Corrupt:    *chaosCorrupt,
+				TCPReset:   *chaosReset,
+				Blackholes: blackholes,
+			}
+			for i, a := range upstreams {
+				ccfg := chaos.Config{
+					Upstream: a,
+					Profile:  prof,
+					// Stride 2: each proxy burns two lane seeds (up, down).
+					Seed:    *chaosSeed + uint64(2*i),
+					Metrics: reg,
+				}
+				var px *chaos.Proxy
+				var err error
+				if *backend == "udp" {
+					px, err = chaos.NewUDP(ccfg)
+				} else {
+					px, err = chaos.NewTCP(ccfg)
+				}
+				if err != nil {
+					log.Fatal(err)
+				}
+				defer px.Close()
+				fmt.Fprintf(os.Stderr, "chaos: %s fronts %s\n", px.Addr(), a)
+				upstreams[i] = px.Addr()
+			}
+		}
 		var ex bulk.LiveExchanger
 		if *backend == "udp" {
-			pool, err := dnsserver.NewClientPool(addr, dnsserver.ClientPoolConfig{
+			pcfg := dnsserver.ClientPoolConfig{
 				Sockets: *sockets, Timeout: *timeout, Retries: *retries, Backoff: *backoff,
-			})
+				MaxTimeout: *maxTimeout,
+				Adaptive:   *adaptive, Hedge: *hedge, HedgeAfter: *hedgeAfter,
+				Metrics: reg,
+			}
+			if len(upstreams) > 1 {
+				pcfg.Servers = upstreams
+			}
+			if *breaker {
+				pcfg.Breaker = &dnsserver.BreakerConfig{}
+			}
+			pool, err := dnsserver.NewClientPool(upstreams[0], pcfg)
 			if err != nil {
 				log.Fatal(err)
 			}
 			defer pool.Close()
 			ex = pool
 		} else {
-			ex = &bulk.TCPExchanger{Client: &dnsserver.Client{Server: addr, Timeout: *timeout, Retries: *retries}}
+			ex = &bulk.TCPExchanger{Client: &dnsserver.Client{Server: upstreams[0], Timeout: *timeout, Retries: *retries}}
 		}
 		sum, runErr = bulk.RunLive(ctx, src, ex, opts)
 	}
 
 	if runErr != nil {
+		// An interrupted run (SIGINT, feed error) still accounts for the
+		// work it did: print the partial summary, then exit non-zero.
+		if sum != nil && !*quiet {
+			_ = bulk.WriteSummary(os.Stderr, sum)
+		}
 		log.Fatal(runErr)
 	}
 	if !*quiet {
@@ -257,6 +376,35 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+}
+
+// parseBlackholes parses the -chaos-blackhole spec: a comma-separated
+// list of start:duration pairs ("2s:500ms,10s:1s"), each naming a window
+// of total outage measured from proxy start.
+func parseBlackholes(s string) ([]netsim.Window, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var ws []netsim.Window
+	for _, part := range strings.Split(s, ",") {
+		start, dur, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("blackhole %q: want start:duration", part)
+		}
+		st, err := time.ParseDuration(start)
+		if err != nil {
+			return nil, fmt.Errorf("blackhole %q: %w", part, err)
+		}
+		d, err := time.ParseDuration(dur)
+		if err != nil {
+			return nil, fmt.Errorf("blackhole %q: %w", part, err)
+		}
+		if st < 0 || d <= 0 {
+			return nil, fmt.Errorf("blackhole %q: start must be >= 0, duration > 0", part)
+		}
+		ws = append(ws, netsim.Window{Start: st, End: st + d})
+	}
+	return ws, nil
 }
 
 // parseType maps the -type flag to a dnswire.Type.

@@ -1,0 +1,388 @@
+package bulk
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dnscontext/internal/chaos"
+	"dnscontext/internal/dnsserver"
+	"dnscontext/internal/dnswire"
+	"dnscontext/internal/netsim"
+	"dnscontext/internal/stats"
+	"dnscontext/internal/zonedb"
+)
+
+// The chaos soak: the acceptance gate for PR 9. A scan driven through
+// the real-socket fault proxy at aggressive fault rates must account
+// for every feed index exactly once in its JSONL output, and a killed
+// run must resume to output equivalent to an uninterrupted one.
+// `make chaos` runs these at 100k names under -race; plain `go test`
+// uses a smaller default so the package suite stays fast.
+
+// soakNames returns the scan size: DNSCTX_CHAOS_NAMES or the default.
+func soakNames(t *testing.T, def int) int {
+	if s := os.Getenv("DNSCTX_CHAOS_NAMES"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("DNSCTX_CHAOS_NAMES=%q: %v", s, err)
+		}
+		return n
+	}
+	return def
+}
+
+// jsonlLine is the decoded shape of one output line.
+type jsonlLine struct {
+	I      uint64 `json:"i"`
+	Name   string `json:"name"`
+	Type   string `json:"type"`
+	Status string `json:"status"`
+}
+
+// parseJSONL decodes every line and asserts each index in [0, n)
+// appears exactly once — the exactly-once invariant.
+func parseJSONL(t *testing.T, data []byte, n uint64) []jsonlLine {
+	t.Helper()
+	lines := make([]jsonlLine, 0, n)
+	seen := make(map[uint64]int, n)
+	for _, raw := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+		if raw == "" {
+			continue
+		}
+		var l jsonlLine
+		if err := json.Unmarshal([]byte(raw), &l); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", raw, err)
+		}
+		seen[l.I]++
+		lines = append(lines, l)
+	}
+	if uint64(len(lines)) != n {
+		t.Fatalf("output lines = %d, want %d", len(lines), n)
+	}
+	for i := uint64(0); i < n; i++ {
+		if seen[i] != 1 {
+			t.Fatalf("index %d appears %d times, want exactly once", i, seen[i])
+		}
+	}
+	return lines
+}
+
+// TestChaosSoak drives a scan through the UDP fault proxy — ≥2% loss,
+// jitter, duplication, reordering, and a scheduled blackhole window —
+// with every resilience mechanism on (adaptive timeouts, hedging,
+// circuit breaker) and asserts nothing is lost or double-counted.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak is a long test")
+	}
+	zones, addr := startLiveServer(t)
+	n := uint64(soakNames(t, 20_000))
+
+	// Two faulty paths to the same server: both lose ≥2% of datagrams;
+	// the second also blackholes completely for a window. Failover, the
+	// circuit breaker, and hedging must route around the dead path, so
+	// the scan survives what would sink a single-upstream run.
+	lossy, err := chaos.NewUDP(chaos.Config{
+		Upstream: addr,
+		Profile: chaos.Profile{
+			Loss:      0.02,
+			Jitter:    500 * time.Microsecond,
+			Reorder:   0.01,
+			Duplicate: 0.01,
+		},
+		Seed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lossy.Close()
+	holed, err := chaos.NewUDP(chaos.Config{
+		Upstream: addr,
+		Profile: chaos.Profile{
+			Loss:   0.02,
+			Jitter: 500 * time.Microsecond,
+			Blackholes: []netsim.Window{
+				{Start: 200 * time.Millisecond, End: 600 * time.Millisecond},
+			},
+		},
+		Seed: 101,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer holed.Close()
+
+	pool, err := dnsserver.NewClientPool("", dnsserver.ClientPoolConfig{
+		Servers:    []string{lossy.Addr(), holed.Addr()},
+		Sockets:    4,
+		Timeout:    250 * time.Millisecond,
+		Retries:    3,
+		MaxTimeout: time.Second,
+		Adaptive:   true,
+		Hedge:      true,
+		Breaker:    &dnsserver.BreakerConfig{FailureThreshold: 8, OpenFor: 200 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	src := NewSyntheticSource(zones, SyntheticConfig{N: int(n), Seed: 5, MissFraction: 0.05})
+	var buf bytes.Buffer
+	sum, err := RunLive(context.Background(), src, pool, Options{Concurrency: 256, Output: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parseJSONL(t, buf.Bytes(), n)
+	if sum.Queries != n {
+		t.Fatalf("summary queries = %d, want %d", sum.Queries, n)
+	}
+	var total uint64
+	for _, c := range sum.ByStatus {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("status counts sum to %d, want %d (%+v)", total, n, sum.ByStatus)
+	}
+	// The proxies must actually have hurt us, or the test proves nothing.
+	if st := lossy.Stats(); st.Dropped == 0 {
+		t.Fatalf("lossy proxy injected nothing: %+v", st)
+	}
+	if st := holed.Stats(); st.Dropped == 0 && st.Blackholed == 0 {
+		t.Fatalf("blackholed proxy injected nothing: %+v", st)
+	}
+	// And the run must have survived: with failover, hedging, and
+	// adaptive timeouts routing around the dead path, the overwhelming
+	// majority must still resolve.
+	answered := sum.Count(StatusNoError) + sum.Count(StatusNXDomain)
+	if float64(answered) < 0.95*float64(n) {
+		t.Fatalf("only %d/%d answered through the proxies (%+v)", answered, n, sum.ByStatus)
+	}
+}
+
+// cancelAfterExchanger cancels a context after a fixed number of
+// exchanges — a deterministic-ish mid-run "kill".
+type cancelAfterExchanger struct {
+	ex     LiveExchanger
+	left   atomic.Int64
+	cancel context.CancelFunc
+}
+
+func (c *cancelAfterExchanger) Query(ctx context.Context, name string, qtype dnswire.Type) (*dnswire.Message, error) {
+	if c.left.Add(-1) == 0 {
+		c.cancel()
+	}
+	return c.ex.Query(ctx, name, qtype)
+}
+
+// TestResumeAfterKill: a checkpointed run cancelled mid-flight, with a
+// torn tail scribbled past the last checkpoint, must resume to output
+// equivalent to an uninterrupted run — every index exactly once, same
+// (index, name, type, status) set.
+func TestResumeAfterKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("resume soak is a long test")
+	}
+	zones, addr := startLiveServer(t)
+	n := uint64(soakNames(t, 20_000))
+	dir := t.TempDir()
+	ckptPath := filepath.Join(dir, "scan.ckpt")
+	outPath := filepath.Join(dir, "scan.jsonl")
+	const feedSig = 0xfeedf00d
+
+	newSrc := func() Source {
+		return NewSyntheticSource(zones, SyntheticConfig{N: int(n), Seed: 11, MissFraction: 0.05})
+	}
+	newPool := func() *dnsserver.ClientPool {
+		pool, err := dnsserver.NewClientPool(addr, dnsserver.ClientPoolConfig{Sockets: 4, Timeout: 2 * time.Second, Retries: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pool
+	}
+
+	// The uninterrupted reference.
+	var ref bytes.Buffer
+	pool := newPool()
+	if _, err := RunLive(context.Background(), newSrc(), pool, Options{Concurrency: 128, Output: &ref}); err != nil {
+		t.Fatal(err)
+	}
+	pool.Close()
+
+	// Run 1: checkpointing, killed after ~n/3 exchanges.
+	out, err := os.OpenFile(outPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	pool = newPool()
+	killer := &cancelAfterExchanger{ex: pool, cancel: cancel}
+	killer.left.Store(int64(n / 3))
+	sum, err := RunLive(ctx, newSrc(), killer, Options{
+		Concurrency: 128,
+		Output:      out,
+		Checkpoint:  &CheckpointConfig{Path: ckptPath, Interval: 20 * time.Millisecond, FeedSig: feedSig, File: out},
+	})
+	cancel()
+	pool.Close()
+	if err != context.Canceled {
+		t.Fatalf("killed run err = %v, want context.Canceled", err)
+	}
+	if sum == nil || sum.Queries == 0 || sum.Queries >= n {
+		t.Fatalf("killed run summary = %+v, want partial accounting", sum)
+	}
+	// Simulate the abrupt-kill torn tail: garbage and a duplicated line
+	// appended past what the checkpoint covers. Resume must discard it.
+	if _, err := out.Seek(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(out, `{"i":0,"name":"dupe.example","type":"A","status":"NOERROR","rcode":0,"ms":1.0,"attempts":1}`+"\n")
+	fmt.Fprintf(out, `{"i":1,"name":"torn.exam`) // a line cut mid-write
+	out.Close()
+
+	// Run 2: resume to completion.
+	out, err = os.OpenFile(outPath, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool = newPool()
+	sum, err = RunLive(context.Background(), newSrc(), pool, Options{
+		Concurrency: 128,
+		Output:      out,
+		Checkpoint:  &CheckpointConfig{Path: ckptPath, Interval: 20 * time.Millisecond, FeedSig: feedSig, Resume: true, File: out},
+	})
+	pool.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Queries >= n || sum.Queries == 0 {
+		t.Fatalf("resumed run paid %d queries, want a proper remainder of %d", sum.Queries, n)
+	}
+	if err := out.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Clean completion removes the checkpoint.
+	if _, err := os.Stat(ckptPath); !os.IsNotExist(err) {
+		t.Fatalf("checkpoint survived clean completion: %v", err)
+	}
+
+	// Equivalence: same exactly-once index set, same (i, name, type,
+	// status) tuples as the uninterrupted reference.
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := parseJSONL(t, data, n)
+	want := parseJSONL(t, ref.Bytes(), n)
+	gotByIdx := make(map[uint64]jsonlLine, n)
+	for _, l := range got {
+		gotByIdx[l.I] = l
+	}
+	for _, w := range want {
+		g := gotByIdx[w.I]
+		if g != w {
+			t.Fatalf("index %d: resumed %+v, reference %+v", w.I, g, w)
+		}
+	}
+}
+
+// TestResumeFeedSigMismatch: resuming against a different feed identity
+// must refuse rather than stitch two scans together.
+func TestResumeFeedSigMismatch(t *testing.T) {
+	dir := t.TempDir()
+	ckptPath := filepath.Join(dir, "scan.ckpt")
+	if err := saveScanCheckpoint(ckptPath, &ScanCheckpoint{FeedSig: 1, Watermark: 10}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.CreateTemp(dir, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	_, err = RunLive(context.Background(), &endlessSource{}, okExchanger{}, Options{
+		Output:     out,
+		Checkpoint: &CheckpointConfig{Path: ckptPath, FeedSig: 2, Resume: true, File: out},
+	})
+	if err == nil || !strings.Contains(err.Error(), "feed") {
+		t.Fatalf("err = %v, want feed-signature mismatch", err)
+	}
+}
+
+// BenchmarkBulkScanChaos is the scan-under-loss cell of the benchmark
+// record: the same loopback scan as BenchmarkBulkScanLive, but through
+// the fault proxy at 2% loss with jitter, once on the fixed retry
+// ladder and once with adaptive timeouts + hedging. The custom metrics
+// (qps, p50/p99, timeout_rate) quantify what the resilience machinery
+// buys on an unreliable path.
+func BenchmarkBulkScanChaos(b *testing.B) {
+	zones, err := zonedb.New(zonedb.Config{
+		NumNames: 2000, ZipfExponent: 1, CDNFraction: 0.3, CDNPoolSize: 5,
+	}, stats.NewRNG(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := dnsserver.NewServerWith(dnsserver.ZoneHandler(zones), dnsserver.Config{Workers: 8, QueueDepth: 4096}, nil)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		b.Skipf("cannot bind loopback UDP: %v", err)
+	}
+	defer srv.Close()
+	proxy, err := chaos.NewUDP(chaos.Config{
+		Upstream: addr.String(),
+		Profile:  chaos.Profile{Loss: 0.02, Jitter: 500 * time.Microsecond},
+		Seed:     7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer proxy.Close()
+
+	const n = 100_000
+	variants := []struct {
+		name     string
+		adaptive bool
+	}{
+		{"fixed", false},
+		{"adaptive_hedge", true},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			pool, err := dnsserver.NewClientPool(proxy.Addr(), dnsserver.ClientPoolConfig{
+				Sockets: 8, Timeout: 250 * time.Millisecond, Retries: 3, MaxTimeout: time.Second,
+				Adaptive: v.adaptive, Hedge: v.adaptive,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer pool.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			var sum *Summary
+			for i := 0; i < b.N; i++ {
+				src := NewSyntheticSource(zones, SyntheticConfig{N: n, Seed: 2, MissFraction: 0.01})
+				sum, err = RunLive(context.Background(), src, pool, Options{Concurrency: 512})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(sum.QPS, "qps")
+			b.ReportMetric(sum.LatP50, "p50_ms")
+			b.ReportMetric(sum.LatP99, "p99_ms")
+			b.ReportMetric(float64(sum.Count(StatusTimeout))/float64(sum.Queries), "timeout_rate")
+			if sum.Queries != n {
+				b.Fatalf("queries = %d, want %d", sum.Queries, n)
+			}
+		})
+	}
+}

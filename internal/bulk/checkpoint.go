@@ -1,0 +1,196 @@
+package bulk
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io/fs"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"dnscontext/internal/checkpoint"
+)
+
+// Checkpoint/resume for live scans. A killed 1M-name run is real money
+// on a real network; resuming must neither re-pay completed queries nor
+// drop or duplicate their output lines. The invariant that makes this
+// exact rather than approximate: an index is marked complete in the
+// same resultWriter critical section that buffers its JSONL line, and a
+// checkpoint snapshots (completed set, flushed output offset) under
+// that same lock — so output[0:offset] contains exactly the
+// checkpointed indices' lines. Resume truncates the output file back to
+// the recorded offset (discarding any torn tail the kill left behind)
+// and the feeder skips the completed indices.
+
+// CheckpointConfig parameterizes resumable live runs (Options.Checkpoint).
+type CheckpointConfig struct {
+	// Path is the checkpoint file location. Required; empty disables
+	// checkpointing.
+	Path string
+	// Interval is how often the run persists progress (default 2 s).
+	Interval time.Duration
+	// FeedSig identifies the feed: resume refuses a checkpoint recorded
+	// against a different signature, because index-based resume against a
+	// different feed would silently stitch two scans together. Hash
+	// whatever defines the feed (file path, synthetic seed and size,
+	// query type).
+	FeedSig uint64
+	// Resume loads Path (if present) and continues: the output file is
+	// truncated to the recorded offset and completed indices are skipped.
+	// A missing checkpoint file starts a fresh run.
+	Resume bool
+	// File is the output file the JSONL stream appends to — the same
+	// stream Options.Output wraps. Required for Resume (truncation);
+	// optional otherwise.
+	File *os.File
+}
+
+func (c CheckpointConfig) withDefaults() CheckpointConfig {
+	if c.Interval <= 0 {
+		c.Interval = 2 * time.Second
+	}
+	return c
+}
+
+// scanCkptVersion is the on-disk format version of the scan checkpoint
+// payload (inside the internal/checkpoint envelope).
+const scanCkptVersion = 1
+
+// ScanCheckpoint is the persisted progress of a live scan.
+type ScanCheckpoint struct {
+	// FeedSig is the feed identity the progress belongs to.
+	FeedSig uint64
+	// Watermark: every index in [0, Watermark) is complete.
+	Watermark uint64
+	// Extras are completed indices ≥ Watermark (completion is
+	// out of order across workers), sorted ascending.
+	Extras []uint64
+	// OutputOffset is the output file length containing exactly the
+	// completed indices' lines.
+	OutputOffset int64
+}
+
+func (c *ScanCheckpoint) encode() []byte {
+	buf := make([]byte, 0, 28+8*len(c.Extras))
+	buf = binary.LittleEndian.AppendUint64(buf, c.FeedSig)
+	buf = binary.LittleEndian.AppendUint64(buf, c.Watermark)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(c.OutputOffset))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.Extras)))
+	for _, e := range c.Extras {
+		buf = binary.LittleEndian.AppendUint64(buf, e)
+	}
+	return buf
+}
+
+func decodeScanCheckpoint(payload []byte) (*ScanCheckpoint, error) {
+	if len(payload) < 28 {
+		return nil, fmt.Errorf("bulk: scan checkpoint payload too short (%d bytes)", len(payload))
+	}
+	c := &ScanCheckpoint{
+		FeedSig:      binary.LittleEndian.Uint64(payload[0:8]),
+		Watermark:    binary.LittleEndian.Uint64(payload[8:16]),
+		OutputOffset: int64(binary.LittleEndian.Uint64(payload[16:24])),
+	}
+	n := binary.LittleEndian.Uint32(payload[24:28])
+	if uint64(len(payload)-28) != uint64(n)*8 {
+		return nil, fmt.Errorf("bulk: scan checkpoint extras length mismatch")
+	}
+	for i := uint32(0); i < n; i++ {
+		c.Extras = append(c.Extras, binary.LittleEndian.Uint64(payload[28+8*i:]))
+	}
+	return c, nil
+}
+
+// saveScanCheckpoint persists c to path via the atomic checkpoint layer.
+func saveScanCheckpoint(path string, c *ScanCheckpoint) error {
+	return checkpoint.Save(path, scanCkptVersion, c.encode())
+}
+
+// loadScanCheckpoint reads the checkpoint at path; a missing file
+// returns (nil, nil) — fresh start.
+func loadScanCheckpoint(path string) (*ScanCheckpoint, error) {
+	payload, err := checkpoint.Load(path, scanCkptVersion)
+	if err != nil {
+		if _, ok := err.(*fs.PathError); ok && os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return decodeScanCheckpoint(payload)
+}
+
+// scanTracker is the completed-index set, compressed as a watermark
+// (everything below is done) plus an out-of-order extras set. With W
+// workers the extras set stays O(W)-sized: completions trail the feed
+// by at most the in-flight window, so the watermark chases the frontier
+// closely.
+//
+// The tracker has its own lock because the feeder reads (done) while
+// workers write (complete, under the resultWriter lock). Lock order is
+// always resultWriter.mu → scanTracker.mu, never the reverse.
+type scanTracker struct {
+	mu        sync.Mutex
+	watermark uint64
+	extras    map[uint64]struct{}
+}
+
+func newScanTracker() *scanTracker {
+	return &scanTracker{extras: make(map[uint64]struct{})}
+}
+
+// seed initializes the tracker from a loaded checkpoint (before the run
+// starts; no locking needed).
+func (t *scanTracker) seed(watermark uint64, extras []uint64) {
+	t.watermark = watermark
+	for _, e := range extras {
+		if e >= watermark {
+			t.extras[e] = struct{}{}
+		}
+	}
+}
+
+// complete marks idx done, advancing the watermark through any
+// previously out-of-order completions it unblocks.
+func (t *scanTracker) complete(idx uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch {
+	case idx == t.watermark:
+		t.watermark++
+		for {
+			if _, ok := t.extras[t.watermark]; !ok {
+				break
+			}
+			delete(t.extras, t.watermark)
+			t.watermark++
+		}
+	case idx > t.watermark:
+		t.extras[idx] = struct{}{}
+	}
+	// idx < watermark would be a duplicate completion; the feeder's skip
+	// makes that impossible.
+}
+
+// done reports whether idx completed (possibly in a previous run).
+func (t *scanTracker) done(idx uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if idx < t.watermark {
+		return true
+	}
+	_, ok := t.extras[idx]
+	return ok
+}
+
+// snapshot returns the tracker state with extras sorted.
+func (t *scanTracker) snapshot() (watermark uint64, extras []uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	extras = make([]uint64, 0, len(t.extras))
+	for e := range t.extras {
+		extras = append(extras, e)
+	}
+	sort.Slice(extras, func(i, j int) bool { return extras[i] < extras[j] })
+	return t.watermark, extras
+}

@@ -1,0 +1,67 @@
+package bulk
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestScanTracker: out-of-order completions compress into the
+// watermark + extras form and the watermark chases unblocked runs.
+func TestScanTracker(t *testing.T) {
+	tr := newScanTracker()
+	for _, idx := range []uint64{2, 0, 3, 5} {
+		tr.complete(idx)
+	}
+	if w, ex := tr.snapshot(); w != 1 || !reflect.DeepEqual(ex, []uint64{2, 3, 5}) {
+		t.Fatalf("watermark %d extras %v, want 1 [2 3 5]", w, ex)
+	}
+	tr.complete(1) // unblocks 2 and 3
+	if w, ex := tr.snapshot(); w != 4 || !reflect.DeepEqual(ex, []uint64{5}) {
+		t.Fatalf("watermark %d extras %v, want 4 [5]", w, ex)
+	}
+	for _, c := range []struct {
+		idx  uint64
+		want bool
+	}{{0, true}, {3, true}, {4, false}, {5, true}, {6, false}} {
+		if got := tr.done(c.idx); got != c.want {
+			t.Fatalf("done(%d) = %v, want %v", c.idx, got, c.want)
+		}
+	}
+}
+
+// TestScanTrackerSeed: resume seeding reproduces a snapshot exactly,
+// dropping extras the watermark already covers.
+func TestScanTrackerSeed(t *testing.T) {
+	tr := newScanTracker()
+	tr.seed(7, []uint64{3, 9, 12}) // 3 < watermark: already covered
+	if w, ex := tr.snapshot(); w != 7 || !reflect.DeepEqual(ex, []uint64{9, 12}) {
+		t.Fatalf("watermark %d extras %v, want 7 [9 12]", w, ex)
+	}
+	tr.complete(7)
+	tr.complete(8) // unblocks 9
+	if w, _ := tr.snapshot(); w != 10 {
+		t.Fatalf("watermark %d, want 10", w)
+	}
+}
+
+// TestScanCheckpointRoundTrip: encode → save → load → decode is
+// identity, and a missing file is a clean fresh start.
+func TestScanCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scan.ckpt")
+	want := &ScanCheckpoint{FeedSig: 0xabcd, Watermark: 1234, Extras: []uint64{1240, 1300}, OutputOffset: 98765}
+	if err := saveScanCheckpoint(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadScanCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("roundtrip %+v, want %+v", got, want)
+	}
+	missing, err := loadScanCheckpoint(filepath.Join(t.TempDir(), "nope.ckpt"))
+	if err != nil || missing != nil {
+		t.Fatalf("missing checkpoint = %+v, %v; want nil, nil", missing, err)
+	}
+}

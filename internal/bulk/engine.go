@@ -25,6 +25,7 @@ const (
 	StatusRefused
 	StatusTimeout // every attempt silent; the client gave up
 	StatusError   // transport or encode error (live path only)
+	StatusBusy    // client-side ID-space exhaustion (dnsserver.ErrPoolBusy)
 	numStatuses
 )
 
@@ -43,6 +44,8 @@ func (s Status) String() string {
 		return "TIMEOUT"
 	case StatusError:
 		return "ERROR"
+	case StatusBusy:
+		return "BUSY"
 	}
 	return "UNKNOWN"
 }
@@ -109,6 +112,12 @@ type Options struct {
 	Metrics *obs.Registry
 	// Output receives the JSONL result stream; nil discards results.
 	Output io.Writer
+	// Checkpoint, when non-nil with a Path, makes the live run resumable:
+	// completed indices and the corresponding output offset are persisted
+	// periodically, and a later run with Resume set picks up where the
+	// killed one stopped without duplicating or dropping output lines.
+	// Ignored by the simulated path (deterministic runs re-run cheaply).
+	Checkpoint *CheckpointConfig
 }
 
 func (o Options) retry() resolver.RetryPolicy {

@@ -3,6 +3,9 @@ package bulk
 import (
 	"context"
 	"errors"
+	"fmt"
+	"io"
+	"os"
 	"sync"
 	"time"
 
@@ -60,6 +63,43 @@ func RunLive(ctx context.Context, src Source, ex LiveExchanger, opts Options) (*
 	met := newEngMetrics(opts.Metrics)
 	out := newResultWriter(opts.Output)
 	sum := &summarizer{}
+
+	// Checkpoint boot: load prior progress (resume), truncate the output
+	// back to the recorded offset, and couple the completed-index tracker
+	// into the writer.
+	var ckCfg CheckpointConfig
+	checkpointing := opts.Checkpoint != nil && opts.Checkpoint.Path != ""
+	if checkpointing {
+		ckCfg = opts.Checkpoint.withDefaults()
+		tracker := newScanTracker()
+		if ckCfg.Resume {
+			snap, err := loadScanCheckpoint(ckCfg.Path)
+			if err != nil {
+				return nil, err
+			}
+			if snap != nil {
+				if snap.FeedSig != ckCfg.FeedSig {
+					return nil, fmt.Errorf("bulk: checkpoint %s records feed %016x, this run feeds %016x",
+						ckCfg.Path, snap.FeedSig, ckCfg.FeedSig)
+				}
+				if ckCfg.File == nil {
+					return nil, errors.New("bulk: resume requires CheckpointConfig.File (the output file to truncate)")
+				}
+				// Discard the torn tail past the last checkpoint: lines beyond
+				// the offset belong to indices the checkpoint does not cover,
+				// and the rerun will emit them again.
+				if err := ckCfg.File.Truncate(snap.OutputOffset); err != nil {
+					return nil, fmt.Errorf("bulk: truncating output for resume: %w", err)
+				}
+				if _, err := ckCfg.File.Seek(snap.OutputOffset, io.SeekStart); err != nil {
+					return nil, fmt.Errorf("bulk: seeking output for resume: %w", err)
+				}
+				tracker.seed(snap.Watermark, snap.Extras)
+				out.base = snap.OutputOffset
+			}
+		}
+		out.tracker = tracker
+	}
 	// The run context is cancelled on a sticky output error so the feeder
 	// (which blocks sending tasks) unwinds instead of waiting on workers
 	// that have stopped draining.
@@ -111,6 +151,13 @@ func RunLive(ctx context.Context, src Source, ex LiveExchanger, opts Options) (*
 				}
 				r.Duration = time.Since(began)
 				met.inflight.Add(-1)
+				// A query aborted by run cancellation never completed: no
+				// line, no accounting. On a checkpointed run the resume
+				// re-pays it — writing it here would freeze a transient
+				// cancellation artifact into the output as an ERROR.
+				if r.Err != nil && errors.Is(r.Err, context.Canceled) && ctx.Err() != nil {
+					return
+				}
 				met.observe(&r)
 				lane.observe(&r)
 				if err := out.write(&r); err != nil {
@@ -124,13 +171,41 @@ func RunLive(ctx context.Context, src Source, ex LiveExchanger, opts Options) (*
 		}()
 	}
 
+	// The periodic checkpointer: snapshot (tracker, offset) consistently
+	// and persist. Best-effort per tick; the final save below reports the
+	// run's last word.
+	var ckStop chan struct{}
+	var ckDone chan struct{}
+	if checkpointing {
+		ckStop = make(chan struct{})
+		ckDone = make(chan struct{})
+		go func() {
+			defer close(ckDone)
+			tick := time.NewTicker(ckCfg.Interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					_ = saveScanProgress(out, ckCfg)
+				case <-ckStop:
+					return
+				}
+			}
+		}()
+	}
+
 	var feedErr error
 	var n uint64
 feed:
 	for src.Scan() {
+		q := src.Query()
+		idx := n
+		n++
+		if out.tracker != nil && out.tracker.done(idx) {
+			continue // completed in a previous run; its line is already on disk
+		}
 		select {
-		case tasks <- task{idx: n, q: src.Query()}:
-			n++
+		case tasks <- task{idx: idx, q: q}:
 		case <-ctx.Done():
 			feedErr = ctx.Err()
 			break feed
@@ -141,25 +216,58 @@ feed:
 	}
 	close(tasks)
 	wg.Wait()
+	if checkpointing {
+		close(ckStop)
+		<-ckDone
+	}
 	// writeErr wins: an output failure cancels the run context, so the
 	// feeder's context.Canceled is a symptom, not the cause.
 	if writeErr != nil {
 		return nil, writeErr
 	}
-	if feedErr != nil {
-		return nil, feedErr
+	flushErr := out.flush()
+	interrupted := feedErr != nil || ctx.Err() != nil
+	if checkpointing {
+		if interrupted && flushErr == nil {
+			// Persist final progress so a resume re-pays as little as
+			// possible.
+			_ = saveScanProgress(out, ckCfg)
+		} else if !interrupted && flushErr == nil {
+			// Clean completion: the checkpoint has served its purpose.
+			_ = os.Remove(ckCfg.Path)
+		}
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	if err := out.flush(); err != nil {
-		return nil, err
+	if flushErr != nil {
+		return nil, flushErr
 	}
 	skipped := 0
 	if f, ok := src.(*Feed); ok {
 		skipped = f.Stats().Skipped
 	}
-	return sum.finish(time.Since(start), skipped), nil
+	s := sum.finish(time.Since(start), skipped)
+	if feedErr != nil {
+		// Interrupted runs keep their accounting: the partial summary
+		// rides alongside the error (SIGINT still prints what was done).
+		return s, feedErr
+	}
+	if err := ctx.Err(); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+// saveScanProgress persists one consistent progress snapshot.
+func saveScanProgress(out *resultWriter, cfg CheckpointConfig) error {
+	watermark, extras, offset, err := out.checkpointSnapshot()
+	if err != nil {
+		return err
+	}
+	return saveScanCheckpoint(cfg.Path, &ScanCheckpoint{
+		FeedSig:      cfg.FeedSig,
+		Watermark:    watermark,
+		Extras:       extras,
+		OutputOffset: offset,
+	})
 }
 
 // fillLive classifies one live exchange outcome into the result.
@@ -171,12 +279,17 @@ func fillLive(r *Result, msg *dnswire.Message, err error, attempts int, coalesce
 	}
 	if err != nil {
 		r.Err = err
-		// Everything non-timeout — transport errors, encode failures,
-		// cancellation — is StatusError; a cancelled run discards its
-		// summary anyway, so cancellation earns no status of its own.
-		if errors.Is(err, dnsserver.ErrTimeout) {
+		// Timeout and client-side ID exhaustion get their own statuses —
+		// "the server never answered" and "we couldn't even ask" are
+		// different failures to a scan operator. Everything else —
+		// transport errors, encode failures, circuit-open, cancellation —
+		// is StatusError.
+		switch {
+		case errors.Is(err, dnsserver.ErrTimeout):
 			r.Status = StatusTimeout
-		} else {
+		case errors.Is(err, dnsserver.ErrPoolBusy):
+			r.Status = StatusBusy
+		default:
 			r.Status = StatusError
 		}
 		return

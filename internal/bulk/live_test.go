@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -212,5 +213,52 @@ func TestRunLiveCancel(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("engine did not stop after cancel")
+	}
+}
+
+// busyExchanger rejects a prefix of queries with ErrPoolBusy — the
+// client-side ID-space exhaustion path — then answers normally.
+type busyExchanger struct{ busy atomic.Int64 }
+
+func (b *busyExchanger) Query(ctx context.Context, name string, qtype dnswire.Type) (*dnswire.Message, error) {
+	if b.busy.Add(-1) >= 0 {
+		return nil, dnsserver.ErrPoolBusy
+	}
+	return &dnswire.Message{}, nil
+}
+
+// finiteSource yields n distinct queries, then stops.
+type finiteSource struct{ n, i int }
+
+func (s *finiteSource) Scan() bool { s.i++; return s.i <= s.n }
+func (s *finiteSource) Query() Query {
+	return Query{Name: fmt.Sprintf("q%d.example", s.i), Type: dnswire.TypeA}
+}
+func (s *finiteSource) Err() error { return nil }
+
+// TestRunLiveBusyStatus: ErrPoolBusy must surface as its own BUSY
+// status — distinct from ERROR, so an operator can tell "we couldn't
+// even ask" from transport failure — in both the JSONL stream and the
+// summary.
+func TestRunLiveBusyStatus(t *testing.T) {
+	const n, busy = 200, 37
+	ex := &busyExchanger{}
+	ex.busy.Store(busy)
+	var buf bytes.Buffer
+	sum, err := RunLive(context.Background(), &finiteSource{n: n}, ex, Options{Concurrency: 4, Output: &buf, NoCoalesce: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Queries != n {
+		t.Fatalf("queries = %d, want %d", sum.Queries, n)
+	}
+	if got := sum.Count(StatusBusy); got != busy {
+		t.Fatalf("BUSY count = %d, want %d (%+v)", got, busy, sum.ByStatus)
+	}
+	if sum.Count(StatusError) != 0 {
+		t.Fatalf("busy rejections leaked into ERROR: %+v", sum.ByStatus)
+	}
+	if got := strings.Count(buf.String(), `"status":"BUSY"`); got != busy {
+		t.Fatalf("BUSY lines = %d, want %d", got, busy)
 	}
 }

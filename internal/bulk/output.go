@@ -19,6 +19,14 @@ type resultWriter struct {
 	w   *bufio.Writer
 	buf []byte
 	n   uint64
+	// Checkpoint coupling (live path only; both nil/zero otherwise).
+	// tracker.complete runs under mu, in the same critical section that
+	// hands the line to the buffered writer — the exactly-once invariant:
+	// at any checkpoint, output[0:base+bytes] contains precisely the lines
+	// of the tracker's completed indices, each once.
+	tracker *scanTracker
+	base    int64 // output offset this run started appending at (resume)
+	bytes   int64 // bytes accepted by w since then
 }
 
 // newResultWriter wraps w; a nil w discards results but still counts.
@@ -29,14 +37,33 @@ func newResultWriter(w io.Writer) *resultWriter {
 	return &resultWriter{w: bufio.NewWriterSize(w, 1<<16), buf: make([]byte, 0, 512)}
 }
 
-// write emits one result line.
+// write emits one result line and, when checkpointing, marks its index
+// complete in the same critical section.
 func (rw *resultWriter) write(r *Result) error {
 	rw.mu.Lock()
 	defer rw.mu.Unlock()
 	rw.buf = appendResult(rw.buf[:0], r)
 	rw.n++
-	_, err := rw.w.Write(rw.buf)
+	n, err := rw.w.Write(rw.buf)
+	rw.bytes += int64(n)
+	if err == nil && rw.tracker != nil {
+		rw.tracker.complete(r.Index)
+	}
 	return err
+}
+
+// checkpointSnapshot flushes the buffered writer and returns a
+// consistent (tracker state, output offset) pair: every line for the
+// returned indices is durably past the bufio layer and accounted for in
+// the offset, and no line for any other index precedes it.
+func (rw *resultWriter) checkpointSnapshot() (watermark uint64, extras []uint64, offset int64, err error) {
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	if err := rw.w.Flush(); err != nil {
+		return 0, nil, 0, err
+	}
+	watermark, extras = rw.tracker.snapshot()
+	return watermark, extras, rw.base + rw.bytes, nil
 }
 
 // writeBatch emits a slice of results under one lock acquisition — the
@@ -122,12 +149,14 @@ func WriteSummary(w io.Writer, s *Summary) error {
 			"  REFUSED    %d\n"+
 			"  TIMEOUT    %d\n"+
 			"  ERROR      %d\n"+
+			"  BUSY       %d\n"+
 			"coalesced    %d\n"+
 			"skipped      %d feed lines\n"+
 			"latency ms   p50 %.3f  p90 %.3f  p99 %.3f  max %.3f  mean %.3f\n",
 		s.Queries, s.QPS, s.Wall.Round(time.Millisecond),
 		s.Count(StatusNoError), s.Count(StatusNXDomain), s.Count(StatusServFail),
 		s.Count(StatusRefused), s.Count(StatusTimeout), s.Count(StatusError),
+		s.Count(StatusBusy),
 		s.Coalesced, s.SkippedLines,
 		s.LatP50, s.LatP90, s.LatP99, s.LatMax, s.LatMean)
 	return err

@@ -1,0 +1,289 @@
+package chaos
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"dnscontext/internal/dnsserver"
+	"dnscontext/internal/dnswire"
+	"dnscontext/internal/netsim"
+	"dnscontext/internal/stats"
+	"dnscontext/internal/zonedb"
+)
+
+// startServer boots a loopback dnsserver for proxy tests.
+func startServer(t *testing.T) (*zonedb.DB, string) {
+	t.Helper()
+	zones, err := zonedb.New(zonedb.Config{
+		NumNames: 50, ZipfExponent: 1, CDNFraction: 0.3, CDNPoolSize: 5,
+	}, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := dnsserver.NewServerWith(dnsserver.ZoneHandler(zones), dnsserver.Config{Workers: 4, QueueDepth: 256}, nil)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot bind loopback UDP: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return zones, addr.String()
+}
+
+func queryThrough(t *testing.T, addr, name string, cfg dnsserver.ClientPoolConfig) (*dnswire.Message, error) {
+	t.Helper()
+	pool, err := dnsserver.NewClientPool(addr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	return pool.Query(context.Background(), name, dnswire.TypeA)
+}
+
+// TestUDPPassthrough: a zero profile must be a transparent pipe.
+func TestUDPPassthrough(t *testing.T) {
+	zones, addr := startServer(t)
+	px, err := NewUDP(Config{Upstream: addr, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Close()
+
+	name := zones.Names()[0].Host
+	msg, err := queryThrough(t, px.Addr(), name, dnsserver.ClientPoolConfig{Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatalf("query through zero-fault proxy: %v", err)
+	}
+	if len(msg.Answers) == 0 {
+		t.Fatal("no answers through proxy")
+	}
+	st := px.Stats()
+	if st.Forwarded < 2 { // query up + response down
+		t.Fatalf("forwarded = %d, want >= 2", st.Forwarded)
+	}
+	if st.Dropped != 0 || st.Corrupted != 0 || st.Duplicated != 0 {
+		t.Fatalf("zero profile injected faults: %+v", st)
+	}
+}
+
+// TestUDPTotalLoss: Loss=1 must eat everything and the client must see
+// the full-ladder timeout.
+func TestUDPTotalLoss(t *testing.T) {
+	_, addr := startServer(t)
+	px, err := NewUDP(Config{Upstream: addr, Profile: Profile{Loss: 1}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Close()
+
+	_, err = queryThrough(t, px.Addr(), "anything.example.", dnsserver.ClientPoolConfig{
+		Timeout: 50 * time.Millisecond, Retries: 1,
+	})
+	if err != dnsserver.ErrTimeout {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if st := px.Stats(); st.Dropped == 0 {
+		t.Fatalf("no drops recorded: %+v", st)
+	}
+}
+
+// TestUDPBlackholeWindow: deliveries are eaten inside the window and
+// flow again after it passes.
+func TestUDPBlackholeWindow(t *testing.T) {
+	zones, addr := startServer(t)
+	px, err := NewUDP(Config{
+		Upstream: addr,
+		Profile:  Profile{Blackholes: []netsim.Window{{Start: 0, End: 300 * time.Millisecond}}},
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Close()
+
+	name := zones.Names()[0].Host
+	// Inside the window: silence.
+	if _, err := queryThrough(t, px.Addr(), name, dnsserver.ClientPoolConfig{
+		Timeout: 50 * time.Millisecond, Retries: 0,
+	}); err != dnsserver.ErrTimeout {
+		t.Fatalf("in-window err = %v, want ErrTimeout", err)
+	}
+	time.Sleep(350 * time.Millisecond)
+	// After the window: answers.
+	if _, err := queryThrough(t, px.Addr(), name, dnsserver.ClientPoolConfig{Timeout: 2 * time.Second}); err != nil {
+		t.Fatalf("post-window query: %v", err)
+	}
+	if st := px.Stats(); st.Blackholed == 0 {
+		t.Fatalf("no blackholed deliveries recorded: %+v", st)
+	}
+}
+
+// TestUDPCorruption: Corrupt=1 flips a byte in every delivery; the
+// client's decoder must reject the mangled datagrams and time out
+// rather than crash or mis-deliver.
+func TestUDPCorruption(t *testing.T) {
+	zones, addr := startServer(t)
+	px, err := NewUDP(Config{Upstream: addr, Profile: Profile{Corrupt: 1}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Close()
+
+	_, err = queryThrough(t, px.Addr(), zones.Names()[0].Host, dnsserver.ClientPoolConfig{
+		Timeout: 50 * time.Millisecond, Retries: 0,
+	})
+	// A flipped byte can land in the name (server answers a different
+	// question or refuses), the ID (demux drop), or the payload; any of
+	// those surfaces as timeout or mismatch, never a successful answer.
+	if err == nil {
+		t.Fatal("corrupted-path query succeeded")
+	}
+	if st := px.Stats(); st.Corrupted == 0 {
+		t.Fatalf("no corruption recorded: %+v", st)
+	}
+}
+
+// TestUDPDuplicateAndDelay: duplication plus delay must not break a
+// simple query — the pool takes the first response and drops the echo.
+func TestUDPDuplicateAndDelay(t *testing.T) {
+	zones, addr := startServer(t)
+	px, err := NewUDP(Config{
+		Upstream: addr,
+		Profile:  Profile{Duplicate: 1, Delay: 5 * time.Millisecond, Jitter: 2 * time.Millisecond},
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Close()
+
+	name := zones.Names()[0].Host
+	if _, err := queryThrough(t, px.Addr(), name, dnsserver.ClientPoolConfig{Timeout: 2 * time.Second}); err != nil {
+		t.Fatalf("query through dup+delay proxy: %v", err)
+	}
+	st := px.Stats()
+	if st.Duplicated == 0 || st.Delayed == 0 {
+		t.Fatalf("dup/delay not recorded: %+v", st)
+	}
+}
+
+// TestFateDeterminism: two lanes with the same seed draw identical fate
+// sequences — the property soak tests lean on for reproducibility.
+func TestFateDeterminism(t *testing.T) {
+	p := Profile{Loss: 0.1, Jitter: time.Millisecond, Reorder: 0.05, Duplicate: 0.02, Corrupt: 0.03}
+	cnt := newCounters(nil)
+	a := newLane(42, "up", cnt)
+	b := newLane(42, "up", cnt)
+	for i := 0; i < 10000; i++ {
+		fa := a.decide(p, 0)
+		fb := b.decide(p, 0)
+		if fa != fb {
+			t.Fatalf("fate %d diverged: %+v vs %+v", i, fa, fb)
+		}
+	}
+}
+
+// TestTCPReset: a reset-always profile must kill the stream mid-flight
+// with a hard error, not a clean EOF-shaped hang.
+func TestTCPReset(t *testing.T) {
+	// A trivial TCP echo upstream.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot bind loopback TCP: %v", err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				buf := make([]byte, 1024)
+				for {
+					n, err := c.Read(buf)
+					if n > 0 {
+						if _, err := c.Write(buf[:n]); err != nil {
+							break
+						}
+					}
+					if err != nil {
+						break
+					}
+				}
+				c.Close()
+			}()
+		}
+	}()
+
+	px, err := NewTCP(Config{Upstream: ln.Addr().String(), Profile: Profile{TCPReset: 1}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Close()
+
+	conn, err := net.Dial("tcp", px.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Write([]byte("ping")); err != nil {
+		// Write may already observe the reset; that's a pass.
+		return
+	}
+	buf := make([]byte, 16)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("read succeeded through reset-always proxy")
+	}
+	if st := px.Stats(); st.Resets == 0 {
+		t.Fatalf("no resets recorded: %+v", st)
+	}
+}
+
+// TestTCPPassthrough: a zero profile TCP proxy is a transparent pipe.
+func TestTCPPassthrough(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot bind loopback TCP: %v", err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				buf := make([]byte, 1024)
+				n, _ := c.Read(buf)
+				if n > 0 {
+					c.Write(buf[:n])
+				}
+				c.Close()
+			}()
+		}
+	}()
+
+	px, err := NewTCP(Config{Upstream: ln.Addr().String(), Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Close()
+
+	conn, err := net.Dial("tcp", px.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	n, err := conn.Read(buf)
+	if err != nil || string(buf[:n]) != "ping" {
+		t.Fatalf("echo through proxy = %q, %v", buf[:n], err)
+	}
+}

@@ -1,0 +1,116 @@
+package chaos
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Proxy is one running fault proxy (UDP or TCP; see NewUDP and NewTCP).
+// It must be Closed.
+type Proxy struct {
+	cfg   Config
+	cnt   *counters
+	start time.Time
+	// up carries client→upstream deliveries, down upstream→client; each
+	// lane has its own seeded RNG (Seed and Seed+1).
+	up, down *lane
+
+	closed atomic.Bool
+	done   chan struct{}
+	wg     sync.WaitGroup
+
+	addr string
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{} // live conns (upstream dials, TCP accepts) to close
+	pc    *net.UDPConn          // UDP listen socket (nil for TCP proxies)
+	ln    net.Listener          // TCP listener (nil for UDP proxies)
+}
+
+func newProxy(cfg Config) *Proxy {
+	cnt := newCounters(cfg.Metrics)
+	return &Proxy{
+		cfg:   cfg,
+		cnt:   cnt,
+		start: time.Now(),
+		up:    newLane(cfg.Seed, "up", cnt),
+		down:  newLane(cfg.Seed+1, "down", cnt),
+		done:  make(chan struct{}),
+		conns: make(map[net.Conn]struct{}),
+	}
+}
+
+// Addr returns the proxy's listen address — point the client here.
+func (p *Proxy) Addr() string { return p.addr }
+
+// Stats returns a snapshot of the proxy's fault tally.
+func (p *Proxy) Stats() Stats { return p.cnt.snapshot() }
+
+// elapsed is the time since proxy creation, the clock blackhole windows
+// are scheduled against.
+func (p *Proxy) elapsed() time.Duration { return time.Since(p.start) }
+
+// track registers a connection for closing on Close; it reports false
+// (and closes the conn) when the proxy is already shut down.
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed.Load() {
+		c.Close()
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+// sleep pauses for d or until the proxy closes, reporting whether the
+// full duration elapsed.
+func (p *Proxy) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-p.done:
+		return false
+	}
+}
+
+// Close shuts the proxy down: the listen socket, every tracked
+// connection, and all pump goroutines. Safe to call multiple times.
+func (p *Proxy) Close() error {
+	if p.closed.Swap(true) {
+		return nil
+	}
+	close(p.done)
+	p.mu.Lock()
+	var first error
+	if p.pc != nil {
+		first = p.pc.Close()
+	}
+	if p.ln != nil {
+		if err := p.ln.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for c := range p.conns {
+		if err := c.Close(); err != nil && first == nil && !errors.Is(err, net.ErrClosed) {
+			first = err
+		}
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	return first
+}

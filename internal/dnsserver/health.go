@@ -1,0 +1,217 @@
+package dnsserver
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Per-upstream health machinery for the ClientPool: an RFC 6298 RTT
+// estimator driving adaptive per-attempt timeouts, and a circuit breaker
+// (closed → open → half-open) that takes a persistently failing upstream
+// out of rotation instead of letting every query pay its full retry
+// ladder against a dead server.
+
+// ErrCircuitOpen is returned by ClientPool.Query when every configured
+// upstream's circuit breaker stayed open for the query's whole waiting
+// budget — there was nowhere to send it. Distinct from ErrTimeout (we
+// asked and heard silence) and ErrPoolBusy (ID-space exhaustion).
+var ErrCircuitOpen = errors.New("dnsserver: all upstreams circuit-open")
+
+// rttEstimator maintains the RFC 6298 SRTT/RTTVAR pair for one upstream.
+// Samples come from matched responses only — every attempt transmits
+// under a fresh message ID, so a response is unambiguously attributable
+// to the attempt that solicited it and Karn's ambiguity (which
+// retransmission did this answer?) does not arise.
+type rttEstimator struct {
+	mu           sync.Mutex
+	srtt, rttvar time.Duration
+	set          bool
+}
+
+// observe folds one RTT sample in and returns the updated pair. First
+// sample: SRTT = R, RTTVAR = R/2. After: RTTVAR = 3/4·RTTVAR +
+// 1/4·|SRTT−R|, then SRTT = 7/8·SRTT + 1/8·R (RFC 6298 §2, with the
+// variance updated before the mean, as specified).
+func (e *rttEstimator) observe(rtt time.Duration) (srtt, rttvar time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.set {
+		e.srtt = rtt
+		e.rttvar = rtt / 2
+		e.set = true
+	} else {
+		diff := e.srtt - rtt
+		if diff < 0 {
+			diff = -diff
+		}
+		e.rttvar = (3*e.rttvar + diff) / 4
+		e.srtt = (7*e.srtt + rtt) / 8
+	}
+	return e.srtt, e.rttvar
+}
+
+// current returns the estimator state; ok is false before any sample.
+func (e *rttEstimator) current() (srtt, rttvar time.Duration, ok bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.srtt, e.rttvar, e.set
+}
+
+// rto returns the retransmission timeout SRTT + 4·RTTVAR; ok is false
+// before any sample (callers fall back to the fixed ladder).
+func (e *rttEstimator) rto() (time.Duration, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.set {
+		return 0, false
+	}
+	return e.srtt + 4*e.rttvar, true
+}
+
+// BreakerConfig parameterizes one upstream's circuit breaker. The zero
+// value gets sensible defaults: trip after 8 consecutive failures, stay
+// open 1 s, admit 1 half-open probe at a time.
+type BreakerConfig struct {
+	// FailureThreshold is the number of consecutive failures (timeouts or
+	// send errors; any success resets the count) that trips the breaker
+	// open (default 8).
+	FailureThreshold int
+	// OpenFor is how long a tripped breaker rejects queries before
+	// admitting half-open probes (default 1 s).
+	OpenFor time.Duration
+	// HalfOpenProbes bounds the queries allowed through concurrently
+	// while half-open (default 1). A probe success closes the breaker; a
+	// probe failure reopens it for another OpenFor.
+	HalfOpenProbes int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 8
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	return c
+}
+
+// breakerState is the circuit breaker's position.
+type breakerState uint8
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// String returns the conventional spelling, used as a metric label.
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breaker is one upstream's circuit breaker. All methods are safe for
+// concurrent use.
+type breaker struct {
+	cfg BreakerConfig
+	// onTransition, when non-nil, is called (under the breaker lock) with
+	// each new state — the metrics hook.
+	onTransition func(breakerState)
+
+	mu     sync.Mutex
+	state  breakerState
+	fails  int
+	reopen time.Time // while open: when half-open probing may begin
+	probes int       // in-flight half-open probes
+}
+
+func newBreaker(cfg BreakerConfig, onTransition func(breakerState)) *breaker {
+	return &breaker{cfg: cfg.withDefaults(), onTransition: onTransition}
+}
+
+func (b *breaker) transition(to breakerState) {
+	b.state = to
+	if b.onTransition != nil {
+		b.onTransition(to)
+	}
+}
+
+// allow reports whether a query may be sent to this upstream now. probe
+// is true when the admission is a half-open probe, whose outcome decides
+// the breaker's next state; callers must report it via success/failure.
+func (b *breaker) allow(now time.Time) (ok, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, false
+	case breakerOpen:
+		if now.Before(b.reopen) {
+			return false, false
+		}
+		b.transition(breakerHalfOpen)
+		b.probes = 0
+		fallthrough
+	default: // breakerHalfOpen
+		if b.probes >= b.cfg.HalfOpenProbes {
+			return false, false
+		}
+		b.probes++
+		return true, true
+	}
+}
+
+// success records a completed exchange. Any success closes the breaker
+// and clears the consecutive-failure count.
+func (b *breaker) success(probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe && b.probes > 0 {
+		b.probes--
+	}
+	b.fails = 0
+	if b.state != breakerClosed {
+		b.transition(breakerClosed)
+	}
+}
+
+// failure records a failed exchange (timeout or send error). A half-open
+// probe failing reopens immediately; closed-state failures accumulate
+// toward the threshold.
+func (b *breaker) failure(probe bool, now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe && b.probes > 0 {
+		b.probes--
+	}
+	switch b.state {
+	case breakerHalfOpen:
+		b.reopen = now.Add(b.cfg.OpenFor)
+		b.transition(breakerOpen)
+	case breakerClosed:
+		b.fails++
+		if b.fails >= b.cfg.FailureThreshold {
+			b.reopen = now.Add(b.cfg.OpenFor)
+			b.transition(breakerOpen)
+		}
+	}
+	// Already open: nothing to count; the clock is running.
+}
+
+// current returns the breaker's state for tests and health snapshots.
+func (b *breaker) current() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

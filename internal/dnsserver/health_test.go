@@ -1,0 +1,141 @@
+package dnsserver
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRTTEstimator pins the RFC 6298 arithmetic: first-sample seeding
+// (SRTT = R, RTTVAR = R/2) and the 1/8–1/4 gain updates with the
+// variance folded in before the mean.
+func TestRTTEstimator(t *testing.T) {
+	var e rttEstimator
+	if _, ok := e.rto(); ok {
+		t.Fatal("rto reported ok before any sample")
+	}
+
+	srtt, rttvar := e.observe(100 * time.Millisecond)
+	if srtt != 100*time.Millisecond || rttvar != 50*time.Millisecond {
+		t.Fatalf("first sample: srtt %v rttvar %v, want 100ms/50ms", srtt, rttvar)
+	}
+	if rto, ok := e.rto(); !ok || rto != 300*time.Millisecond {
+		t.Fatalf("rto = %v (%v), want 300ms", rto, ok)
+	}
+
+	// Second sample R = 200ms against SRTT 100ms, RTTVAR 50ms:
+	// RTTVAR' = 3/4·50 + 1/4·|100−200| = 62.5ms
+	// SRTT'   = 7/8·100 + 1/8·200      = 112.5ms
+	srtt, rttvar = e.observe(200 * time.Millisecond)
+	if srtt != 112500*time.Microsecond || rttvar != 62500*time.Microsecond {
+		t.Fatalf("second sample: srtt %v rttvar %v, want 112.5ms/62.5ms", srtt, rttvar)
+	}
+
+	// A run of identical samples converges both estimates: SRTT toward
+	// the sample, RTTVAR toward zero.
+	for i := 0; i < 200; i++ {
+		e.observe(100 * time.Millisecond)
+	}
+	srtt, rttvar, ok := e.current()
+	if !ok {
+		t.Fatal("current not ok")
+	}
+	if d := srtt - 100*time.Millisecond; d < -time.Millisecond || d > time.Millisecond {
+		t.Fatalf("srtt did not converge: %v", srtt)
+	}
+	if rttvar > time.Millisecond {
+		t.Fatalf("rttvar did not decay: %v", rttvar)
+	}
+}
+
+// TestBreakerLifecycle walks the full closed → open → half-open state
+// machine: tripping at the threshold, rejecting while open, admitting a
+// bounded probe after OpenFor, and both probe outcomes.
+func TestBreakerLifecycle(t *testing.T) {
+	var seen []breakerState
+	b := newBreaker(BreakerConfig{FailureThreshold: 3, OpenFor: time.Minute, HalfOpenProbes: 1},
+		func(s breakerState) { seen = append(seen, s) })
+	now := time.Unix(1000, 0)
+
+	// Failures below the threshold leave it closed; a success resets the
+	// consecutive count so the streak must be unbroken.
+	b.failure(false, now)
+	b.failure(false, now)
+	b.success(false)
+	b.failure(false, now)
+	b.failure(false, now)
+	if got := b.current(); got != breakerClosed {
+		t.Fatalf("state after interrupted streak = %v, want closed", got)
+	}
+
+	// The third consecutive failure trips it.
+	b.failure(false, now)
+	if got := b.current(); got != breakerOpen {
+		t.Fatalf("state at threshold = %v, want open", got)
+	}
+	if ok, _ := b.allow(now.Add(time.Second)); ok {
+		t.Fatal("open breaker admitted a query before OpenFor elapsed")
+	}
+
+	// After OpenFor, exactly HalfOpenProbes probes are admitted.
+	later := now.Add(time.Minute + time.Second)
+	ok, probe := b.allow(later)
+	if !ok || !probe {
+		t.Fatalf("allow after OpenFor = (%v, %v), want probe admission", ok, probe)
+	}
+	if got := b.current(); got != breakerHalfOpen {
+		t.Fatalf("state after admission = %v, want half-open", got)
+	}
+	if ok, _ := b.allow(later); ok {
+		t.Fatal("second concurrent probe admitted past HalfOpenProbes=1")
+	}
+
+	// Probe failure reopens for another OpenFor.
+	b.failure(true, later)
+	if got := b.current(); got != breakerOpen {
+		t.Fatalf("state after probe failure = %v, want open", got)
+	}
+	if ok, _ := b.allow(later.Add(time.Second)); ok {
+		t.Fatal("reopened breaker admitted a query immediately")
+	}
+
+	// A later probe success closes it, and the failure count restarts
+	// from zero.
+	again := later.Add(time.Minute + time.Second)
+	if ok, probe := b.allow(again); !ok || !probe {
+		t.Fatal("probe not admitted after second OpenFor")
+	}
+	b.success(true)
+	if got := b.current(); got != breakerClosed {
+		t.Fatalf("state after probe success = %v, want closed", got)
+	}
+	b.failure(false, again)
+	b.failure(false, again)
+	if got := b.current(); got != breakerClosed {
+		t.Fatalf("failure count survived the close: %v", got)
+	}
+
+	want := []breakerState{breakerOpen, breakerHalfOpen, breakerOpen, breakerHalfOpen, breakerClosed}
+	if len(seen) != len(want) {
+		t.Fatalf("transitions %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("transition %d = %v, want %v (full: %v)", i, seen[i], want[i], seen)
+		}
+	}
+}
+
+// TestBreakerDefaults pins the zero-value parameterization.
+func TestBreakerDefaults(t *testing.T) {
+	cfg := BreakerConfig{}.withDefaults()
+	if cfg.FailureThreshold != 8 || cfg.OpenFor != time.Second || cfg.HalfOpenProbes != 1 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	for s, want := range map[breakerState]string{
+		breakerClosed: "closed", breakerOpen: "open", breakerHalfOpen: "half-open",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", s, got, want)
+		}
+	}
+}

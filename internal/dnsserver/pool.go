@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"dnscontext/internal/dnswire"
+	"dnscontext/internal/obs"
 )
 
 // Client-side sharded sockets. The basic Client opens a fresh UDP socket
@@ -17,11 +18,19 @@ import (
 // hopeless for a bulk scanner holding tens of thousands of queries in
 // flight: every attempt pays a dial, and the kernel churns through
 // ephemeral ports. ClientPool is the reusable dial path for concurrent
-// callers — it dials a small, fixed set of connected UDP sockets up
-// front, shards queries across them round-robin, and demultiplexes
+// callers — it dials a small, fixed set of connected UDP sockets per
+// upstream, shards queries across them round-robin, and demultiplexes
 // responses back to waiters by DNS message ID, so any number of
 // goroutines can query through one pool with no per-query dial and no
 // lock on the wire path beyond the pending-table update.
+//
+// Beyond the basic ladder, the pool can earn its way through unreliable
+// networks (DESIGN.md §7i): multiple upstreams with per-attempt
+// failover, RFC 6298 adaptive per-attempt timeouts (SRTT/RTTVAR per
+// upstream, opt-in via Adaptive), an optional hedged second request
+// after the expected-latency horizon, and a per-upstream circuit
+// breaker that fails fast on a dead upstream instead of paying the full
+// ladder per query.
 
 // Pool errors beyond the Client's ErrTimeout/ErrMismatch taxonomy.
 var (
@@ -34,24 +43,66 @@ var (
 )
 
 // ClientPoolConfig parameterizes a ClientPool. The zero value gets
-// sensible defaults: 4 sockets, 2 s per-attempt timeout, 2 retries,
-// flat backoff.
+// sensible defaults: one upstream, 4 sockets per upstream, 2 s
+// per-attempt timeout, 2 retries, flat backoff, no adaptive timeouts,
+// no hedging, no circuit breaker.
 type ClientPoolConfig struct {
-	// Sockets is the number of UDP sockets to shard queries across
-	// (default 4). More sockets spread kernel socket-buffer pressure and
-	// widen the usable ID space (each socket has its own 16-bit space).
+	// Sockets is the number of UDP sockets to shard queries across per
+	// upstream (default 4). More sockets spread kernel socket-buffer
+	// pressure and widen the usable ID space (each socket has its own
+	// 16-bit space).
 	Sockets int
-	// Timeout bounds the first attempt (default 2 s).
+	// Timeout bounds the first attempt (default 2 s). In adaptive mode
+	// it is the initial RTO before any sample and the RTO ceiling when
+	// MaxTimeout is unset.
 	Timeout time.Duration
 	// Retries is the number of additional attempts (default 2). Each
-	// retry moves to the next socket — the pool analogue of anycast
-	// rotation — and re-sends under a fresh ID.
+	// retry moves to the next socket — and, with multiple Servers, the
+	// next upstream — and re-sends under a fresh ID.
 	Retries int
 	// Backoff multiplies the timeout after each failed attempt; values
 	// below 1 are treated as 1 (flat), mirroring resolver.RetryPolicy.
+	// Adaptive mode floors the factor at 2 (RFC 6298 doubles the RTO on
+	// retransmission).
 	Backoff float64
-	// MaxTimeout caps the per-attempt timeout after backoff (0 = uncapped).
+	// MaxTimeout caps the per-attempt timeout after backoff, including
+	// the first attempt (0 = uncapped).
 	MaxTimeout time.Duration
+
+	// Servers, when non-empty, is the full upstream set; the server
+	// argument to NewClientPool is ignored. Queries rotate across
+	// upstreams round-robin, and each retry moves to the next upstream —
+	// multi-upstream failover.
+	Servers []string
+	// Adaptive switches per-attempt timeouts from the fixed ladder to
+	// the RFC 6298 estimate: RTO = SRTT + 4·RTTVAR per upstream, doubled
+	// per retry (or ×Backoff if larger), clamped to [MinTimeout,
+	// MaxTimeout or Timeout]. Until an upstream has a sample, the fixed
+	// ladder applies.
+	Adaptive bool
+	// MinTimeout floors the adaptive RTO (default 20 ms). Ignored in
+	// fixed mode.
+	MinTimeout time.Duration
+	// Hedge sends a second copy of a still-unanswered first attempt to
+	// another upstream (another socket when there is only one) once the
+	// hedge delay elapses; the first response wins and the loser is
+	// abandoned. At most one hedge per query, and only on the first
+	// attempt — retries are already retransmissions.
+	Hedge bool
+	// HedgeAfter fixes the hedge delay. Zero derives it from the
+	// primary upstream's estimator (SRTT + 2·RTTVAR, roughly the upper
+	// latency percentiles), falling back to half the attempt timeout
+	// before any sample.
+	HedgeAfter time.Duration
+	// Breaker, when non-nil, puts a circuit breaker in front of every
+	// upstream (see BreakerConfig). With every breaker open, Query fails
+	// fast with ErrCircuitOpen.
+	Breaker *BreakerConfig
+	// Metrics, when non-nil, receives the pool's instrument families
+	// (dnsctx_pool_*): attempts, timeouts, hedges and hedge wins,
+	// failovers, busy rejections, breaker transitions, and per-upstream
+	// SRTT/RTTVAR gauges plus an RTT histogram.
+	Metrics *obs.Registry
 }
 
 func (c ClientPoolConfig) withDefaults() ClientPoolConfig {
@@ -67,16 +118,167 @@ func (c ClientPoolConfig) withDefaults() ClientPoolConfig {
 	if c.Backoff < 1 {
 		c.Backoff = 1
 	}
+	if c.MinTimeout <= 0 {
+		c.MinTimeout = 20 * time.Millisecond
+	}
 	return c
 }
 
-// ClientPool is a concurrent-caller UDP DNS client over a fixed set of
-// shared sockets. It is safe for use by any number of goroutines; Close
-// releases the sockets and fails queries still waiting.
-type ClientPool struct {
-	cfg   ClientPoolConfig
+// attemptTimeout returns the fixed ladder's timeout for the given
+// 0-based attempt: Timeout·Backoff^attempt, with MaxTimeout capping
+// every attempt including the first (so MaxTimeout < Timeout means
+// every attempt waits MaxTimeout). Backoff exactly 1 yields a flat
+// ladder. Call on a defaulted config.
+func (c ClientPoolConfig) attemptTimeout(attempt int) time.Duration {
+	d := c.Timeout
+	if c.MaxTimeout > 0 && d > c.MaxTimeout {
+		return c.MaxTimeout
+	}
+	for i := 0; i < attempt; i++ {
+		d = time.Duration(float64(d) * c.Backoff)
+		if c.MaxTimeout > 0 && d > c.MaxTimeout {
+			return c.MaxTimeout
+		}
+	}
+	return d
+}
+
+// adaptiveTimeout returns the adaptive per-attempt timeout from a base
+// RTO: RTO·factor^attempt with factor = max(Backoff, 2), clamped to
+// [MinTimeout, MaxTimeout or Timeout]. Call on a defaulted config.
+func (c ClientPoolConfig) adaptiveTimeout(rto time.Duration, attempt int) time.Duration {
+	factor := c.Backoff
+	if factor < 2 {
+		factor = 2
+	}
+	ceil := c.MaxTimeout
+	if ceil <= 0 {
+		ceil = c.Timeout
+	}
+	d := rto
+	for i := 0; i < attempt; i++ {
+		d = time.Duration(float64(d) * factor)
+		if d >= ceil {
+			break
+		}
+	}
+	if d < c.MinTimeout {
+		d = c.MinTimeout
+	}
+	if d > ceil {
+		d = ceil
+	}
+	return d
+}
+
+// poolMetrics is the pool's instrument set; every field is nil-safe, so
+// an unobserved pool pays only nil checks.
+type poolMetrics struct {
+	attempts    *obs.Counter
+	timeouts    *obs.Counter
+	hedges      *obs.Counter
+	hedgeWins   *obs.Counter
+	failovers   *obs.Counter
+	busy        *obs.Counter
+	circuitOpen *obs.Counter
+	transitions *obs.CounterVec
+	srtt        *obs.FloatGaugeVec
+	rttvar      *obs.FloatGaugeVec
+	rtt         *obs.TimerVec
+}
+
+func newPoolMetrics(reg *obs.Registry) poolMetrics {
+	if reg == nil {
+		return poolMetrics{}
+	}
+	return poolMetrics{
+		attempts: reg.Counter("dnsctx_pool_attempts_total",
+			"Wire transmissions by the client pool (initial sends, retries, and hedges)."),
+		timeouts: reg.Counter("dnsctx_pool_timeouts_total",
+			"Attempts that expired with no response."),
+		hedges: reg.Counter("dnsctx_pool_hedges_total",
+			"Hedged second requests sent after the latency horizon."),
+		hedgeWins: reg.Counter("dnsctx_pool_hedge_wins_total",
+			"Queries whose hedged request answered first."),
+		failovers: reg.Counter("dnsctx_pool_failovers_total",
+			"Retries routed to a different upstream than the previous attempt."),
+		busy: reg.Counter("dnsctx_pool_busy_total",
+			"Queries rejected because a socket's message-ID space was exhausted."),
+		circuitOpen: reg.Counter("dnsctx_pool_circuit_open_total",
+			"Queries failed fast because every upstream's circuit breaker was open."),
+		transitions: reg.CounterVec("dnsctx_pool_breaker_transitions_total",
+			"Circuit-breaker state transitions, by upstream and new state.", "upstream", "to"),
+		srtt: reg.FloatGaugeVec("dnsctx_pool_srtt_seconds",
+			"Smoothed RTT per upstream (RFC 6298 SRTT).", "upstream"),
+		rttvar: reg.FloatGaugeVec("dnsctx_pool_rttvar_seconds",
+			"RTT variance per upstream (RFC 6298 RTTVAR).", "upstream"),
+		rtt: reg.TimerVec("dnsctx_pool_rtt_seconds",
+			"Matched-response RTT samples, by upstream.", "upstream"),
+	}
+}
+
+// upstream is one server the pool can exchange with: its sharded socket
+// set, its RTT estimator, and its circuit breaker.
+type upstream struct {
+	addr  string
 	socks []*poolSock
 	next  atomic.Uint64
+	est   rttEstimator
+	brk   *breaker // nil = no breaker
+
+	// Pre-resolved per-upstream metric handles (nil-safe).
+	srttG   *obs.FloatGauge
+	rttvarG *obs.FloatGauge
+	rttT    *obs.Timer
+}
+
+// sock returns the next socket round-robin.
+func (u *upstream) sock() *poolSock {
+	return u.socks[u.next.Add(1)%uint64(len(u.socks))]
+}
+
+// allow consults the breaker; without one every query is admitted.
+func (u *upstream) allow(now time.Time) (ok, probe bool) {
+	if u.brk == nil {
+		return true, false
+	}
+	return u.brk.allow(now)
+}
+
+// ok records a successful exchange with the breaker.
+func (u *upstream) ok(probe bool) {
+	if u.brk != nil {
+		u.brk.success(probe)
+	}
+}
+
+// fail records a failed exchange (timeout, send error) with the breaker.
+func (u *upstream) fail(probe bool) {
+	if u.brk != nil {
+		u.brk.failure(probe, time.Now())
+	}
+}
+
+// observeRTT folds one matched-response RTT into the estimator and the
+// upstream's gauges.
+func (u *upstream) observeRTT(rtt time.Duration) {
+	srtt, rttvar := u.est.observe(rtt)
+	u.srttG.SetSeconds(srtt)
+	u.rttvarG.SetSeconds(rttvar)
+	u.rttT.Observe(rtt)
+}
+
+// ClientPool is a concurrent-caller UDP DNS client over a fixed set of
+// shared sockets per upstream. It is safe for use by any number of
+// goroutines; Close releases the sockets and fails queries still
+// waiting.
+type ClientPool struct {
+	cfg ClientPoolConfig
+	ups []*upstream
+	// next rotates the primary upstream across queries (and, within an
+	// attempt ladder, the failover order).
+	next atomic.Uint64
+	met  poolMetrics
 
 	inflight atomic.Int64
 	done     chan struct{} // closed by Close
@@ -116,29 +318,51 @@ type poolCall struct {
 // socket's 65535-ID space.
 const idQuarantine = 3 * time.Second
 
-// NewClientPool dials cfg.Sockets connected UDP sockets to server and
+// NewClientPool dials cfg.Sockets connected UDP sockets to each upstream
+// (cfg.Servers, or the single server argument when Servers is empty) and
 // starts their reader goroutines. The returned pool must be Closed.
 func NewClientPool(server string, cfg ClientPoolConfig) (*ClientPool, error) {
 	cfg = cfg.withDefaults()
-	raddr, err := net.ResolveUDPAddr("udp", server)
-	if err != nil {
-		return nil, fmt.Errorf("dnsserver: %w", err)
+	servers := cfg.Servers
+	if len(servers) == 0 {
+		servers = []string{server}
 	}
-	p := &ClientPool{cfg: cfg, done: make(chan struct{})}
-	for i := 0; i < cfg.Sockets; i++ {
-		conn, err := net.DialUDP("udp", nil, raddr)
+	p := &ClientPool{cfg: cfg, done: make(chan struct{}), met: newPoolMetrics(cfg.Metrics)}
+	for _, addr := range servers {
+		raddr, err := net.ResolveUDPAddr("udp", addr)
 		if err != nil {
 			p.Close()
 			return nil, fmt.Errorf("dnsserver: %w", err)
 		}
-		// Thousands of responses can land between reader wakeups; a deep
-		// kernel buffer is what keeps burst loss off the retry ladder.
-		// Best-effort: the OS caps it silently.
-		_ = conn.SetReadBuffer(4 << 20)
-		s := &poolSock{conn: conn, pending: make(map[uint16]*poolCall)}
-		p.socks = append(p.socks, s)
-		p.wg.Add(1)
-		go p.readLoop(s)
+		up := &upstream{
+			addr:    addr,
+			srttG:   p.met.srtt.With(addr),
+			rttvarG: p.met.rttvar.With(addr),
+			rttT:    p.met.rtt.With(addr),
+		}
+		if cfg.Breaker != nil {
+			trans := p.met.transitions
+			a := addr
+			up.brk = newBreaker(*cfg.Breaker, func(to breakerState) {
+				trans.With(a, to.String()).Inc()
+			})
+		}
+		for i := 0; i < cfg.Sockets; i++ {
+			conn, err := net.DialUDP("udp", nil, raddr)
+			if err != nil {
+				p.Close()
+				return nil, fmt.Errorf("dnsserver: %w", err)
+			}
+			// Thousands of responses can land between reader wakeups; a deep
+			// kernel buffer is what keeps burst loss off the retry ladder.
+			// Best-effort: the OS caps it silently.
+			_ = conn.SetReadBuffer(4 << 20)
+			s := &poolSock{conn: conn, pending: make(map[uint16]*poolCall)}
+			up.socks = append(up.socks, s)
+			p.wg.Add(1)
+			go p.readLoop(s)
+		}
+		p.ups = append(p.ups, up)
 	}
 	return p, nil
 }
@@ -222,13 +446,105 @@ func (s *poolSock) abandon(id uint16) {
 // pool's in-flight gauge.
 func (p *ClientPool) InFlight() int64 { return p.inflight.Load() }
 
+// pick returns the upstream for one attempt: candidates rotate from the
+// query's base offset plus the attempt number (so each retry prefers
+// the NEXT upstream — failover — and different queries spread across
+// upstreams), skipping any whose breaker rejects. nil means every
+// breaker is open.
+func (p *ClientPool) pick(base uint64, attempt int) (*upstream, bool) {
+	n := uint64(len(p.ups))
+	now := time.Now()
+	for i := uint64(0); i < n; i++ {
+		up := p.ups[(base+uint64(attempt)+i)%n]
+		if ok, probe := up.allow(now); ok {
+			return up, probe
+		}
+	}
+	return nil, false
+}
+
+// waitAdmit polls for a breaker admission for up to budget, returning
+// nil when the budget, the context, or the pool expires first. Polling
+// (rather than a notification scheme) keeps the breaker simple; the
+// 2 ms cadence costs nothing next to a retry ladder measured in tens of
+// milliseconds.
+func (p *ClientPool) waitAdmit(ctx context.Context, base uint64, attempt int, budget time.Duration) (*upstream, bool) {
+	deadline := time.Now().Add(budget)
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			if up, probe := p.pick(base, attempt); up != nil {
+				return up, probe
+			}
+			if time.Now().After(deadline) {
+				return nil, false
+			}
+		case <-ctx.Done():
+			return nil, false
+		case <-p.done:
+			return nil, false
+		}
+	}
+}
+
+// pickHedge returns the upstream for a hedged request: the next healthy
+// upstream that is not the primary (the same upstream — via a different
+// socket — only when it is the sole one configured).
+func (p *ClientPool) pickHedge(primary *upstream) (*upstream, bool) {
+	n := len(p.ups)
+	now := time.Now()
+	base := p.next.Add(1)
+	var fallback *upstream
+	var fallbackProbe bool
+	for i := 0; i < n; i++ {
+		up := p.ups[(base+uint64(i))%uint64(n)]
+		ok, probe := up.allow(now)
+		if !ok {
+			continue
+		}
+		if up != primary {
+			return up, probe
+		}
+		fallback, fallbackProbe = up, probe
+	}
+	return fallback, fallbackProbe
+}
+
+// timeoutFor computes the per-attempt timeout: the fixed ladder, or, in
+// adaptive mode with at least one sample for the chosen upstream, the
+// RFC 6298 RTO backed off per attempt.
+func (p *ClientPool) timeoutFor(up *upstream, attempt int) time.Duration {
+	if p.cfg.Adaptive {
+		if rto, ok := up.est.rto(); ok {
+			return p.cfg.adaptiveTimeout(rto, attempt)
+		}
+	}
+	return p.cfg.attemptTimeout(attempt)
+}
+
+// hedgeDelay is how long the first attempt waits before sending a
+// hedged duplicate: the configured HedgeAfter, the estimator's
+// SRTT + 2·RTTVAR, or half the attempt timeout before any sample.
+func (p *ClientPool) hedgeDelay(up *upstream, timeout time.Duration) time.Duration {
+	if p.cfg.HedgeAfter > 0 {
+		return p.cfg.HedgeAfter
+	}
+	if srtt, rttvar, ok := up.est.current(); ok {
+		return srtt + 2*rttvar
+	}
+	return timeout / 2
+}
+
 // Query resolves one question through the pool: it encodes the query
-// under a socket-local ID, sends it on the next socket round-robin, and
-// waits for the demuxed response, retrying with exponential backoff (and
-// socket rotation) per the pool config. Timeouts follow the Client
+// under a socket-local ID, sends it to the chosen upstream, and waits
+// for the demuxed response, walking the retry ladder (rotating sockets
+// and upstreams) per the pool config. Timeouts follow the Client
 // contract: silence for the full ladder yields ErrTimeout; a response
-// answering a different question yields ErrMismatch. Cancelling ctx
-// abandons the query with ctx's error.
+// answering a different question yields ErrMismatch; every upstream
+// staying circuit-open through the ladder's waiting budget yields
+// ErrCircuitOpen. Cancelling ctx abandons the query with ctx's error.
 func (p *ClientPool) Query(ctx context.Context, name string, qtype dnswire.Type) (*dnswire.Message, error) {
 	if p.closed.Load() {
 		return nil, ErrPoolClosed
@@ -236,67 +552,189 @@ func (p *ClientPool) Query(ctx context.Context, name string, qtype dnswire.Type)
 	p.inflight.Add(1)
 	defer p.inflight.Add(-1)
 
-	timeout := p.cfg.Timeout
+	base := p.next.Add(1)
+	var lastErr error = ErrTimeout
+	var prev *upstream
+	for attempt := 0; attempt <= p.cfg.Retries; attempt++ {
+		up, probe := p.pick(base, attempt)
+		if up == nil {
+			// Every breaker is open. Failing fast here would let a scan's
+			// worth of workers drain the feed as errors during one OpenFor
+			// window; there is no alternative path to shed load onto, so
+			// waiting is strictly better. Block (up to this attempt's fixed
+			// ladder budget) for a half-open slot; a successful probe then
+			// reopens the floodgates for everyone.
+			up, probe = p.waitAdmit(ctx, base, attempt, p.cfg.attemptTimeout(attempt))
+			if up == nil {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				if p.closed.Load() {
+					return nil, ErrPoolClosed
+				}
+				p.met.circuitOpen.Inc()
+				lastErr = ErrCircuitOpen
+				continue
+			}
+		}
+		if prev != nil && up != prev {
+			p.met.failovers.Inc()
+		}
+		prev = up
+		timeout := p.timeoutFor(up, attempt)
+		msg, err, terminal := p.attempt(ctx, up, probe, name, qtype, timeout, attempt == 0)
+		if err == nil {
+			return msg, nil
+		}
+		if terminal {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// attempt performs one wire exchange against up, hedging to a second
+// upstream when enabled and the hedge delay fits inside the attempt
+// timeout. terminal reports whether the error ends the ladder (busy,
+// mismatch, cancellation, pool close) rather than feeding the next
+// retry.
+func (p *ClientPool) attempt(ctx context.Context, up *upstream, probe bool, name string, qtype dnswire.Type, timeout time.Duration, first bool) (m *dnswire.Message, err error, terminal bool) {
+	s := up.sock()
+	id, call, err := s.register()
+	if err != nil {
+		p.met.busy.Inc()
+		return nil, err, true
+	}
+	q := dnswire.NewQuery(id, name, qtype)
+	wire, err := q.Encode()
+	if err != nil {
+		s.unregister(id)
+		return nil, err, true
+	}
+	sent := time.Now()
+	if _, err := s.conn.Write(wire); err != nil {
+		s.unregister(id)
+		if p.closed.Load() {
+			return nil, ErrPoolClosed, true
+		}
+		up.fail(probe)
+		return nil, err, false
+	}
+	p.met.attempts.Inc()
+
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 
-	var lastErr error = ErrTimeout
-	for attempt := 0; attempt <= p.cfg.Retries; attempt++ {
-		if attempt > 0 {
-			timeout = time.Duration(float64(timeout) * p.cfg.Backoff)
-			if p.cfg.MaxTimeout > 0 && timeout > p.cfg.MaxTimeout {
-				timeout = p.cfg.MaxTimeout
-			}
-		}
-		s := p.socks[p.next.Add(1)%uint64(len(p.socks))]
-		id, call, err := s.register()
-		if err != nil {
-			return nil, err
-		}
-		q := dnswire.NewQuery(id, name, qtype)
-		wire, err := q.Encode()
-		if err != nil {
-			s.unregister(id)
-			return nil, err
-		}
-		if _, err := s.conn.Write(wire); err != nil {
-			s.unregister(id)
-			if p.closed.Load() {
-				return nil, ErrPoolClosed
-			}
-			lastErr = err
-			continue
-		}
-		if !timer.Stop() {
-			select {
-			case <-timer.C:
-			default:
-			}
-		}
-		timer.Reset(timeout)
-		select {
-		case msg := <-call.ch:
-			// The reader already unregistered the ID when it delivered.
-			if len(msg.Questions) == 0 ||
-				dnswire.CanonicalName(msg.Questions[0].Name) != dnswire.CanonicalName(name) {
-				return nil, ErrMismatch
-			}
-			return msg, nil
-		case <-timer.C:
-			// The query is on the wire; quarantine the ID rather than
-			// freeing it so a late response can't be demuxed to whoever
-			// registers this ID next.
-			s.abandon(id)
-			lastErr = ErrTimeout
-		case <-ctx.Done():
-			s.abandon(id)
-			return nil, ctx.Err()
-		case <-p.done:
-			s.abandon(id)
-			return nil, ErrPoolClosed
+	// Hedge state: armed lazily when the hedge delay fires. A nil hedge
+	// channel never receives, so the select below is uniform.
+	var (
+		hup    *upstream
+		hprobe bool
+		hsock  *poolSock
+		hid    uint16
+		hcall  *poolCall
+		hsent  time.Time
+		hedgeC <-chan time.Time
+	)
+	if p.cfg.Hedge && first {
+		if d := p.hedgeDelay(up, timeout); d > 0 && d < timeout {
+			hedge := time.NewTimer(d)
+			defer hedge.Stop()
+			hedgeC = hedge.C
 		}
 	}
-	return nil, lastErr
+	hch := func() chan *dnswire.Message {
+		if hcall != nil {
+			return hcall.ch
+		}
+		return nil
+	}
+	abandonAll := func() {
+		s.abandon(id)
+		if hcall != nil {
+			hsock.abandon(hid)
+		}
+	}
+
+	for {
+		select {
+		case msg := <-call.ch:
+			if hcall != nil {
+				hsock.abandon(hid)
+			}
+			return p.deliver(up, probe, msg, name, time.Since(sent))
+		case msg := <-hch():
+			s.abandon(id)
+			p.met.hedgeWins.Inc()
+			return p.deliver(hup, hprobe, msg, name, time.Since(hsent))
+		case <-hedgeC:
+			hedgeC = nil
+			h, hp := p.pickHedge(up)
+			if h == nil {
+				continue // nowhere healthy to hedge to
+			}
+			hs := h.sock()
+			nid, ncall, err := hs.register()
+			if err != nil {
+				continue // ID space tight: skip the hedge, keep waiting
+			}
+			hq := dnswire.NewQuery(nid, name, qtype)
+			hwire, err := hq.Encode()
+			if err != nil {
+				hs.unregister(nid)
+				continue
+			}
+			hsent = time.Now()
+			if _, err := hs.conn.Write(hwire); err != nil {
+				hs.unregister(nid)
+				continue
+			}
+			hup, hprobe, hsock, hid, hcall = h, hp, hs, nid, ncall
+			p.met.attempts.Inc()
+			p.met.hedges.Inc()
+		case <-timer.C:
+			// The query is on the wire; quarantine the ID(s) rather than
+			// freeing them so a late response can't be demuxed to whoever
+			// registers the ID next.
+			abandonAll()
+			up.fail(probe)
+			if hcall != nil {
+				hup.fail(hprobe)
+			}
+			p.met.timeouts.Inc()
+			return nil, ErrTimeout, false
+		case <-ctx.Done():
+			abandonAll()
+			return nil, ctx.Err(), true
+		case <-p.done:
+			abandonAll()
+			return nil, ErrPoolClosed, true
+		}
+	}
+}
+
+// deliver validates a matched response, feeds the upstream's estimator
+// and breaker, and hands the message back. A response answering a
+// different question is ErrMismatch and ends the ladder (the server is
+// alive — retrying would get the same answer).
+func (p *ClientPool) deliver(up *upstream, probe bool, msg *dnswire.Message, name string, rtt time.Duration) (*dnswire.Message, error, bool) {
+	up.observeRTT(rtt)
+	up.ok(probe)
+	if len(msg.Questions) == 0 ||
+		dnswire.CanonicalName(msg.Questions[0].Name) != dnswire.CanonicalName(name) {
+		return nil, ErrMismatch, true
+	}
+	return msg, nil, true
+}
+
+// Upstreams returns the configured upstream addresses in rotation order.
+func (p *ClientPool) Upstreams() []string {
+	addrs := make([]string, len(p.ups))
+	for i, up := range p.ups {
+		addrs[i] = up.addr
+	}
+	return addrs
 }
 
 // Close releases the pool's sockets, stops the reader goroutines, and
@@ -308,9 +746,11 @@ func (p *ClientPool) Close() error {
 	}
 	close(p.done)
 	var first error
-	for _, s := range p.socks {
-		if err := s.conn.Close(); err != nil && first == nil {
-			first = err
+	for _, up := range p.ups {
+		for _, s := range up.socks {
+			if err := s.conn.Close(); err != nil && first == nil {
+				first = err
+			}
 		}
 	}
 	p.wg.Wait()

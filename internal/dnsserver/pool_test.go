@@ -258,3 +258,88 @@ func TestPoolNoGoroutineLeak(t *testing.T) {
 	}
 	t.Fatalf("goroutines %d, baseline %d — pool leaked readers", runtime.NumGoroutine(), before)
 }
+
+// TestAttemptTimeoutLadder pins the fixed retry ladder's arithmetic,
+// including the edges that historically invite off-by-one clamps: the
+// product MaxTimeout·Backoff (the cap must bind, not the product),
+// MaxTimeout below Timeout (every attempt, including the first, waits
+// only MaxTimeout), and Backoff exactly 1.0 (a flat ladder, no drift).
+func TestAttemptTimeoutLadder(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	cases := []struct {
+		name string
+		cfg  ClientPoolConfig
+		want []time.Duration // indexed by attempt
+	}{
+		{
+			name: "plain exponential",
+			cfg:  ClientPoolConfig{Timeout: ms(100), Backoff: 2},
+			want: []time.Duration{ms(100), ms(200), ms(400), ms(800)},
+		},
+		{
+			name: "cap binds mid-ladder, not MaxTimeout×Backoff",
+			cfg:  ClientPoolConfig{Timeout: ms(100), Backoff: 3, MaxTimeout: ms(250)},
+			want: []time.Duration{ms(100), ms(250), ms(250), ms(250)},
+		},
+		{
+			name: "cap exactly hit stays at cap",
+			cfg:  ClientPoolConfig{Timeout: ms(100), Backoff: 2, MaxTimeout: ms(200)},
+			want: []time.Duration{ms(100), ms(200), ms(200)},
+		},
+		{
+			name: "MaxTimeout below Timeout caps the first attempt too",
+			cfg:  ClientPoolConfig{Timeout: ms(500), Backoff: 2, MaxTimeout: ms(200)},
+			want: []time.Duration{ms(200), ms(200), ms(200)},
+		},
+		{
+			name: "backoff exactly 1.0 is flat",
+			cfg:  ClientPoolConfig{Timeout: ms(100), Backoff: 1.0, MaxTimeout: ms(800)},
+			want: []time.Duration{ms(100), ms(100), ms(100), ms(100)},
+		},
+		{
+			name: "backoff below 1 is defaulted to 1, not shrinking",
+			cfg:  ClientPoolConfig{Timeout: ms(100), Backoff: 0.5},
+			want: []time.Duration{ms(100), ms(100), ms(100)},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg.withDefaults()
+			for attempt, want := range tc.want {
+				if got := cfg.attemptTimeout(attempt); got != want {
+					t.Errorf("attempt %d: %v, want %v", attempt, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestAdaptiveTimeoutClamps pins the RTO-driven ladder: factor is
+// max(Backoff, 2), the floor is MinTimeout, and the ceiling is
+// MaxTimeout (or Timeout when MaxTimeout is unset).
+func TestAdaptiveTimeoutClamps(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	cases := []struct {
+		name    string
+		cfg     ClientPoolConfig
+		rto     time.Duration
+		attempt int
+		want    time.Duration
+	}{
+		{"floor lifts a tiny RTO", ClientPoolConfig{Timeout: ms(1000)}, ms(3), 0, ms(20)},
+		{"first attempt is the raw RTO", ClientPoolConfig{Timeout: ms(1000)}, ms(50), 0, ms(50)},
+		{"backoff 1 still doubles (factor max(Backoff,2))", ClientPoolConfig{Timeout: ms(1000), Backoff: 1}, ms(50), 1, ms(100)},
+		{"backoff 3 beats the default factor", ClientPoolConfig{Timeout: ms(1000), Backoff: 3}, ms(50), 1, ms(150)},
+		{"ceiling is Timeout when MaxTimeout unset", ClientPoolConfig{Timeout: ms(300)}, ms(100), 3, ms(300)},
+		{"ceiling is MaxTimeout when set", ClientPoolConfig{Timeout: ms(300), MaxTimeout: ms(150)}, ms(100), 3, ms(150)},
+		{"RTO above the ceiling is clamped down", ClientPoolConfig{Timeout: ms(200)}, ms(900), 0, ms(200)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg.withDefaults()
+			if got := cfg.adaptiveTimeout(tc.rto, tc.attempt); got != tc.want {
+				t.Errorf("adaptiveTimeout(%v, %d) = %v, want %v", tc.rto, tc.attempt, got, tc.want)
+			}
+		})
+	}
+}

@@ -17,6 +17,7 @@
 package obs
 
 import (
+	"math"
 	"sync"
 	"time"
 
@@ -92,6 +93,35 @@ func (g *Gauge) Value() int64 {
 		return 0
 	}
 	return g.v.Load()
+}
+
+// FloatGauge is an atomic instantaneous float64 value — the instrument
+// for continuously re-estimated quantities that are not integral, such
+// as a smoothed RTT in seconds. The zero value is ready to use; a nil
+// *FloatGauge is a no-op. It snapshots as a Prometheus gauge.
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *FloatGauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// SetSeconds stores d expressed in seconds — the conventional unit for
+// duration-valued gauges.
+func (g *FloatGauge) SetSeconds(d time.Duration) {
+	g.Set(d.Seconds())
+}
+
+// Value returns the current value (0 for a nil gauge).
+func (g *FloatGauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
 }
 
 // timerFloor/timerBinsPerDecade/timerDecades parameterize the Timer's

@@ -10,11 +10,14 @@ import (
 // Kind is the instrument type of a metric family.
 type Kind uint8
 
-// The three instrument kinds.
+// The instrument kinds. KindFloatGauge is a distinct registration kind
+// (mixing integral and float members of one family is a programming
+// error) but exposes as a Prometheus gauge.
 const (
 	KindCounter Kind = iota
 	KindGauge
 	KindHistogram
+	KindFloatGauge
 )
 
 // String returns the Prometheus TYPE keyword for the kind.
@@ -22,7 +25,7 @@ func (k Kind) String() string {
 	switch k {
 	case KindCounter:
 		return "counter"
-	case KindGauge:
+	case KindGauge, KindFloatGauge:
 		return "gauge"
 	case KindHistogram:
 		return "histogram"
@@ -65,6 +68,7 @@ type metric struct {
 	values  []string
 	counter *Counter
 	gauge   *Gauge
+	fgauge  *FloatGauge
 	timer   *Timer
 }
 
@@ -117,6 +121,8 @@ func (f *family) get(values ...string) *metric {
 		m.counter = &Counter{}
 	case KindGauge:
 		m.gauge = &Gauge{}
+	case KindFloatGauge:
+		m.fgauge = &FloatGauge{}
 	case KindHistogram:
 		m.timer = newTimer()
 	}
@@ -129,6 +135,10 @@ type CounterVec struct{ fam *family }
 
 // GaugeVec is a family of gauges distinguished by label values.
 type GaugeVec struct{ fam *family }
+
+// FloatGaugeVec is a family of float gauges distinguished by label
+// values.
+type FloatGaugeVec struct{ fam *family }
 
 // TimerVec is a family of timers distinguished by label values.
 type TimerVec struct{ fam *family }
@@ -148,6 +158,15 @@ func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
 		return nil
 	}
 	return &GaugeVec{fam: r.getFamily(name, help, KindGauge, labels)}
+}
+
+// FloatGaugeVec returns the labeled float-gauge family with the given
+// name.
+func (r *Registry) FloatGaugeVec(name, help string, labels ...string) *FloatGaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &FloatGaugeVec{fam: r.getFamily(name, help, KindFloatGauge, labels)}
 }
 
 // TimerVec returns the labeled timer family with the given name.
@@ -174,6 +193,14 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return r.getFamily(name, help, KindGauge, nil).get().gauge
 }
 
+// FloatGauge returns the unlabeled float gauge with the given name.
+func (r *Registry) FloatGauge(name, help string) *FloatGauge {
+	if r == nil {
+		return nil
+	}
+	return r.getFamily(name, help, KindFloatGauge, nil).get().fgauge
+}
+
 // Timer returns the unlabeled timer with the given name.
 func (r *Registry) Timer(name, help string) *Timer {
 	if r == nil {
@@ -198,6 +225,14 @@ func (v *GaugeVec) With(values ...string) *Gauge {
 		return nil
 	}
 	return v.fam.get(values...).gauge
+}
+
+// With resolves one labeled float gauge; see CounterVec.With.
+func (v *FloatGaugeVec) With(values ...string) *FloatGauge {
+	if v == nil {
+		return nil
+	}
+	return v.fam.get(values...).fgauge
 }
 
 // With resolves one labeled timer; see CounterVec.With.
@@ -297,6 +332,8 @@ func (f *family) snapshot() FamilySnap {
 			ms.Value = float64(m.counter.Value())
 		case KindGauge:
 			ms.Value = float64(m.gauge.Value())
+		case KindFloatGauge:
+			ms.Value = m.fgauge.Value()
 		case KindHistogram:
 			ms.Hist = m.timer.snapshot()
 		}

@@ -229,3 +229,51 @@ func TestConcurrentInstrumentUse(t *testing.T) {
 		t.Fatalf("timer count %d, want 8000", got)
 	}
 }
+
+func TestFloatGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.FloatGauge("srtt_seconds", "Smoothed RTT.")
+	if got := g.Value(); got != 0 {
+		t.Fatalf("zero gauge = %v, want 0", got)
+	}
+	g.Set(0.0125)
+	if got := g.Value(); got != 0.0125 {
+		t.Fatalf("Value = %v, want 0.0125", got)
+	}
+	g.SetSeconds(250 * time.Microsecond)
+	if got := g.Value(); got != 0.00025 {
+		t.Fatalf("SetSeconds = %v, want 0.00025", got)
+	}
+
+	// Nil safety: every mutator is a no-op, Value reads zero.
+	var nilG *FloatGauge
+	nilG.Set(1)
+	nilG.SetSeconds(time.Second)
+	if got := nilG.Value(); got != 0 {
+		t.Fatalf("nil gauge = %v, want 0", got)
+	}
+	var nilR *Registry
+	nilR.FloatGauge("x", "").Set(1)
+	nilR.FloatGaugeVec("y", "", "l").With("v").Set(1)
+
+	// Labeled members snapshot as gauges with the float value intact.
+	vec := r.FloatGaugeVec("pool_srtt_seconds", "Per-upstream SRTT.", "upstream")
+	vec.With("127.0.0.1:53").Set(0.5)
+	snap := r.Snapshot()
+	var found bool
+	for _, f := range snap.Families {
+		if f.Name != "pool_srtt_seconds" {
+			continue
+		}
+		found = true
+		if f.Kind != "gauge" {
+			t.Fatalf("kind = %q, want gauge", f.Kind)
+		}
+		if len(f.Metrics) != 1 || f.Metrics[0].Value != 0.5 {
+			t.Fatalf("metrics %+v", f.Metrics)
+		}
+	}
+	if !found {
+		t.Fatal("family missing from snapshot")
+	}
+}
