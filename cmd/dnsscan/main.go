@@ -144,7 +144,8 @@ func main() {
 
 	// Output and metrics plumbing. A resumed run must keep the prior
 	// output: RunLive truncates it back to the checkpointed offset
-	// itself, discarding only the torn tail.
+	// itself, discarding only the torn tail (or to zero when no
+	// checkpoint exists and the run is fresh).
 	output := os.Stdout
 	if *out != "-" {
 		mode := os.O_RDWR | os.O_CREATE | os.O_TRUNC
@@ -299,7 +300,15 @@ func main() {
 		// address.
 		upstreams := []string{addr}
 		if *servers != "" {
-			upstreams = strings.Split(*servers, ",")
+			upstreams = upstreams[:0]
+			for _, a := range strings.Split(*servers, ",") {
+				if a = strings.TrimSpace(a); a != "" {
+					upstreams = append(upstreams, a)
+				}
+			}
+			if len(upstreams) == 0 {
+				usage("-servers lists no addresses")
+			}
 		}
 		// Chaos: interpose an in-process fault proxy per upstream and point
 		// the client at the proxies instead.

@@ -18,6 +18,7 @@ import (
 	"dnscontext/internal/dnswire"
 	"dnscontext/internal/netsim"
 	"dnscontext/internal/stats"
+	"dnscontext/internal/trace"
 	"dnscontext/internal/zonedb"
 )
 
@@ -316,6 +317,45 @@ func TestResumeFeedSigMismatch(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "feed") {
 		t.Fatalf("err = %v, want feed-signature mismatch", err)
 	}
+}
+
+// TestResumeWithoutCheckpointTruncatesOutput: resume opens the output
+// without O_TRUNC (the checkpoint decides how much prior output is
+// good), but when no checkpoint exists on disk the run is fresh —
+// rerunning the same command line after a clean completion (which
+// removed the checkpoint) must not overwrite the old file from the
+// front and leave its longer stale tail as mixed old/new JSONL.
+func TestResumeWithoutCheckpointTruncatesOutput(t *testing.T) {
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "scan.jsonl")
+	stale := strings.Repeat(`{"i":9,"name":"stale.example","type":"A","status":"NOERROR","rcode":0,"ms":1.0,"attempts":1}`+"\n", 64)
+	if err := os.WriteFile(outPath, []byte(stale), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := os.OpenFile(outPath, os.O_RDWR, 0o644) // resume mode: no O_TRUNC
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	src := NewFeed(strings.NewReader("a.example\nb.example\n"), dnswire.TypeA, trace.ErrorPolicy{})
+	if _, err := RunLive(context.Background(), src, okExchanger{}, Options{
+		Output: out,
+		Checkpoint: &CheckpointConfig{
+			Path: filepath.Join(dir, "missing.ckpt"), FeedSig: 7, Resume: true, File: out,
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "stale.example") {
+		t.Fatalf("stale lines survived a fresh -resume run:\n%s", data)
+	}
+	parseJSONL(t, data, 2)
 }
 
 // BenchmarkBulkScanChaos is the scan-under-loss cell of the benchmark

@@ -96,6 +96,20 @@ func RunLive(ctx context.Context, src Source, ex LiveExchanger, opts Options) (*
 				}
 				tracker.seed(snap.Watermark, snap.Extras)
 				out.base = snap.OutputOffset
+			} else if ckCfg.File != nil {
+				// No checkpoint on disk (first run, or the prior run completed
+				// and removed it): this is a fresh scan, but the caller opened
+				// the output without O_TRUNC — resume must preserve prior
+				// output until the checkpoint says how much is good. With
+				// nothing to keep, truncate explicitly; otherwise a shorter
+				// rerun would overwrite the old file from the front and leave
+				// its stale tail dangling past the new last line.
+				if err := ckCfg.File.Truncate(0); err != nil {
+					return nil, fmt.Errorf("bulk: truncating output for fresh run: %w", err)
+				}
+				if _, err := ckCfg.File.Seek(0, io.SeekStart); err != nil {
+					return nil, fmt.Errorf("bulk: seeking output for fresh run: %w", err)
+				}
 			}
 		}
 		out.tracker = tracker

@@ -129,11 +129,12 @@ type breaker struct {
 	// each new state — the metrics hook.
 	onTransition func(breakerState)
 
-	mu     sync.Mutex
-	state  breakerState
-	fails  int
-	reopen time.Time // while open: when half-open probing may begin
-	probes int       // in-flight half-open probes
+	mu        sync.Mutex
+	state     breakerState
+	fails     int
+	reopen    time.Time // while open: when half-open probing may begin
+	probes    int       // in-flight half-open probes
+	lastProbe time.Time // when the most recent half-open probe was admitted
 }
 
 func newBreaker(cfg BreakerConfig, onTransition func(breakerState)) *breaker {
@@ -149,7 +150,9 @@ func (b *breaker) transition(to breakerState) {
 
 // allow reports whether a query may be sent to this upstream now. probe
 // is true when the admission is a half-open probe, whose outcome decides
-// the breaker's next state; callers must report it via success/failure.
+// the breaker's next state; every probe admission must be resolved by
+// exactly one of success, failure, or release, or its slot would hold
+// the breaker half-open against further probes.
 func (b *breaker) allow(now time.Time) (ok, probe bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -165,11 +168,37 @@ func (b *breaker) allow(now time.Time) (ok, probe bool) {
 		fallthrough
 	default: // breakerHalfOpen
 		if b.probes >= b.cfg.HalfOpenProbes {
-			return false, false
+			if !now.After(b.lastProbe.Add(b.cfg.OpenFor)) {
+				return false, false
+			}
+			// Backstop: the slots have been held for a full OpenFor with no
+			// new admission — if a caller leaked a probe (a bug in the
+			// resolve-exactly-once discipline), reclaim the slots rather
+			// than rejecting this upstream forever. A legitimately slow
+			// probe still resolves later; the decrement floor keeps the
+			// count sane.
+			b.probes = 0
 		}
 		b.probes++
+		b.lastProbe = now
 		return true, true
 	}
+}
+
+// release resolves a probe admission whose outcome was never observed:
+// the request lost a hedge race, was cancelled, the pool closed, or the
+// query never reached the wire for a local reason (ID exhaustion, encode
+// failure). The slot is returned without moving the state machine — the
+// upstream is neither vindicated nor condemned.
+func (b *breaker) release(probe bool) {
+	if !probe {
+		return
+	}
+	b.mu.Lock()
+	if b.probes > 0 {
+		b.probes--
+	}
+	b.mu.Unlock()
 }
 
 // success records a completed exchange. Any success closes the breaker

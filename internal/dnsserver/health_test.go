@@ -125,6 +125,68 @@ func TestBreakerLifecycle(t *testing.T) {
 	}
 }
 
+// TestBreakerRelease pins the resolve-exactly-once discipline for probe
+// admissions: an abandoned probe (hedge race loss, cancellation, local
+// send failure) returns its slot via release without moving the state
+// machine, so the next caller can probe immediately.
+func TestBreakerRelease(t *testing.T) {
+	b := newBreaker(BreakerConfig{FailureThreshold: 1, OpenFor: time.Minute, HalfOpenProbes: 1}, nil)
+	now := time.Unix(1000, 0)
+	b.failure(false, now)
+
+	at := now.Add(time.Minute + time.Second)
+	if ok, probe := b.allow(at); !ok || !probe {
+		t.Fatal("probe not admitted after OpenFor")
+	}
+	if ok, _ := b.allow(at); ok {
+		t.Fatal("second probe admitted past HalfOpenProbes=1")
+	}
+	b.release(true)
+	if got := b.current(); got != breakerHalfOpen {
+		t.Fatalf("state after release = %v, want half-open", got)
+	}
+	ok, probe := b.allow(at)
+	if !ok || !probe {
+		t.Fatal("released slot not immediately reusable")
+	}
+
+	// release(false) is a no-op: it must not free someone else's slot.
+	b.release(false)
+	if ok, _ := b.allow(at); ok {
+		t.Fatal("release(false) freed a probe slot")
+	}
+
+	b.success(probe)
+	if got := b.current(); got != breakerClosed {
+		t.Fatalf("state after probe success = %v, want closed", got)
+	}
+}
+
+// TestBreakerHalfOpenBackstop: even if a probe admission leaks (never
+// resolved — a bug in a caller), allow reclaims the reservation once a
+// full OpenFor passes with no new admission, so the breaker cannot
+// wedge half-open forever.
+func TestBreakerHalfOpenBackstop(t *testing.T) {
+	b := newBreaker(BreakerConfig{FailureThreshold: 1, OpenFor: time.Minute, HalfOpenProbes: 1}, nil)
+	now := time.Unix(1000, 0)
+	b.failure(false, now)
+
+	at := now.Add(time.Minute + time.Second)
+	if ok, probe := b.allow(at); !ok || !probe {
+		t.Fatal("probe not admitted after OpenFor")
+	}
+	// The probe leaks. Within OpenFor of the admission the slot stays
+	// reserved...
+	if ok, _ := b.allow(at.Add(30 * time.Second)); ok {
+		t.Fatal("reserved slot given away before the backstop window")
+	}
+	// ...but once OpenFor elapses with no resolution, the backstop
+	// reclaims it.
+	if ok, probe := b.allow(at.Add(time.Minute + time.Second)); !ok || !probe {
+		t.Fatal("backstop did not reclaim the leaked slot")
+	}
+}
+
 // TestBreakerDefaults pins the zero-value parameterization.
 func TestBreakerDefaults(t *testing.T) {
 	cfg := BreakerConfig{}.withDefaults()

@@ -259,6 +259,15 @@ func (u *upstream) fail(probe bool) {
 	}
 }
 
+// release resolves a breaker admission with no outcome to report — the
+// attempt was abandoned (lost the hedge race, cancelled, pool closed) or
+// never made it onto the wire for a local reason.
+func (u *upstream) release(probe bool) {
+	if u.brk != nil {
+		u.brk.release(probe)
+	}
+}
+
 // observeRTT folds one matched-response RTT into the estimator and the
 // upstream's gauges.
 func (u *upstream) observeRTT(rtt time.Duration) {
@@ -505,6 +514,10 @@ func (p *ClientPool) pickHedge(primary *upstream) (*upstream, bool) {
 			continue
 		}
 		if up != primary {
+			if fallback != nil {
+				// The fallback admission we banked is not being used.
+				fallback.release(fallbackProbe)
+			}
 			return up, probe
 		}
 		fallback, fallbackProbe = up, probe
@@ -603,6 +616,7 @@ func (p *ClientPool) attempt(ctx context.Context, up *upstream, probe bool, name
 	s := up.sock()
 	id, call, err := s.register()
 	if err != nil {
+		up.release(probe)
 		p.met.busy.Inc()
 		return nil, err, true
 	}
@@ -610,6 +624,7 @@ func (p *ClientPool) attempt(ctx context.Context, up *upstream, probe bool, name
 	wire, err := q.Encode()
 	if err != nil {
 		s.unregister(id)
+		up.release(probe)
 		return nil, err, true
 	}
 	sent := time.Now()
@@ -650,10 +665,19 @@ func (p *ClientPool) attempt(ctx context.Context, up *upstream, probe bool, name
 		}
 		return nil
 	}
-	abandonAll := func() {
+	abandonIDs := func() {
 		s.abandon(id)
 		if hcall != nil {
 			hsock.abandon(hid)
+		}
+	}
+	// Abandoning without an outcome still resolves both breaker
+	// admissions: a leaked half-open probe slot would otherwise pin the
+	// breaker half-open with no escape.
+	releaseAll := func() {
+		up.release(probe)
+		if hcall != nil {
+			hup.release(hprobe)
 		}
 	}
 
@@ -661,11 +685,15 @@ func (p *ClientPool) attempt(ctx context.Context, up *upstream, probe bool, name
 		select {
 		case msg := <-call.ch:
 			if hcall != nil {
+				// The hedge lost the race: quarantine its ID and return its
+				// probe slot without judging the upstream.
 				hsock.abandon(hid)
+				hup.release(hprobe)
 			}
 			return p.deliver(up, probe, msg, name, time.Since(sent))
 		case msg := <-hch():
 			s.abandon(id)
+			up.release(probe)
 			p.met.hedgeWins.Inc()
 			return p.deliver(hup, hprobe, msg, name, time.Since(hsent))
 		case <-hedgeC:
@@ -677,17 +705,20 @@ func (p *ClientPool) attempt(ctx context.Context, up *upstream, probe bool, name
 			hs := h.sock()
 			nid, ncall, err := hs.register()
 			if err != nil {
+				h.release(hp)
 				continue // ID space tight: skip the hedge, keep waiting
 			}
 			hq := dnswire.NewQuery(nid, name, qtype)
 			hwire, err := hq.Encode()
 			if err != nil {
 				hs.unregister(nid)
+				h.release(hp)
 				continue
 			}
 			hsent = time.Now()
 			if _, err := hs.conn.Write(hwire); err != nil {
 				hs.unregister(nid)
+				h.fail(hp)
 				continue
 			}
 			hup, hprobe, hsock, hid, hcall = h, hp, hs, nid, ncall
@@ -697,7 +728,7 @@ func (p *ClientPool) attempt(ctx context.Context, up *upstream, probe bool, name
 			// The query is on the wire; quarantine the ID(s) rather than
 			// freeing them so a late response can't be demuxed to whoever
 			// registers the ID next.
-			abandonAll()
+			abandonIDs()
 			up.fail(probe)
 			if hcall != nil {
 				hup.fail(hprobe)
@@ -705,10 +736,12 @@ func (p *ClientPool) attempt(ctx context.Context, up *upstream, probe bool, name
 			p.met.timeouts.Inc()
 			return nil, ErrTimeout, false
 		case <-ctx.Done():
-			abandonAll()
+			abandonIDs()
+			releaseAll()
 			return nil, ctx.Err(), true
 		case <-p.done:
-			abandonAll()
+			abandonIDs()
+			releaseAll()
 			return nil, ErrPoolClosed, true
 		}
 	}

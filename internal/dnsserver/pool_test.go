@@ -343,3 +343,54 @@ func TestAdaptiveTimeoutClamps(t *testing.T) {
 		})
 	}
 }
+
+// TestPoolAbandonedProbeReleased: a half-open probe admission abandoned
+// without an outcome (here: ctx cancellation mid-flight; the same
+// discipline covers hedge race losses and pool close) must return its
+// slot. A leaked slot would pin the breaker half-open — allow has no
+// other escape within OpenFor — turning every later query into
+// ErrCircuitOpen after it burns its waiting budget.
+func TestPoolAbandonedProbeReleased(t *testing.T) {
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Skipf("cannot bind loopback UDP: %v", err)
+	}
+	defer conn.Close()
+	// OpenFor far beyond the test horizon: the allow() backstop cannot
+	// rescue a leaked slot here, so this fails if any abandon path skips
+	// release.
+	pool, err := NewClientPool(conn.LocalAddr().String(), ClientPoolConfig{
+		Sockets: 1, Timeout: 100 * time.Millisecond, Retries: 0,
+		Breaker: &BreakerConfig{FailureThreshold: 1, OpenFor: time.Hour, HalfOpenProbes: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	// Trip the breaker, then rewind its clock so probing may begin now.
+	brk := pool.ups[0].brk
+	brk.failure(false, time.Now().Add(-2*time.Hour))
+	if got := brk.current(); got != breakerOpen {
+		t.Fatalf("state = %v, want open", got)
+	}
+
+	// A probe is admitted, then abandoned mid-flight by cancellation.
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := pool.Query(ctx, "probe.example", dnswire.TypeA); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := brk.current(); got != breakerHalfOpen {
+		t.Fatalf("state after abandoned probe = %v, want half-open", got)
+	}
+
+	// The slot must be free again: the next query is admitted as a probe
+	// and times out against the silent server — not ErrCircuitOpen.
+	if _, err := pool.Query(context.Background(), "next.example", dnswire.TypeA); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err after abandoned probe = %v, want ErrTimeout", err)
+	}
+}
