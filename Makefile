@@ -20,7 +20,7 @@ FUZZ_TARGETS := \
 	./internal/trace:FuzzReadConnsJSON \
 	./internal/bulk:FuzzFeed
 
-.PHONY: check vet build test race obs-determinism stream-parity transport-matrix scan soak chaos bench bench-all bench-parallel bench-compare scan-bench profile fuzz cover
+.PHONY: check vet build test race obs-determinism stream-parity transport-matrix scan soak chaos scaling-gate bench bench-all bench-parallel bench-compare scan-bench profile fuzz cover
 
 check: vet build race obs-determinism stream-parity transport-matrix scan soak chaos
 
@@ -105,12 +105,22 @@ cover:
 
 # Machine-readable benchmark record: the headline benchmarks rendered as
 # JSON (name, ns/op, allocs/op, and custom metrics like speedup_x, qps,
-# and latency percentiles) into BENCH_PR9.json via cmd/benchjson, with
-# delta columns against the PR 8 record when it exists.
-BENCH_BASELINE ?= BENCH_PR8.json
-BENCH_OUT ?= BENCH_PR9.json
+# and latency percentiles) into BENCH_PR10.json via cmd/benchjson, with
+# delta columns against the PR 9 record when it exists.
+BENCH_BASELINE ?= BENCH_PR9.json
+BENCH_OUT ?= BENCH_PR10.json
 
-bench:
+# Scaling gate: BenchmarkAnalyzeParallel measures the 4-worker speedup
+# over its own 1-worker baseline and b.Fatal()s if it falls below the
+# pinned floor (2.5x, override via DNSCTX_SPEEDUP_FLOOR) — on machines
+# with >=4 CPUs. Below 4 CPUs the gate logs a loud SKIP and still
+# records the measurement. Deliberately NOT piped into benchjson: a
+# pipe would mask the test binary's exit status and a parallelism
+# regression would sail through.
+scaling-gate:
+	$(GO) test -bench='BenchmarkAnalyzeParallel$$' -run='^$$' -benchtime=3x .
+
+bench: scaling-gate
 	$(GO) test -bench='BenchmarkAnalyzeParallel$$|BenchmarkFaultLossSweep$$|BenchmarkAnalyzeStream$$|BenchmarkTransportLookup$$|BenchmarkTransportWhatIf$$|BenchmarkBulkScanSim$$|BenchmarkBulkScanLive$$|BenchmarkBulkScanChaos' \
 		-benchmem -benchtime=3x -run='^$$' ./... | \
 		$(GO) run ./cmd/benchjson $(if $(wildcard $(BENCH_BASELINE)),-baseline $(BENCH_BASELINE)) > $(BENCH_OUT)

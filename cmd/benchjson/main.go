@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -43,6 +44,13 @@ type result struct {
 	AllocsOp   float64            `json:"allocs_per_op,omitempty"`
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
 	Delta      *delta             `json:"delta,omitempty"`
+	// GoMaxProcs/NumCPU record the hardware context of the run, so a
+	// BENCH_*.json speedup_x can be judged against the cores that
+	// produced it (a 1-core container cannot show scaling). Stamped on
+	// every freshly parsed record; results re-read via -compare keep
+	// whatever their file recorded.
+	GoMaxProcs int `json:"gomaxprocs,omitempty"`
+	NumCPU     int `json:"num_cpu,omitempty"`
 }
 
 // delta compares one result against the same-named baseline result.
@@ -213,7 +221,10 @@ func parseLine(line string) (result, bool) {
 	if err != nil {
 		return result{}, false
 	}
-	r := result{Name: fields[0], Iterations: iters}
+	r := result{
+		Name: fields[0], Iterations: iters,
+		GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+	}
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {

@@ -82,6 +82,7 @@ func main() {
 		traceDir  = flag.String("trace-dir", "", "directory of time-partitioned trace files (*.dns.tsv / *.conn.tsv) to stream (with -stream)")
 		memBudget = flag.String("memory-budget", "", "resident-record budget before spilling to disk, e.g. 256m or 2g; empty = unlimited (with -stream)")
 		spillDir  = flag.String("spill-dir", "", "directory for spill partitions; empty = fresh temp dir (with -stream)")
+		ingestW   = flag.Int("ingest-workers", 0, "goroutines parsing the TSV input; 0 = match the analysis pool, negative = serial scanner (with -stream)")
 		shardOut  = flag.String("shard-out", "", "also write the mergeable analysis shard to this file (with -stream or -merge)")
 		merge     = flag.Bool("merge", false, "merge shard files (the remaining arguments) and report the reduced analysis")
 
@@ -137,6 +138,9 @@ func main() {
 		}
 		if *spillDir != "" {
 			usageErr("-spill-dir requires -stream")
+		}
+		if *ingestW != 0 {
+			usageErr("-ingest-workers requires -stream (the in-memory readers parse on one goroutine)")
 		}
 		if *shardOut != "" && !*merge {
 			usageErr("-shard-out requires -stream or -merge")
@@ -271,6 +275,7 @@ func main() {
 	}
 	opts.MemoryBudget = budget
 	opts.SpillDir = *spillDir
+	opts.IngestWorkers = *ingestW
 
 	var a *dnscontext.Analysis
 	switch {

@@ -320,6 +320,16 @@ func WithWorkers(n int) AnalyzerOption {
 	return func(an *Analyzer) { an.opts.Workers = n }
 }
 
+// WithIngestWorkers bounds the goroutines AnalyzeSource uses to parse a
+// streaming TSV source (ScannerSource/DirSource): positive selects that
+// many, 0 (the default) inherits the Workers pool width, and negative
+// forces the serial scanner. Like WithWorkers it never changes results
+// — records, quarantine decisions, and errors replay in exact serial
+// order — only wall-clock time.
+func WithIngestWorkers(n int) AnalyzerOption {
+	return func(an *Analyzer) { an.opts.IngestWorkers = n }
+}
+
 // WithInsignificance sets §6's two independent "insignificant DNS cost"
 // criteria: absolute lookup time and fractional contribution (paper:
 // 20 ms and 1%).

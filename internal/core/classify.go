@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime/pprof"
 	"time"
 
 	"dnscontext/internal/obs"
@@ -36,6 +37,16 @@ func Analyze(ds *trace.Dataset, opts Options) *Analysis {
 // from its own RNG stream seeded from Opts.Seed and the shard ID, so the
 // result is bit-identical for every Workers value and GOMAXPROCS.
 func AnalyzeContext(ctx context.Context, ds *trace.Dataset, opts Options) (*Analysis, error) {
+	return analyze(ctx, ds, opts, nil)
+}
+
+// analyze is the pipeline behind AnalyzeContext. prep, when non-nil, is
+// a symbol sidecar a streaming ingest built concurrently with its
+// connection scan; it is only valid when built over ds.DNS in an order
+// SortByTime preserves (the ingest verifies nondecreasing TS, so the
+// stable sort's early-out leaves the records untouched) — the length
+// check guards against anything else.
+func analyze(ctx context.Context, ds *trace.Dataset, opts Options, prep *sidecars) (*Analysis, error) {
 	opts = opts.withDefaults()
 	tr := opts.Trace
 	tr.SetWorkers(parallel.Workers(opts.Workers))
@@ -52,17 +63,42 @@ func AnalyzeContext(ctx context.Context, ds *trace.Dataset, opts Options) (*Anal
 		connTotal:  len(ds.Conns),
 		dnsTotal:   len(ds.DNS),
 	}
+
+	// Phase overlap: shard building reads only the sorted dataset, while
+	// the symbol build feeds the threshold derivation — so sharding runs
+	// concurrently with intern+thresholds and joins before classify. The
+	// overlapped stages write disjoint Analysis fields, and neither reads
+	// the other's output, so the result is the same as running them in
+	// sequence.
+	shardSp := tr.StartConcurrent("shard")
+	shardDone := make(chan error, 1)
+	go func() {
+		var err error
+		pprof.Do(context.Background(), pprof.Labels("dnsctx_phase", "shard"), func(context.Context) {
+			err = a.buildShards(ctx)
+		})
+		shardSp.SetItems(len(a.shards))
+		shardSp.End()
+		shardDone <- err
+	}()
+
 	sp = tr.StartPhase("intern")
-	a.buildSymbols()
+	if prep != nil && len(prep.qsym) == len(ds.DNS) {
+		a.adoptSidecars(prep)
+	} else if err := a.buildSymbols(ctx); err != nil {
+		<-shardDone
+		return nil, analysisAborted(err)
+	}
 	sp.SetItems(len(ds.DNS))
-	sp = tr.StartPhase("shard")
-	a.buildShards()
-	sp.SetItems(len(a.shards))
 	sp = tr.StartPhase("thresholds")
 	if err := a.deriveThresholds(ctx); err != nil {
+		<-shardDone
 		return nil, analysisAborted(err)
 	}
 	sp.SetItems(len(a.Thresholds))
+	if err := <-shardDone; err != nil {
+		return nil, analysisAborted(err)
+	}
 
 	sp = tr.StartPhase("classify")
 	sp.SetItems(len(a.Paired))
@@ -76,22 +112,25 @@ func AnalyzeContext(ctx context.Context, ds *trace.Dataset, opts Options) (*Anal
 			}
 		}
 	}
-	err := parallel.ForEach(ctx, opts.Workers, len(a.shards), func(s int) error {
-		if ck != nil && ck.isRestored(s) {
+	var err error
+	pprof.Do(context.Background(), pprof.Labels("dnsctx_phase", "classify"), func(context.Context) {
+		err = parallel.ForEach(ctx, opts.Workers, len(a.shards), func(s int) error {
+			if ck != nil && ck.isRestored(s) {
+				return nil
+			}
+			var t0 time.Time
+			if tr != nil {
+				t0 = time.Now()
+			}
+			a.classifyShard(s, &counts[s])
+			if tr != nil {
+				tr.ShardDone(len(a.shards[s].conns), time.Since(t0))
+			}
+			if ck != nil {
+				return ck.complete(s)
+			}
 			return nil
-		}
-		var t0 time.Time
-		if tr != nil {
-			t0 = time.Now()
-		}
-		a.classifyShard(s, &counts[s])
-		if tr != nil {
-			tr.ShardDone(len(a.shards[s].conns), time.Since(t0))
-		}
-		if ck != nil {
-			return ck.complete(s)
-		}
-		return nil
+		})
 	})
 	if err != nil {
 		return nil, analysisAborted(err)

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 	"sync"
@@ -93,6 +94,16 @@ type Options struct {
 	// work is sharded by originating client and each shard carries its
 	// own RNG stream seeded from Seed and the shard ID.
 	Workers int
+	// IngestWorkers bounds the goroutines AnalyzeSource uses to parse a
+	// streaming source's TSV input (sources that support it: see
+	// trace.ScannerSource.SetIngestWorkers). Positive values select that
+	// many parse workers; zero (the default) inherits the resolved
+	// Workers pool width; negative forces the serial scanner. Like
+	// Workers, the setting never changes results — the chunked scan
+	// replays records, quarantine decisions, and errors in exact serial
+	// order — only wall-clock time. Ignored by Analyze/AnalyzeContext,
+	// which do not parse input.
+	IngestWorkers int
 	// Metrics, when non-nil, receives analyzer counters (connections per
 	// class, shard count). Observation never feeds back into the pipeline,
 	// so seeded runs are bit-identical with or without a registry.
@@ -210,8 +221,13 @@ type Analysis struct {
 	rsym   []int32            // per DNS record: resolver symbol
 	expiry []time.Duration    // per DNS record: precomputed ExpiresAt()
 	// resolverAddrs maps resolver symbols back to addresses
-	// (first-appearance order); thByRsym is Thresholds as a dense slice.
+	// (first-appearance order); resCounts/resMins are each resolver's
+	// lookup count and minimum duration, fused into the symbol pass so
+	// deriveThresholds makes no pass of its own; thByRsym is Thresholds
+	// as a dense slice.
 	resolverAddrs []netip.Addr
+	resCounts     []int
+	resMins       []time.Duration
 	thByRsym      []time.Duration
 	// shards partitions the dataset by originating client in
 	// first-appearance order. Clients are houses (the monitor sees one
@@ -271,38 +287,46 @@ type clientShard struct {
 	dns    []int32
 }
 
-// buildSymbols makes the single serial pass that fills the symbol
-// sidecar: query names intern to dense symbols, resolvers number in
-// first-appearance order, and each record's TTL expiry is computed once
-// instead of on every pairing probe.
-func (a *Analysis) buildSymbols() {
-	n := len(a.DS.DNS)
-	a.names = trace.NewSymbolTable()
-	a.qsym = make([]trace.Sym, n)
-	a.rsym = make([]int32, n)
-	a.expiry = make([]time.Duration, n)
-	rsyms := make(map[netip.Addr]int32, 8) // a handful of resolver platforms
-	for i := range a.DS.DNS {
-		d := &a.DS.DNS[i]
-		a.qsym[i] = a.names.Intern(d.Query)
-		a.expiry[i] = d.ExpiresAt()
-		rs, ok := rsyms[d.Resolver]
-		if !ok {
-			rs = int32(len(a.resolverAddrs))
-			rsyms[d.Resolver] = rs
-			a.resolverAddrs = append(a.resolverAddrs, d.Resolver)
-		}
-		a.rsym[i] = rs
+// buildSymbols fills the symbol sidecar: query names intern to dense
+// symbols, resolvers number in first-appearance order, and each record's
+// TTL expiry is computed once instead of on every pairing probe. Large
+// inputs build in parallel chunks (see symbols.go); the numbering is a
+// function of dataset order alone either way.
+func (a *Analysis) buildSymbols(ctx context.Context) error {
+	sc, err := buildSidecars(ctx, a.Opts.Workers, a.DS.DNS)
+	if err != nil {
+		return err
 	}
+	a.adoptSidecars(sc)
+	return nil
+}
+
+// adoptSidecars installs a prebuilt sidecar bundle — either from this
+// run's buildSymbols or one a streaming ingest built concurrently with
+// its connection scan.
+func (a *Analysis) adoptSidecars(sc *sidecars) {
+	a.names, a.qsym, a.rsym, a.expiry = sc.names, sc.qsym, sc.rsym, sc.expiry
+	a.resolverAddrs, a.resCounts, a.resMins = sc.resolverAddrs, sc.resCounts, sc.resMins
 }
 
 // buildShards partitions the (time-sorted) dataset by client. Pairing
 // only ever matches a connection with lookups from the same originator,
 // so the shards touch disjoint ranges of Paired and DNSUsed and can be
-// classified concurrently without locks.
-func (a *Analysis) buildShards() {
-	connShards := parallel.ShardBy(len(a.DS.Conns), func(i int) netip.Addr { return a.DS.Conns[i].Orig })
-	dnsShards := parallel.ShardBy(len(a.DS.DNS), func(i int) netip.Addr { return a.DS.DNS[i].Client })
+// classified concurrently without locks. Grouping runs on the worker
+// pool (counting-pass sharding, see parallel.ShardByParallel) with the
+// same first-appearance shard order at every width; the only error is
+// context cancellation.
+func (a *Analysis) buildShards(ctx context.Context) error {
+	connShards, err := parallel.ShardByParallel(ctx, a.Opts.Workers, len(a.DS.Conns),
+		func(i int) netip.Addr { return a.DS.Conns[i].Orig })
+	if err != nil {
+		return err
+	}
+	dnsShards, err := parallel.ShardByParallel(ctx, a.Opts.Workers, len(a.DS.DNS),
+		func(i int) netip.Addr { return a.DS.DNS[i].Client })
+	if err != nil {
+		return err
+	}
 	dnsOf := make(map[netip.Addr][]int32, len(dnsShards))
 	for _, s := range dnsShards {
 		dnsOf[s.Key] = s.Items
@@ -319,6 +343,7 @@ func (a *Analysis) buildShards() {
 			a.shards = append(a.shards, clientShard{client: s.Key, dns: items})
 		}
 	}
+	return nil
 }
 
 // Count returns the number of connections in class c.

@@ -22,24 +22,16 @@ const ConnectivityCheckHost = "connectivitycheck.gstatic.com"
 // threshold, i.e. roughly 2.5x the minimum; we round 2.5x the minimum up
 // to the next millisecond.
 //
-// A single pass over the resolver-symbol sidecar accumulates each
-// resolver's lookup count and minimum duration — no per-resolver
-// duration slices, no address-to-string conversions — then the
-// per-resolver threshold computations run on the worker pool; results
-// land in a deterministically ordered slice before the map is filled,
-// keeping the outcome identical for every worker count.
+// The per-resolver lookup counts and minimum durations were already
+// accumulated during the symbol pass (Analysis.resCounts/resMins — no
+// second walk of the records, no per-resolver duration slices, no
+// address-to-string conversions); the per-resolver threshold
+// computations run on the worker pool, and results land in a
+// deterministically ordered slice before the map is filled, keeping the
+// outcome identical for every worker count.
 func (a *Analysis) deriveThresholds(ctx context.Context) error {
 	nRes := len(a.resolverAddrs)
-	counts := make([]int, nRes)
-	mins := make([]time.Duration, nRes)
-	for i := range a.DS.DNS {
-		rs := a.rsym[i]
-		d := a.DS.DNS[i].Duration()
-		if counts[rs] == 0 || d < mins[rs] {
-			mins[rs] = d
-		}
-		counts[rs]++
-	}
+	counts, mins := a.resCounts, a.resMins
 	// The paper's gate — 1,000 lookups out of 9.2M (~0.011%) — scales
 	// with trace size so shorter captures don't push moderately popular
 	// resolvers onto the 5 ms default; Opts.SCRMinSamples caps it.

@@ -33,13 +33,14 @@ func AnalyzeSource(ctx context.Context, src trace.Source, opts Options) (*Analys
 	if d, ok := src.(*trace.DatasetSource); ok && opts.MemoryBudget <= 0 {
 		return AnalyzeContext(ctx, d.DS, opts)
 	}
+	applyIngestWorkers(src, opts)
 	run := newStreamRun(opts)
 	defer run.cleanup()
 	if err := run.ingest(ctx, src); err != nil {
 		return nil, analysisAborted(err)
 	}
 	if !run.spilled {
-		return AnalyzeContext(ctx, &trace.Dataset{DNS: run.dns, Conns: run.conns}, opts)
+		return analyze(ctx, &trace.Dataset{DNS: run.dns, Conns: run.conns}, opts, run.takePrep())
 	}
 	sh, err := run.collect(ctx)
 	if err != nil {
@@ -64,23 +65,24 @@ func AnalyzeSource(ctx context.Context, src trace.Source, opts Options) (*Analys
 // so cross-process exactness is only guaranteed under PairMostRecent.
 func CollectShard(ctx context.Context, src trace.Source, opts Options) (*AnalysisShard, error) {
 	opts = opts.withDefaults()
-	inMemory := func(ds *trace.Dataset) (*AnalysisShard, error) {
-		a, err := AnalyzeContext(ctx, ds, opts)
+	inMemory := func(ds *trace.Dataset, prep *sidecars) (*AnalysisShard, error) {
+		a, err := analyze(ctx, ds, opts, prep)
 		if err != nil {
 			return nil, err
 		}
 		return a.Shard(), nil
 	}
 	if d, ok := src.(*trace.DatasetSource); ok && opts.MemoryBudget <= 0 {
-		return inMemory(d.DS)
+		return inMemory(d.DS, nil)
 	}
+	applyIngestWorkers(src, opts)
 	run := newStreamRun(opts)
 	defer run.cleanup()
 	if err := run.ingest(ctx, src); err != nil {
 		return nil, analysisAborted(err)
 	}
 	if !run.spilled {
-		return inMemory(&trace.Dataset{DNS: run.dns, Conns: run.conns})
+		return inMemory(&trace.Dataset{DNS: run.dns, Conns: run.conns}, run.takePrep())
 	}
 	sh, err := run.collect(ctx)
 	if err != nil {
@@ -88,6 +90,28 @@ func CollectShard(ctx context.Context, src trace.Source, opts Options) (*Analysi
 	}
 	run.publishMetrics()
 	return sh, nil
+}
+
+// ingestTunable is the optional Source capability of fanning its input
+// parsing out over several goroutines (trace.ScannerSource, DirSource).
+type ingestTunable interface{ SetIngestWorkers(int) }
+
+// applyIngestWorkers resolves Options.IngestWorkers — positive: that
+// many; zero: inherit the Workers pool width; negative: serial — and
+// applies it to sources that support parallel parsing.
+func applyIngestWorkers(src trace.Source, opts Options) {
+	tun, ok := src.(ingestTunable)
+	if !ok {
+		return
+	}
+	switch {
+	case opts.IngestWorkers > 0:
+		tun.SetIngestWorkers(opts.IngestWorkers)
+	case opts.IngestWorkers < 0:
+		tun.SetIngestWorkers(1)
+	default:
+		tun.SetIngestWorkers(parallel.Workers(opts.Workers))
+	}
 }
 
 // streamRun is the state of one out-of-core ingest + classify pass.
@@ -120,6 +144,13 @@ type streamRun struct {
 	connOrder           []netip.Addr
 	dnsRank             map[netip.Addr]int32
 	dnsOrder            []netip.Addr
+
+	// prepCh, when non-nil, delivers the symbol sidecar a background
+	// goroutine builds over the resident DNS records while the
+	// connection stream is still scanning — the ingest/analysis overlap.
+	// Buffered(1), so the builder never blocks; discarded if the budget
+	// trips mid-conn-scan (the spill path derives its own state).
+	prepCh chan *sidecars
 }
 
 func newStreamRun(opts Options) *streamRun {
@@ -191,6 +222,27 @@ func (r *streamRun) ingest(ctx context.Context, src trace.Source) error {
 		return err
 	}
 
+	// The DNS stream is complete; when it is still fully resident, build
+	// the symbol sidecar now, overlapped with the connection scan, so the
+	// in-memory analysis adopts it instead of re-walking the records.
+	// The goroutine reads only its private slice header's elements —
+	// a later budget trip nils r.dns but never mutates the records — and
+	// takePrep discards the result if the run spilled.
+	if !r.spilled && len(r.dns) > 0 {
+		dns := r.dns
+		r.prepCh = make(chan *sidecars, 1)
+		psp := tr.StartConcurrent("prep-symbols")
+		go func() {
+			sc, err := buildSidecars(ctx, r.opts.Workers, dns)
+			if err != nil {
+				sc = nil // cancelled; analyze will fail on ctx anyway
+			}
+			psp.SetItems(len(dns))
+			psp.End()
+			r.prepCh <- sc
+		}()
+	}
+
 	sp = tr.StartPhase("ingest-conns")
 	first, lastTS = true, 0
 	err = src.StreamConns(func(c *trace.ConnRecord) error {
@@ -221,6 +273,21 @@ func (r *streamRun) ingest(ctx context.Context, src trace.Source) error {
 		return r.connW.flushAll()
 	}
 	return nil
+}
+
+// takePrep collects the overlapped sidecar build, if one was started
+// and is still valid (a spill invalidates it: the resident records it
+// indexed were released).
+func (r *streamRun) takePrep() *sidecars {
+	if r.prepCh == nil {
+		return nil
+	}
+	sc := <-r.prepCh
+	r.prepCh = nil
+	if r.spilled {
+		return nil
+	}
+	return sc
 }
 
 // observeDNS folds one DNS record into the whole-trace accumulators.
@@ -507,7 +574,7 @@ func buildLocalIndex(dns []trace.DNSRecord, expiry []time.Duration) shardIndex {
 	idx := make(shardIndex, len(counts))
 	off := int32(0)
 	for addr, n := range counts {
-		idx[addr] = backing[off:off : off+n]
+		idx[addr] = backing[off : off : off+n]
 		off += n
 	}
 	for i := range dns {

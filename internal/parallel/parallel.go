@@ -182,6 +182,140 @@ func Stream[T any](ctx context.Context, workers, buffer int, produce func(emit f
 	return firstErr
 }
 
+// OrderedStream is Stream with deterministic delivery: produce emits
+// items from its own goroutine, up to `workers` goroutines transform
+// each item with work, and consume receives every result on the
+// calling goroutine in exactly emission order — while later items are
+// still being produced and transformed. It is the shape behind
+// parallel trace ingest: chunk parsing fans out, but the merge that
+// applies error budgets and interns symbols must see chunks in input
+// order for the result to be bit-identical to a serial scan.
+//
+// ahead bounds the in-flight window (items emitted but not yet
+// consumed); it is raised to at least the worker count so the pool can
+// stay busy. The first error from work or consume cancels the stream
+// and is returned. An error from produce stops production but does not
+// cancel: results already emitted are still transformed and consumed in
+// order before the error is returned — the contract a scanner-shaped
+// producer needs, where records before a read error remain valid. When
+// both fail, the work/consume error wins.
+func OrderedStream[T, R any](ctx context.Context, workers, ahead int, produce func(emit func(T) error) error, work func(T) (R, error), consume func(R) error) error {
+	w := Workers(workers)
+	if ahead < w {
+		ahead = w
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	type job struct {
+		seq  int
+		item T
+	}
+	type done struct {
+		seq int
+		res R
+	}
+	// sem admits at most `ahead` in-flight items; results has the same
+	// capacity, so a worker's send below can never block — even when the
+	// consumer has stopped draining on an error path.
+	sem := make(chan struct{}, ahead)
+	jobs := make(chan job)
+	results := make(chan done, ahead)
+	prodCount := make(chan int, 1)
+
+	var prodErr error
+	var prodWG sync.WaitGroup
+	prodWG.Add(1)
+	go func() {
+		defer prodWG.Done()
+		seq := 0
+		emit := func(item T) error {
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			select {
+			case jobs <- job{seq: seq, item: item}:
+				seq++
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		prodErr = produce(emit)
+		close(jobs)
+		prodCount <- seq
+	}()
+
+	var workWG sync.WaitGroup
+	workWG.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer workWG.Done()
+			for j := range jobs {
+				if ctx.Err() != nil {
+					return
+				}
+				r, err := work(j.item)
+				if err != nil {
+					fail(err)
+					return
+				}
+				results <- done{seq: j.seq, res: r}
+			}
+		}()
+	}
+
+	// Reassemble in sequence order on the calling goroutine.
+	pending := make(map[int]R)
+	nextSeq, total := 0, -1
+	consumeFailed := false
+loop:
+	for total < 0 || nextSeq < total {
+		select {
+		case d := <-results:
+			pending[d.seq] = d.res
+			for {
+				r, ok := pending[nextSeq]
+				if !ok {
+					break
+				}
+				delete(pending, nextSeq)
+				nextSeq++
+				<-sem
+				if !consumeFailed {
+					if err := consume(r); err != nil {
+						fail(err)
+						consumeFailed = true
+					}
+				}
+			}
+		case n := <-prodCount:
+			total = n
+		case <-ctx.Done():
+			break loop
+		}
+	}
+	prodWG.Wait()
+	workWG.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return prodErr
+}
+
 // Range is a half-open index interval [Lo, Hi).
 type Range struct{ Lo, Hi int }
 
@@ -225,6 +359,120 @@ type Shard[K comparable] struct {
 // member slices are carved from one n-element backing array, so the
 // whole partition costs one map, one count slice, and one backing
 // allocation instead of per-shard append-growth.
+// minShardByChunk is the fewest items per counting-pass chunk worth a
+// goroutine in ShardByParallel; below it the serial ShardBy wins on
+// constant factors.
+const minShardByChunk = 4096
+
+// ShardByParallel is ShardBy computed with up to `workers` goroutines;
+// its result is identical to ShardBy's for every worker count. Each
+// chunk of the index range counts keys into a local table whose keys
+// land in chunk-local first-appearance order; because chunks are
+// contiguous and merged in slice order, a key's global rank — set by
+// the first chunk that saw it — equals its first-appearance rank over
+// the whole range, which is ShardBy's ordering contract. The fill pass
+// then writes every chunk into precomputed disjoint windows of one
+// shared backing array, so each shard's Items are ascending exactly as
+// the serial pass produces them.
+//
+// The only failure mode is context cancellation.
+func ShardByParallel[K comparable](ctx context.Context, workers, n int, key func(int) K) ([]Shard[K], error) {
+	w := Workers(workers)
+	if parts := n / minShardByChunk; w > parts {
+		w = parts
+	}
+	if w <= 1 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return ShardBy(n, key), nil
+	}
+	chunks := Chunks(n, w)
+	type local struct {
+		pos    map[K]int
+		keys   []K
+		counts []int32
+	}
+	locals := make([]local, len(chunks))
+	if err := ForEach(ctx, w, len(chunks), func(c int) error {
+		ch := chunks[c]
+		l := local{pos: make(map[K]int)}
+		for i := ch.Lo; i < ch.Hi; i++ {
+			k := key(i)
+			p, ok := l.pos[k]
+			if !ok {
+				p = len(l.keys)
+				l.pos[k] = p
+				l.keys = append(l.keys, k)
+				l.counts = append(l.counts, 0)
+			}
+			l.counts[p]++
+		}
+		locals[c] = l
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// Global key order and totals: chunks in slice order, each chunk's
+	// first-seen keys in local first-appearance order.
+	gpos := make(map[K]int)
+	var gkeys []K
+	var gcounts []int32
+	for c := range locals {
+		for li, k := range locals[c].keys {
+			p, ok := gpos[k]
+			if !ok {
+				p = len(gkeys)
+				gpos[k] = p
+				gkeys = append(gkeys, k)
+				gcounts = append(gcounts, 0)
+			}
+			gcounts[p] += locals[c].counts[li]
+		}
+	}
+
+	// starts[p] is shard p's window in the backing array; cursors[c][li]
+	// is where chunk c writes its li-th local key's members, advanced in
+	// chunk order so chunk c+1's members for the same key land after
+	// chunk c's — preserving ascending Items.
+	starts := make([]int32, len(gkeys)+1)
+	for p, cnt := range gcounts {
+		starts[p+1] = starts[p] + cnt
+	}
+	next := append([]int32(nil), starts[:len(gkeys)]...)
+	cursors := make([][]int32, len(chunks))
+	for c := range locals {
+		cur := make([]int32, len(locals[c].keys))
+		for li, k := range locals[c].keys {
+			p := gpos[k]
+			cur[li] = next[p]
+			next[p] += locals[c].counts[li]
+		}
+		cursors[c] = cur
+	}
+
+	backing := make([]int32, n)
+	if err := ForEach(ctx, w, len(chunks), func(c int) error {
+		ch := chunks[c]
+		l := &locals[c]
+		cur := cursors[c]
+		for i := ch.Lo; i < ch.Hi; i++ {
+			li := l.pos[key(i)]
+			backing[cur[li]] = int32(i)
+			cur[li]++
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	shards := make([]Shard[K], len(gkeys))
+	for p := range shards {
+		shards[p] = Shard[K]{Key: gkeys[p], Items: backing[starts[p]:starts[p+1]:starts[p+1]]}
+	}
+	return shards, nil
+}
+
 func ShardBy[K comparable](n int, key func(int) K) []Shard[K] {
 	if n <= 0 {
 		return nil
@@ -247,7 +495,7 @@ func ShardBy[K comparable](n int, key func(int) K) []Shard[K] {
 	shards := make([]Shard[K], len(keys))
 	off := int32(0)
 	for p := range shards {
-		shards[p] = Shard[K]{Key: keys[p], Items: backing[off:off : off+counts[p]]}
+		shards[p] = Shard[K]{Key: keys[p], Items: backing[off : off : off+counts[p]]}
 		off += counts[p]
 	}
 	for i := 0; i < n; i++ {

@@ -295,3 +295,204 @@ func TestStreamCancelledContext(t *testing.T) {
 		t.Fatalf("stream error %v, want context.Canceled", err)
 	}
 }
+
+// shardsEqual compares two shard partitions key by key, item by item.
+func shardsEqual(a, b []Shard[int]) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for p := range a {
+		if a[p].Key != b[p].Key || len(a[p].Items) != len(b[p].Items) {
+			return false
+		}
+		for j := range a[p].Items {
+			if a[p].Items[j] != b[p].Items[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestShardByParallelMatchesSerial is the determinism property behind
+// the parallel shard build: for every worker count, ShardByParallel
+// must reproduce ShardBy bit for bit — same shard order (first
+// appearance), same ascending Items.
+func TestShardByParallelMatchesSerial(t *testing.T) {
+	// Keyspaces chosen to exercise: keys confined to one chunk, keys
+	// spanning every chunk, a key appearing first in a late chunk, and
+	// a single-key degenerate case.
+	keyFns := map[string]func(int) int{
+		"spread": func(i int) int { return i % 97 },
+		"runs":   func(i int) int { return i / 1000 },
+		"late-first": func(i int) int {
+			if i < 9000 {
+				return i % 7
+			}
+			return 1000 + i%11
+		},
+		"single": func(int) int { return 42 },
+	}
+	for name, key := range keyFns {
+		n := 3 * minShardByChunk
+		want := ShardBy(n, key)
+		for _, w := range []int{1, 2, 3, 8} {
+			got, err := ShardByParallel(context.Background(), w, n, key)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, w, err)
+			}
+			if !shardsEqual(want, got) {
+				t.Fatalf("%s workers=%d: parallel shards differ from serial", name, w)
+			}
+		}
+	}
+}
+
+// TestShardByParallelSmallFallsBack covers the sub-chunk-size input:
+// the parallel path must quietly produce the serial result.
+func TestShardByParallelSmall(t *testing.T) {
+	key := func(i int) int { return i % 3 }
+	want := ShardBy(10, key)
+	got, err := ShardByParallel(context.Background(), 8, 10, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !shardsEqual(want, got) {
+		t.Fatal("small-input parallel shards differ from serial")
+	}
+	if got, err := ShardByParallel(context.Background(), 4, 0, key); err != nil || got != nil {
+		t.Fatalf("empty input: got %v, %v", got, err)
+	}
+}
+
+// TestOrderedStreamDeliversInOrder checks the core contract: results
+// reach consume in emission order regardless of worker interleaving,
+// with production, transformation, and consumption overlapped.
+func TestOrderedStreamDeliversInOrder(t *testing.T) {
+	const n = 500
+	var got []int
+	err := OrderedStream(context.Background(), 8, 4,
+		func(emit func(int) error) error {
+			for i := 0; i < n; i++ {
+				if err := emit(i); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		func(i int) (int, error) {
+			if i%17 == 0 {
+				time.Sleep(time.Millisecond) // jitter to scramble completion order
+			}
+			return i * 2, nil
+		},
+		func(r int) error {
+			got = append(got, r)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("consumed %d of %d", len(got), n)
+	}
+	for i, r := range got {
+		if r != i*2 {
+			t.Fatalf("out of order at %d: got %d", i, r)
+		}
+	}
+}
+
+// TestOrderedStreamProducerErrorKeepsPrefix: a failing producer (the
+// scanner-shaped case — read error after some records) must still have
+// every emitted item transformed and consumed, in order, before the
+// error surfaces.
+func TestOrderedStreamProducerErrorKeepsPrefix(t *testing.T) {
+	boom := errors.New("boom")
+	var got []int
+	err := OrderedStream(context.Background(), 4, 2,
+		func(emit func(int) error) error {
+			for i := 0; i < 20; i++ {
+				if err := emit(i); err != nil {
+					return err
+				}
+			}
+			return boom
+		},
+		func(i int) (int, error) { return i, nil },
+		func(r int) error { got = append(got, r); return nil })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if len(got) != 20 {
+		t.Fatalf("consumed %d of 20 pre-error items", len(got))
+	}
+	for i, r := range got {
+		if r != i {
+			t.Fatalf("out of order at %d: got %d", i, r)
+		}
+	}
+}
+
+// TestOrderedStreamConsumeErrorCancels: a consume error wins over the
+// producer and stops the stream promptly.
+func TestOrderedStreamConsumeErrorCancels(t *testing.T) {
+	boom := errors.New("boom")
+	var emitted atomic.Int64
+	err := OrderedStream(context.Background(), 2, 2,
+		func(emit func(int) error) error {
+			for i := 0; ; i++ {
+				if err := emit(i); err != nil {
+					return err
+				}
+				emitted.Add(1)
+			}
+		},
+		func(i int) (int, error) { return i, nil },
+		func(r int) error {
+			if r >= 3 {
+				return boom
+			}
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+// TestOrderedStreamWorkErrorPropagates: the first work error cancels
+// and is returned.
+func TestOrderedStreamWorkErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	err := OrderedStream(context.Background(), 4, 4,
+		func(emit func(int) error) error {
+			for i := 0; i < 100; i++ {
+				if err := emit(i); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		func(i int) (int, error) {
+			if i == 7 {
+				return 0, boom
+			}
+			return i, nil
+		},
+		func(int) error { return nil })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+// TestOrderedStreamEmpty: a producer that emits nothing completes
+// cleanly.
+func TestOrderedStreamEmpty(t *testing.T) {
+	err := OrderedStream(context.Background(), 4, 4,
+		func(emit func(int) error) error { return nil },
+		func(i int) (int, error) { return i, nil },
+		func(int) error { t.Fatal("consume called"); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,228 @@
+package trace
+
+// Parallel chunked ingestion. The serial scanners read one line at a
+// time on one goroutine; on multi-core hardware that single parse loop
+// is the analysis pipeline's longest serial prefix. The chunked path
+// splits the input into record-aligned (newline-aligned) chunks, parses
+// the chunks concurrently — each worker with its own parseState, so the
+// zero-copy field splitting and per-worker name interning need no locks
+// — and merges the parsed chunks back in input order.
+//
+// Determinism is the contract: the record sequence, every quarantine
+// decision, the error-budget trip point, and the strict-mode abort all
+// replay in serial line order at the merge, so a chunked scan is
+// indistinguishable from a serial one at any worker count. Query-name
+// strings are re-canonicalized through a single merge-side SymbolTable,
+// which restores global first-appearance intern order no matter which
+// worker materialized a name first.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"io"
+	"runtime/pprof"
+	"sync"
+
+	"dnscontext/internal/parallel"
+)
+
+const (
+	// ingestChunkBytes is the target chunk size handed to one parse
+	// worker: large enough to amortize the hand-off, small enough that
+	// a few chunks per worker stay in flight.
+	ingestChunkBytes = 1 << 20
+	// maxIngestLine mirrors the serial scanners' bufio token cap
+	// (sc.Buffer(..., 1<<22)): a line this long fails the scan with
+	// bufio.ErrTooLong on either path.
+	maxIngestLine = 1 << 22
+)
+
+// ingestChunk is one newline-aligned slice of the input: whole lines
+// only (the final chunk of the stream may lack a trailing '\n').
+type ingestChunk struct {
+	// startLine is the 1-based physical line number of the chunk's
+	// first line, so workers report exact line numbers without any
+	// global counter.
+	startLine int
+	data      []byte
+}
+
+// produceIngestChunks reads r into newline-aligned chunks. A line that
+// accumulates maxIngestLine bytes without a newline fails with
+// bufio.ErrTooLong, exactly where the serial scanner's token cap would;
+// a mid-stream read error still emits every buffered line first — the
+// serial scanner yields those (including a partial final line) before
+// reporting the error, and the ordered merge preserves that prefix.
+func produceIngestChunks(r io.Reader, chunkBytes int, emit func(ingestChunk) error) error {
+	startLine := 1
+	var carry []byte // partial trailing line of the previous read
+	for {
+		buf := make([]byte, len(carry)+chunkBytes)
+		n := copy(buf, carry)
+		m, rerr := io.ReadFull(r, buf[n:])
+		buf = buf[:n+m]
+		// Only the first line of buf can be overlong: carry holds no
+		// newline, so any later line is bounded by one read's bytes.
+		if i := bytes.IndexByte(buf, '\n'); i >= maxIngestLine || (i < 0 && len(buf) >= maxIngestLine) {
+			return bufio.ErrTooLong
+		}
+		if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
+			if len(buf) > 0 {
+				return emit(ingestChunk{startLine: startLine, data: buf})
+			}
+			return nil
+		}
+		if rerr != nil {
+			if len(buf) > 0 {
+				if err := emit(ingestChunk{startLine: startLine, data: buf}); err != nil {
+					return err
+				}
+			}
+			return rerr
+		}
+		cut := bytes.LastIndexByte(buf, '\n')
+		if cut < 0 {
+			carry = buf // the line continues; grow it next read
+			continue
+		}
+		// Cap the emitted slice's capacity: carry aliases the same
+		// backing array and is copied out on the next iteration.
+		if err := emit(ingestChunk{startLine: startLine, data: buf[: cut+1 : cut+1]}); err != nil {
+			return err
+		}
+		startLine += bytes.Count(buf[:cut+1], []byte{'\n'})
+		carry = buf[cut+1:]
+	}
+}
+
+// scanEvent is one data line's outcome inside a parsed chunk, in line
+// order: either a parsed record (rec indexes parsedChunk.recs) or a
+// parse failure (rec < 0) carrying the copied text and cause so the
+// merge can replay the error policy exactly.
+type scanEvent struct {
+	line int
+	rec  int32
+	text string
+	err  error
+}
+
+// parsedChunk is one chunk's parse output.
+type parsedChunk[R any] struct {
+	recs   []R
+	events []scanEvent
+}
+
+// parseChunkLines splits one chunk into lines — mirroring
+// bufio.ScanLines: '\n' terminators, one trailing '\r' dropped, a final
+// unterminated line kept — and parses every data line, recording
+// outcomes in line order. Comment ('#') and blank lines advance the
+// line counter without producing an event, as the serial scanners do.
+func parseChunkLines[R any](c ingestChunk, parse func(lineNo int, line []byte) (R, error)) parsedChunk[R] {
+	var pc parsedChunk[R]
+	line := c.startLine - 1
+	data := c.data
+	for len(data) > 0 {
+		var ln []byte
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			ln, data = data[:i], data[i+1:]
+		} else {
+			ln, data = data, nil
+		}
+		line++
+		if len(ln) > 0 && ln[len(ln)-1] == '\r' {
+			ln = ln[:len(ln)-1]
+		}
+		if len(ln) == 0 || ln[0] == '#' {
+			continue
+		}
+		rec, err := parse(line, ln)
+		if err != nil {
+			pc.events = append(pc.events, scanEvent{line: line, rec: -1, text: string(ln), err: err})
+			continue
+		}
+		pc.recs = append(pc.recs, rec)
+		pc.events = append(pc.events, scanEvent{line: line, rec: int32(len(pc.recs) - 1)})
+	}
+	return pc
+}
+
+// scanChunked is the shared chunked-scan driver: produce chunks, parse
+// them on `workers` goroutines (each drawing a pooled parseState), and
+// replay the per-line outcomes in input order — applying the error
+// policy and budget with the same counters, trip points, and error
+// values as the serial scanner core. canon, when non-nil, runs on each
+// record at merge time (the DNS path re-canonicalizes Query through a
+// single table there).
+func scanChunked[R any](r io.Reader, workers, chunkBytes int, policy ErrorPolicy,
+	parse func(lineNo int, line []byte, st *parseState) (R, error),
+	canon func(*R),
+	yield func(*R) error) error {
+
+	pool := sync.Pool{New: func() any { return newParseState() }}
+	var lines, nQuar int
+	var err error
+	// Label the scan so profiles attribute parse samples to the stage;
+	// the chunk workers inherit the label from this goroutine.
+	pprof.Do(context.Background(), pprof.Labels("dnsctx_phase", "scan"), func(ctx context.Context) {
+		err = parallel.OrderedStream(ctx, workers, 2*parallel.Workers(workers),
+			func(emit func(ingestChunk) error) error {
+				return produceIngestChunks(r, chunkBytes, emit)
+			},
+			func(c ingestChunk) (parsedChunk[R], error) {
+				st := pool.Get().(*parseState)
+				pc := parseChunkLines(c, func(lineNo int, line []byte) (R, error) {
+					return parse(lineNo, line, st)
+				})
+				pool.Put(st)
+				return pc, nil
+			},
+			func(pc parsedChunk[R]) error {
+				for i := range pc.events {
+					ev := &pc.events[i]
+					lines++
+					if ev.rec >= 0 {
+						rec := &pc.recs[ev.rec]
+						if canon != nil {
+							canon(rec)
+						}
+						if err := yield(rec); err != nil {
+							return err
+						}
+						continue
+					}
+					if !policy.Quarantine {
+						return ev.err
+					}
+					nQuar++
+					q := Quarantined{Line: ev.line, Text: ev.text, Err: ev.err}
+					if policy.Sink != nil {
+						policy.Sink(q)
+					}
+					if policy.Budget.Exceeded(nQuar, lines) {
+						return &BudgetError{Quarantined: nQuar, Lines: lines, Last: q}
+					}
+				}
+				return nil
+			})
+	})
+	return err
+}
+
+// scanChunkedDNS streams r's DNS records through the chunked parser,
+// yielding them in input order under policy. Query names from
+// different workers are re-canonicalized through one merge-side table,
+// so equal names share storage and the downstream analyzer's intern
+// order matches a serial scan's.
+func scanChunkedDNS(r io.Reader, workers int, policy ErrorPolicy, yield func(*DNSRecord) error) error {
+	names := NewSymbolTable()
+	return scanChunked(r, workers, ingestChunkBytes, policy, parseDNSLineBytes,
+		func(d *DNSRecord) { d.Query = names.CanonicalString(d.Query) },
+		yield)
+}
+
+// scanChunkedConns is scanChunkedDNS for connection summaries (which
+// carry no strings, so no re-canonicalization is needed).
+func scanChunkedConns(r io.Reader, workers int, policy ErrorPolicy, yield func(*ConnRecord) error) error {
+	return scanChunked(r, workers, ingestChunkBytes, policy, parseConnLineBytes, nil, yield)
+}

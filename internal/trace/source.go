@@ -75,9 +75,10 @@ func (s *DatasetSource) StreamConns(yield func(*ConnRecord) error) error {
 // quarantining scanners. It is one-shot: the readers are consumed by
 // the first scan. The ErrorPolicy applies to both streams.
 type ScannerSource struct {
-	dns    io.Reader
-	conns  io.Reader
-	policy ErrorPolicy
+	dns     io.Reader
+	conns   io.Reader
+	policy  ErrorPolicy
+	workers int
 }
 
 // NewScannerSource returns a Source reading DNS records from dns and
@@ -87,8 +88,18 @@ func NewScannerSource(dns, conns io.Reader, policy ErrorPolicy) *ScannerSource {
 	return &ScannerSource{dns: dns, conns: conns, policy: policy}
 }
 
+// SetIngestWorkers selects how many goroutines parse the TSV streams.
+// Values above one enable the chunked parallel scan (see chunked.go);
+// zero or one keeps the serial scanners. Either way the record
+// sequence, quarantine decisions, budget trip points, and errors are
+// bit-identical — only the wall clock moves.
+func (s *ScannerSource) SetIngestWorkers(n int) { s.workers = n }
+
 // StreamDNS implements Source.
 func (s *ScannerSource) StreamDNS(yield func(*DNSRecord) error) error {
+	if s.workers > 1 {
+		return scanChunkedDNS(s.dns, s.workers, s.policy, yield)
+	}
 	sc := NewDNSScanner(s.dns, s.policy)
 	for sc.Scan() {
 		rec := sc.Record()
@@ -101,6 +112,9 @@ func (s *ScannerSource) StreamDNS(yield func(*DNSRecord) error) error {
 
 // StreamConns implements Source.
 func (s *ScannerSource) StreamConns(yield func(*ConnRecord) error) error {
+	if s.workers > 1 {
+		return scanChunkedConns(s.conns, s.workers, s.policy, yield)
+	}
 	sc := NewConnScanner(s.conns, s.policy)
 	for sc.Scan() {
 		rec := sc.Record()
@@ -121,14 +135,20 @@ func (s *ScannerSource) StreamConns(yield func(*ConnRecord) error) error {
 // correctly ordered stream. Unlike ScannerSource, a DirSource is
 // re-scannable: it opens and closes the files itself on every pass.
 type DirSource struct {
-	dir    string
-	policy ErrorPolicy
+	dir     string
+	policy  ErrorPolicy
+	workers int
 }
 
 // NewDirSource returns a Source over the partitioned trace files in dir.
 func NewDirSource(dir string, policy ErrorPolicy) *DirSource {
 	return &DirSource{dir: dir, policy: policy}
 }
+
+// SetIngestWorkers selects how many goroutines parse each partition
+// file; see ScannerSource.SetIngestWorkers. Files are still consumed
+// one at a time in name order, so the concatenated stream is unchanged.
+func (s *DirSource) SetIngestWorkers(n int) { s.workers = n }
 
 // partitionFiles lists dir's files carrying one of the given suffixes,
 // sorted by name.
@@ -164,7 +184,7 @@ func (s *DirSource) StreamDNS(yield func(*DNSRecord) error) error {
 	}
 	for _, path := range files {
 		if err := s.streamFile(path, func(f *os.File) error {
-			sub := ScannerSource{dns: f, policy: s.policy}
+			sub := ScannerSource{dns: f, policy: s.policy, workers: s.workers}
 			return sub.StreamDNS(yield)
 		}); err != nil {
 			return err
@@ -181,7 +201,7 @@ func (s *DirSource) StreamConns(yield func(*ConnRecord) error) error {
 	}
 	for _, path := range files {
 		if err := s.streamFile(path, func(f *os.File) error {
-			sub := ScannerSource{conns: f, policy: s.policy}
+			sub := ScannerSource{conns: f, policy: s.policy, workers: s.workers}
 			return sub.StreamConns(yield)
 		}); err != nil {
 			return err
